@@ -1,0 +1,14 @@
+"""Fig. 13 — file-based variants on the weather dataset.
+
+Same claim as Fig. 12, on the second dataset: FSTopDown wins.
+"""
+
+from repro.experiments import figure13
+
+from conftest import run_figure
+
+
+def test_fig13_weather_file_based(benchmark, bench_scale):
+    fig = run_figure(benchmark, figure13, bench_scale)
+    final = fig.final_values()
+    assert final["fstopdown"] < final["fsbottomup"]

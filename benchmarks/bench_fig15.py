@@ -1,0 +1,33 @@
+"""Fig. 15 — distribution of prominent facts by bound(C) and |M|.
+
+Paper claims (for d̂=3, m̂=3): fewer prominent facts at the extremes —
+bound(C) ∈ {0, 3} yields fewer than {1, 2} (whole-table contexts are
+too hard, 3-bound contexts too small to clear τ), and |M| ∈ {1, 3}
+yields fewer than |M| = 2 (single measures need an outright maximum;
+3-measure skylines are too crowded to look rare).  Counts shrink as τ
+grows.
+"""
+
+from repro.experiments import figure15
+
+from conftest import run_figure
+
+
+def test_fig15_distributions(benchmark, bench_scale):
+    fig_a, fig_b = run_figure(benchmark, figure15, bench_scale)
+
+    # Counts fall (weakly) as tau rises, in both breakdowns.
+    totals_a = [sum(s.ys) for s in fig_a.series]
+    assert totals_a == sorted(totals_a, reverse=True)
+    totals_b = [sum(s.ys) for s in fig_b.series]
+    assert totals_b == sorted(totals_b, reverse=True)
+
+    # Interior-beats-extremes shape at the most permissive tau.
+    loosest_a = fig_a.series[0]
+    by_bound = dict(zip(loosest_a.xs, loosest_a.ys))
+    assert max(by_bound.get(1, 0), by_bound.get(2, 0)) >= by_bound.get(0, 0)
+    assert max(by_bound.get(1, 0), by_bound.get(2, 0)) >= by_bound.get(3, 0)
+
+    loosest_b = fig_b.series[0]
+    by_dim = dict(zip(loosest_b.xs, loosest_b.ys))
+    assert by_dim.get(2, 0) >= by_dim.get(3, 0)

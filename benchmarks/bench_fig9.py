@@ -1,0 +1,16 @@
+"""Fig. 9 — the weather dataset, per-tuple time vs n.
+
+Paper claim: same ordering as on NBA — C-CSC worst (it exhausted memory
+shortly after 0.2 M tuples), sharing variants best.
+"""
+
+from repro.experiments import figure9
+
+from conftest import run_figure
+
+
+def test_fig9_weather_varying_n(benchmark, bench_scale):
+    fig = run_figure(benchmark, figure9, bench_scale)
+    final = fig.final_values()
+    assert final["ccsc"] > final["sbottomup"]
+    assert final["ccsc"] > final["stopdown"]

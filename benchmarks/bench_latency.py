@@ -1,0 +1,35 @@
+"""Detection-latency bench (the paper's §I timeliness motivation).
+
+Not a paper figure — an ablation this repo adds: tail latency, not just
+the mean, decides whether a fact reaches the newsroom before the story
+goes stale.  Asserts that the incremental algorithms keep their p99
+under the baseline's, i.e. the speedup is not only on average.
+"""
+
+from repro import DiscoveryConfig
+from repro.datasets import nba_rows, nba_schema
+from repro.experiments.latency import latency_table, measure_latency
+
+CONFIG = DiscoveryConfig(max_bound_dims=4)
+
+
+def test_latency_tails(benchmark, bench_scale):
+    d, m = 4, 4
+    n = int(200 * bench_scale)
+    schema = nba_schema(d, m)
+    rows = nba_rows(n, d=d, m=m)
+
+    def run():
+        return [
+            measure_latency(name, schema, rows, CONFIG, warmup=10)
+            for name in ("baselineseq", "bottomup", "stopdown")
+        ]
+
+    profiles = benchmark.pedantic(run, iterations=1, rounds=1)
+    print()
+    print(latency_table(profiles))
+    by_name = {p.algorithm: p for p in profiles}
+    for fast in ("bottomup", "stopdown"):
+        assert by_name[fast].p99 < by_name["baselineseq"].p99 * 2.0
+        benchmark.extra_info[f"{fast}_p99"] = by_name[fast].p99
+    benchmark.extra_info["baselineseq_p99"] = by_name["baselineseq"].p99

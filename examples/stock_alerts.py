@@ -1,0 +1,71 @@
+#!/usr/bin/env python3
+"""Stock-market situational facts (intro example #1: "Stock A becomes
+the first stock in history with price over $300 and market cap over
+$400 billion").
+
+Generates a synthetic daily stock tape (sector / exchange dimensions,
+price / market-cap / volume measures) and reports days on which a
+ticker's readings are a prominent contextual skyline — first-ever
+combinations within its sector, its exchange, or the whole market.
+
+Run:  python examples/stock_alerts.py [n_days]
+"""
+
+import random
+import sys
+
+from repro import DiscoveryConfig, FactDiscoverer, TableSchema
+from repro.reporting import narrate
+
+SECTORS = ("tech", "energy", "finance", "health", "retail")
+EXCHANGES = ("NYSE", "NASDAQ")
+
+
+def stock_tape(n: int, n_tickers: int = 60, seed: int = 99):
+    rng = random.Random(seed)
+    tickers = []
+    for i in range(n_tickers):
+        tickers.append(
+            {
+                "ticker": f"STK{i:03d}",
+                "sector": rng.choice(SECTORS),
+                "exchange": rng.choice(EXCHANGES),
+                "price": rng.uniform(10, 80),
+                "cap": rng.uniform(1, 50),  # billions
+            }
+        )
+    for day in range(n):
+        stock = rng.choice(tickers)
+        # Geometric random walk with drift: occasional break-outs.
+        stock["price"] *= rng.lognormvariate(0.0007, 0.03)
+        stock["cap"] *= rng.lognormvariate(0.0007, 0.025)
+        yield {
+            "ticker": stock["ticker"],
+            "sector": stock["sector"],
+            "exchange": stock["exchange"],
+            "quarter": f"Q{1 + (day * 8 // max(n, 1)) % 4}",
+            "price": round(stock["price"], 2),
+            "market_cap": round(stock["cap"], 2),
+            "volume": round(rng.paretovariate(1.8), 2),
+        }
+
+
+def main(n: int = 2000) -> None:
+    schema = TableSchema(
+        dimensions=("ticker", "sector", "exchange", "quarter"),
+        measures=("price", "market_cap", "volume"),
+    )
+    config = DiscoveryConfig(max_bound_dims=2, max_measure_dims=2, tau=40.0)
+    engine = FactDiscoverer(schema, algorithm="stopdown", config=config)
+
+    print(f"Streaming {n} ticks (tau={config.tau})...\n")
+    alerts = 0
+    for i, row in enumerate(stock_tape(n)):
+        for fact in engine.observe(row):
+            alerts += 1
+            print(f"[tick {i:5d}] {narrate(fact, schema)}")
+    print(f"\n{alerts} market alerts raised.")
+
+
+if __name__ == "__main__":
+    main(int(sys.argv[1]) if len(sys.argv) > 1 else 2000)

@@ -1,0 +1,69 @@
+"""repro — Incremental Discovery of Prominent Situational Facts.
+
+A complete reproduction of Sultana, Hassan, Li, Yang & Yu (ICDE 2014):
+streaming detection of constraint–measure pairs that make each newly
+arrived tuple a *contextual skyline tuple*, ranked by prominence.
+
+Quickstart
+----------
+>>> from repro import DiscoveryConfig, FactDiscoverer, TableSchema
+>>> schema = TableSchema(
+...     dimensions=("player", "month", "team", "opp_team"),
+...     measures=("points", "assists", "rebounds"),
+... )
+>>> engine = FactDiscoverer(schema, algorithm="stopdown",
+...                         config=DiscoveryConfig(max_bound_dims=2))
+>>> facts = engine.observe({"player": "Wesley", "month": "Feb",
+...                         "team": "Celtics", "opp_team": "Nets",
+...                         "points": 12, "assists": 13, "rebounds": 5})
+
+See ``examples/`` for realistic scenarios and ``benchmarks/`` for the
+paper's full experimental suite.
+"""
+
+from .algorithms import ALGORITHMS, DiscoveryAlgorithm, make_algorithm
+from .core import (
+    MAX,
+    MIN,
+    ComparisonOutcome,
+    Constraint,
+    ContextCounter,
+    DiscoveryConfig,
+    FactDiscoverer,
+    FactSet,
+    Record,
+    SchemaError,
+    SituationalFact,
+    Table,
+    TableSchema,
+    compare,
+    contextual_skyline,
+    dominates,
+)
+from .metrics import OpCounters
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "ALGORITHMS",
+    "DiscoveryAlgorithm",
+    "make_algorithm",
+    "MAX",
+    "MIN",
+    "ComparisonOutcome",
+    "Constraint",
+    "ContextCounter",
+    "DiscoveryConfig",
+    "FactDiscoverer",
+    "FactSet",
+    "Record",
+    "SchemaError",
+    "SituationalFact",
+    "Table",
+    "TableSchema",
+    "compare",
+    "contextual_skyline",
+    "dominates",
+    "OpCounters",
+    "__version__",
+]

@@ -1,0 +1,93 @@
+"""The seven discovery algorithms of the paper plus file-based variants.
+
+========================  =============================================
+Name                      Paper reference
+========================  =============================================
+``bruteforce``            Algorithm 2
+``baselineseq``           Algorithm 3
+``baselineidx``           §IV (k-d tree baseline)
+``ccsc``                  §II adaptation of Xia & Zhang's CSC [12]
+``bottomup``              Algorithm 4 (Invariant 1)
+``topdown``               Algorithm 5 (Invariant 2)
+``sbottomup``             §V-C sharing variant of BottomUp
+``stopdown``              Algorithm 6
+``fsbottomup``            §VI-C file-based SBottomUp
+``fstopdown``             §VI-C file-based STopDown
+``baselinevec``           NumPy tuple-at-a-time baseline (this repo's
+                          extension; output-equivalent to BaselineSeq)
+========================  =============================================
+"""
+
+from typing import Dict, Optional, Type
+
+from ..core.config import DiscoveryConfig
+from ..core.schema import TableSchema
+from .base import DiscoveryAlgorithm
+from .baseline_idx import BaselineIdx
+from .baseline_seq import BaselineSeq
+from .bottom_up import BottomUp
+from .brute_force import BruteForce
+from .csc import CCSC
+from .file_based import FSBottomUp, FSTopDown
+from .s_bottom_up import SBottomUp
+from .s_top_down import STopDown
+from .top_down import TopDown
+from .vectorized import VectorizedBaseline
+
+#: Registry keyed by algorithm name.
+ALGORITHMS: Dict[str, Type[DiscoveryAlgorithm]] = {
+    cls.name: cls
+    for cls in (
+        BruteForce,
+        BaselineSeq,
+        BaselineIdx,
+        CCSC,
+        BottomUp,
+        TopDown,
+        SBottomUp,
+        STopDown,
+        FSBottomUp,
+        FSTopDown,
+        VectorizedBaseline,
+    )
+}
+
+
+def make_algorithm(
+    name: str,
+    schema: TableSchema,
+    config: Optional[DiscoveryConfig] = None,
+    **kwargs,
+) -> DiscoveryAlgorithm:
+    """Instantiate a discovery algorithm by registry name.
+
+    >>> from repro.core.schema import TableSchema
+    >>> algo = make_algorithm("bottomup", TableSchema(("d",), ("m",)))
+    >>> algo.name
+    'bottomup'
+    """
+    try:
+        cls = ALGORITHMS[name.lower()]
+    except KeyError:
+        raise ValueError(
+            f"unknown algorithm {name!r}; choose from {sorted(ALGORITHMS)}"
+        ) from None
+    return cls(schema, config, **kwargs)
+
+
+__all__ = [
+    "ALGORITHMS",
+    "make_algorithm",
+    "DiscoveryAlgorithm",
+    "BruteForce",
+    "BaselineSeq",
+    "BaselineIdx",
+    "CCSC",
+    "BottomUp",
+    "TopDown",
+    "SBottomUp",
+    "STopDown",
+    "FSBottomUp",
+    "FSTopDown",
+    "VectorizedBaseline",
+]

@@ -1,0 +1,133 @@
+"""Tuple retraction — the paper's §VIII "deletion and update" extension.
+
+The paper's model is append-only; deletions are named as future work.
+This module adds them: :func:`retract_bottom_up` repairs an Invariant-1
+store and :func:`retract_top_down` an Invariant-2 store after a tuple is
+removed from the relation.
+
+Key observation limiting the repair scope: removing ``u`` can only
+change the skyline of a pair ``(C, M)`` where ``u`` itself was a skyline
+tuple — if ``u`` was dominated at ``(C, M)`` by ``v``, then any tuple
+``u`` dominated there is also dominated by ``v`` (transitivity), so the
+skyline is unchanged.  For Invariant-1 stores that is exactly the set of
+pairs storing ``u``; for Invariant-2 stores it is the up-set of ``u``'s
+anchor masks (skyline constraints are down-closed from their maximal
+elements — descendants of an anchor, not ancestors).
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Sequence, Set
+
+from ..core.constraint import UNBOUND, Constraint, constraint_for_record
+from ..core.dominance import dominates
+from ..core.lattice import iter_submasks, iter_supermasks, popcount
+from ..core.record import Record
+from ..core.skyline import contextual_skyline
+from ..storage.base import SkylineStore
+
+
+def retract_bottom_up(
+    store: SkylineStore,
+    table: Iterable[Record],
+    removed: Record,
+    constraint_masks: Sequence[int],
+    subspaces: Sequence[int],
+) -> None:
+    """Repair an Invariant-1 store after ``removed`` left the table.
+
+    ``table`` must already exclude the removed record.  For every pair
+    that stored the record, the contextual skyline is recomputed from
+    the table and tuples previously suppressed by the record are
+    re-inserted.
+    """
+    records = list(table)
+    for mask in constraint_masks:
+        constraint = constraint_for_record(removed, mask)
+        for subspace in subspaces:
+            if not store.contains(constraint, subspace, removed):
+                continue
+            store.delete(constraint, subspace, removed)
+            current = {r.tid for r in store.get(constraint, subspace)}
+            for record in contextual_skyline(records, constraint, subspace):
+                if record.tid not in current:
+                    store.insert(constraint, subspace, record)
+
+
+def retract_top_down(
+    store: SkylineStore,
+    table: Iterable[Record],
+    removed: Record,
+    constraint_masks: Sequence[int],
+    subspaces: Sequence[int],
+    allows_mask,
+    dim_universe: int,
+) -> None:
+    """Repair an Invariant-2 store after ``removed`` left the table.
+
+    For each subspace: find the removed tuple's anchor masks, walk the
+    up-set of those masks (all more specific constraints, where the
+    tuple was a skyline tuple), recompute each affected contextual
+    skyline, and re-anchor tuples that re-enter — inserting them at the
+    now-maximal constraints and deleting their demoted descendants.
+    Masks are processed most-general-first so maximality checks can rely
+    on already-repaired ancestors.
+    """
+    records = list(table)
+    allowed = [m for m in constraint_masks if allows_mask(m)]
+    for subspace in subspaces:
+        anchor_masks = [
+            mask
+            for mask in allowed
+            if store.contains(
+                constraint_for_record(removed, mask), subspace, removed
+            )
+        ]
+        if not anchor_masks:
+            continue
+        # Up-set of the anchors: every allowed mask containing an anchor.
+        affected: Set[int] = set()
+        for anchor in anchor_masks:
+            for sup in iter_supermasks(anchor, dim_universe):
+                if allows_mask(sup):
+                    affected.add(sup)
+        # Remove the tuple from its anchors first.
+        for anchor in anchor_masks:
+            store.delete(
+                constraint_for_record(removed, anchor), subspace, removed
+            )
+        for mask in sorted(affected, key=popcount):
+            constraint = constraint_for_record(removed, mask)
+            for record in contextual_skyline(records, constraint, subspace):
+                if not dominates(removed, record, subspace):
+                    continue  # was in the skyline already; anchors fine
+                _anchor_if_maximal(store, record, constraint, mask, subspace)
+
+
+def _anchor_if_maximal(
+    store: SkylineStore,
+    record: Record,
+    constraint: Constraint,
+    mask: int,
+    subspace: int,
+) -> None:
+    """``constraint`` just became a skyline constraint of ``record``:
+    anchor it there unless an ancestor already is one, and demote any
+    descendant anchors it shadows."""
+    n = constraint.arity
+    for sub in iter_submasks(mask):
+        if sub == mask:
+            continue
+        anc = Constraint(
+            tuple(constraint.values[i] if sub & (1 << i) else UNBOUND for i in range(n))
+        )
+        if store.contains(anc, subspace, record):
+            return  # a more general anchor covers this constraint
+    # Demote shadowed descendant anchors (they are no longer maximal).
+    for sup in iter_supermasks(mask, (1 << n) - 1):
+        if sup == mask:
+            continue
+        desc = constraint_for_record(record, sup)
+        if store.contains(desc, subspace, record):
+            store.delete(desc, subspace, record)
+    store.insert(constraint, subspace, record)

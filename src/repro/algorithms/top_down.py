@@ -1,0 +1,242 @@
+"""TopDown — Algorithm 5 of the paper.
+
+Maintains Invariant 2: ``µ_{C,M}`` stores a tuple **only at its maximal
+skyline constraints** ``MSC^t_M`` (Defs. 9–10).  The skyline constraints
+of any tuple are down-closed (Prop. 2: domination propagates to more
+general contexts), so storing only the maximal ones avoids the duplicate
+storage BottomUp pays — the paper's space–time trade-off.
+
+Traversal note: the paper's breadth-first queue from ``⊤`` enqueues
+every child regardless of pruning (the pruned region is *up-closed*
+toward ``⊤``, so skyline constraints may lie below pruned ones).  That
+order is exactly "iterate allowed masks by ascending popcount", which we
+do directly.  Correctness of on-the-fly pruning is preserved because any
+dominator of ``t`` in a context ``C`` is covered by a full-context
+skyline tuple whose maximal constraint is an *ancestor* of ``C`` —
+visited earlier in level order.
+
+On a domination the whole intersection lattice ``C^{t,t'}`` is marked
+pruned (Prop. 3); unlike BottomUp, the scan of ``µ_{C,M}`` continues
+after a domination, because other stored tuples may prune constraints
+outside ``C^{t,t'}``.  When the new tuple dominates a stored ``t'``,
+``t'`` is deleted and re-anchored at the children of ``C`` that ``t'``
+satisfies but ``t`` does not (procedure *Dominates*).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Set, Tuple
+
+from ..core.config import DiscoveryConfig
+from ..core.constraint import UNBOUND, Constraint
+from ..core.dominance import dominates
+from ..core.facts import FactSet
+from ..core.lattice import agreement_mask, iter_submasks, iter_supermasks
+from ..core.record import Record
+from ..core.schema import TableSchema
+from ..metrics.counters import OpCounters
+from ..storage.base import SkylineStore
+from ..storage.memory_store import MemorySkylineStore
+from .base import DiscoveryAlgorithm
+
+
+def repair_demoted_tuple(
+    store: SkylineStore,
+    new_record: Record,
+    demoted: Record,
+    constraint: Constraint,
+    subspace: int,
+    allows_mask,
+) -> None:
+    """Procedure *Dominates* of Alg. 5.
+
+    ``new_record`` dominates ``demoted`` at ``(constraint, subspace)``
+    where ``constraint`` was a maximal skyline constraint of ``demoted``.
+    Delete it there, then store it at each child ``C'`` of ``constraint``
+    satisfied by ``demoted`` but not ``new_record`` (``CH^{t'}_C − C^t``)
+    unless an ancestor of ``C'`` in ``C^{t'} − C^t`` already stores it
+    (the ancestors *inside* ``C^t`` cannot: ``constraint`` was maximal).
+
+    ``allows_mask(mask)`` enforces the ``d̂`` truncation: children beyond
+    the cap are simply outside the maintained lattice.
+    """
+    store.delete(constraint, subspace, demoted)
+    mask = constraint.bound_mask
+    n = len(demoted.dims)
+    for j in range(n):
+        bit = 1 << j
+        if mask & bit:
+            continue  # already bound
+        if demoted.dims[j] == new_record.dims[j]:
+            # Child lies in C^t: new_record is in that context and still
+            # dominates, so demoted is not in its skyline.
+            continue
+        if not allows_mask(mask | bit):
+            continue
+        child_values = list(constraint.values)
+        child_values[j] = demoted.dims[j]
+        child = Constraint(child_values)
+        # Ancestors of the child satisfied by demoted but not by
+        # new_record all bind j; scan them for an existing anchor.
+        stored_above = False
+        for sub in iter_submasks(mask):
+            if sub == mask:
+                continue
+            anc_values = [
+                constraint.values[i] if sub & (1 << i) else UNBOUND for i in range(n)
+            ]
+            anc_values[j] = demoted.dims[j]
+            if store.contains(Constraint(anc_values), subspace, demoted):
+                stored_above = True
+                break
+        if not stored_above:
+            store.insert(child, subspace, demoted)
+
+
+class TopDown(DiscoveryAlgorithm):
+    """Top-down lattice traversal with maximal-constraint materialisation
+    (Alg. 5; Invariant 2)."""
+
+    name = "topdown"
+
+    def __init__(
+        self,
+        schema: TableSchema,
+        config: Optional[DiscoveryConfig] = None,
+        counters: Optional[OpCounters] = None,
+        store: Optional[SkylineStore] = None,
+    ) -> None:
+        super().__init__(schema, config, counters)
+        self.store = store if store is not None else MemorySkylineStore(self.counters)
+        # parents_by_mask[m] lists m's parent masks (used for inAnces).
+        self._parents: List[Tuple[int, ...]] = [
+            tuple(m & ~(1 << i) for i in range(schema.n_dimensions) if m & (1 << i))
+            for m in range(1 << schema.n_dimensions)
+        ]
+
+    # ------------------------------------------------------------------
+    # Discovery
+    # ------------------------------------------------------------------
+    def _discover(self, record: Record) -> FactSet:
+        facts = FactSet(record)
+        constraints = self.constraint_cache(record)
+        for subspace in self.subspaces:
+            self._discover_subspace(record, subspace, facts, constraints)
+        return facts
+
+    def _discover_subspace(
+        self,
+        record: Record,
+        subspace: int,
+        facts: FactSet,
+        constraints: Dict[int, Constraint],
+    ) -> None:
+        store = self.store
+        counters = self.counters
+        pruned = bytearray(1 << self.schema.n_dimensions)
+        parents = self._parents
+        for mask in self.masks_top_down:
+            constraint = constraints[mask]
+            counters.traversed_constraints += 1
+            # The µ scan runs even at already-pruned constraints: tuples
+            # anchored here may prune constraints outside the already
+            # marked C^{t,t'} families, and those are only discoverable
+            # through this comparison (maximal storage keeps them
+            # invisible at their descendants).
+            for other in store.get(constraint, subspace):
+                counters.comparisons += 1
+                if dominates(other, record, subspace):
+                    agree = agreement_mask(record.dims, other.dims)
+                    for sub in iter_submasks(agree):
+                        pruned[sub] = True
+                elif dominates(record, other, subspace):
+                    repair_demoted_tuple(
+                        store, record, other, constraint, subspace, self.allowed_mask
+                    )
+            if not pruned[mask]:
+                facts.add_pair(constraint, subspace)
+                # t is stored at an ancestor iff some parent is a skyline
+                # constraint (then t sits at that parent or higher); this
+                # is C maximal iff every parent is pruned.
+                if all(pruned[p] for p in parents[mask]):
+                    store.insert(constraint, subspace, record)
+
+    # ------------------------------------------------------------------
+    # Prominence / accounting
+    # ------------------------------------------------------------------
+    def skyline_size(self, constraint: Constraint, subspace: int) -> int:
+        """Invariant 2: the skyline of ``(C, M)`` is the set of tuples
+        anchored at ``C`` or any ancestor of ``C`` that also satisfy
+        ``C`` (every skyline tuple's maximal constraint lies on or above
+        ``C``)."""
+        seen: Set[int] = set()
+        mask = constraint.bound_mask
+        n = constraint.arity
+        for sub in iter_submasks(mask):
+            anc = Constraint(
+                tuple(
+                    constraint.values[i] if sub & (1 << i) else UNBOUND
+                    for i in range(n)
+                )
+            )
+            for rec in self.store.get(anc, subspace):
+                if rec.tid not in seen and constraint.satisfied_by(rec):
+                    seen.add(rec.tid)
+        return len(seen)
+
+    def skyline_sizes(self, facts: FactSet) -> Dict[Tuple[Constraint, int], int]:
+        """One sweep per subspace: every tuple anchored at a constraint
+        of ``C^t`` contributes to each fact mask between its anchor and
+        its agreement mask with the new tuple."""
+        record = facts.record
+        constraints = self.constraint_cache(record)
+        masks_by_subspace: Dict[int, Set[int]] = {}
+        for fact in facts:
+            masks_by_subspace.setdefault(fact.subspace, set()).add(
+                fact.constraint.bound_mask
+            )
+        sizes: Dict[Tuple[Constraint, int], int] = {}
+        agree_cache: Dict[int, int] = {}
+        for subspace, fact_masks in masks_by_subspace.items():
+            tids_by_mask: Dict[int, Set[int]] = {m: set() for m in fact_masks}
+            for anchor in self.masks_top_down:
+                stored = self.store.get(constraints[anchor], subspace)
+                for u in stored:
+                    agree = agree_cache.get(u.tid)
+                    if agree is None:
+                        agree = agreement_mask(u.dims, record.dims)
+                        agree_cache[u.tid] = agree
+                    # u is in λ_M(σ_C) for every C^t mask between its
+                    # anchor and its agreement with t (it satisfies those
+                    # contexts, and skyline-ness is down-closed below a
+                    # maximal constraint).
+                    for fm in iter_supermasks(anchor, agree):
+                        bucket = tids_by_mask.get(fm)
+                        if bucket is not None:
+                            bucket.add(u.tid)
+            for fm in fact_masks:
+                sizes[(constraints[fm], subspace)] = len(tids_by_mask[fm])
+        return sizes
+
+    def _repair_after_retract(self, removed: Record) -> None:
+        from .retraction import retract_top_down
+
+        retract_top_down(
+            self.store,
+            self.table,
+            removed,
+            self.masks_top_down,
+            self.maintained_subspaces(),
+            self.allowed_mask,
+            self.dim_universe,
+        )
+
+    def stored_tuple_count(self) -> int:
+        return self.store.stored_tuple_count()
+
+    def approx_bytes(self) -> int:
+        return self.store.approx_bytes()
+
+    def reset(self) -> None:
+        super().reset()
+        self.store.clear()

@@ -1,0 +1,208 @@
+"""Command-line interface: stream CSVs, query contexts, run demos.
+
+Subcommands
+-----------
+``discover``
+    Stream a CSV through the engine and print (optionally narrated)
+    prominent facts as they emerge.
+``query``
+    Load a CSV, then answer a forward contextual-skyline query
+    (``"team=Celtics & opp_team=Nets | assists, rebounds"``).
+``demo``
+    Stream synthetic NBA box scores and print the news feed (§VII case
+    study in one command).
+``figures``
+    Reproduce one or more of the paper's figures and print the tables.
+
+Examples::
+
+    repro-facts discover games.csv -d player,team -m points,assists --tau 50
+    repro-facts query games.csv -d player,team -m points,assists \
+        -q "team=Celtics | points"
+    repro-facts demo --tuples 800 --tau 25
+    repro-facts figures fig8a fig10b
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import List, Optional
+
+from .core.config import DiscoveryConfig
+from .core.engine import FactDiscoverer
+from .core.schema import MIN, TableSchema
+
+
+def _split(value: str) -> List[str]:
+    return [part.strip() for part in value.split(",") if part.strip()]
+
+
+def _schema_from_args(args) -> TableSchema:
+    preferences = {name: MIN for name in _split(args.min_prefer or "")}
+    return TableSchema(_split(args.dimensions), _split(args.measures), preferences)
+
+
+def _config_from_args(args) -> DiscoveryConfig:
+    return DiscoveryConfig(
+        max_bound_dims=args.dhat,
+        max_measure_dims=args.mhat,
+        tau=args.tau,
+        top_k=args.top_k,
+    )
+
+
+def _add_schema_options(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument(
+        "-d", "--dimensions", required=True,
+        help="comma-separated dimension attribute names",
+    )
+    parser.add_argument(
+        "-m", "--measures", required=True,
+        help="comma-separated measure attribute names",
+    )
+    parser.add_argument(
+        "--min-prefer", default="",
+        help="comma-separated measures where smaller is better",
+    )
+
+
+def _add_discovery_options(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument("--algorithm", default="stopdown")
+    parser.add_argument("--dhat", type=int, default=None,
+                        help="max bound dimension attributes (paper d̂)")
+    parser.add_argument("--mhat", type=int, default=None,
+                        help="max measure-subspace size (paper m̂)")
+    parser.add_argument("--tau", type=float, default=None,
+                        help="prominence threshold (report prominent facts only)")
+    parser.add_argument("--top-k", type=int, default=None)
+
+
+def cmd_discover(args) -> int:
+    import json
+
+    from .datasets.loader import load_rows
+    from .reporting.narrate import narrate
+
+    schema = _schema_from_args(args)
+    engine = FactDiscoverer(
+        schema, algorithm=args.algorithm, config=_config_from_args(args)
+    )
+    emitted = 0
+    for index, row in enumerate(load_rows(args.csv, schema)):
+        for fact in engine.observe(row):
+            emitted += 1
+            if args.json:
+                print(json.dumps(fact.to_json_dict(schema)))
+            elif args.narrate:
+                print(f"[{index}] {narrate(fact, schema)}")
+            else:
+                print(f"[{index}] {fact.describe(schema)}")
+    print(f"# {emitted} facts from {len(engine)} tuples", file=sys.stderr)
+    return 0
+
+
+def cmd_query(args) -> int:
+    from .algorithms import make_algorithm
+    from .datasets.loader import load_rows
+    from .query import ContextualQueryEngine, parse_query
+
+    schema = _schema_from_args(args)
+    algo = make_algorithm(args.algorithm, schema, _config_from_args(args))
+    for row in load_rows(args.csv, schema):
+        algo.process(row)
+    queries = ContextualQueryEngine(algo)
+    constraint, subspace = parse_query(args.query, schema)
+    skyline = queries.skyline(constraint, subspace)
+    for record in sorted(skyline, key=lambda r: r.tid):
+        print(record.as_dict(schema))
+    prominence = queries.prominence(constraint, subspace)
+    print(f"# skyline size {len(skyline)}, prominence {prominence}", file=sys.stderr)
+    return 0
+
+
+def cmd_demo(args) -> int:
+    from .datasets.nba import nba_rows, nba_schema
+    from .reporting.feed import NewsFeed
+
+    schema = nba_schema(d=5, m=4)
+    feed = NewsFeed(
+        schema, tau=args.tau or 25.0, max_bound_dims=3, max_measure_dims=3
+    )
+    for i, row in enumerate(nba_rows(args.tuples, d=5, m=4)):
+        for headline in feed.push(row):
+            print(f"[game {i:5d}] {headline.text}")
+    print(f"# {len(feed)} prominent facts from {args.tuples} tuples",
+          file=sys.stderr)
+    return 0
+
+
+def cmd_figures(args) -> int:
+    from .experiments.figures import ALL_FIGURES
+
+    for name in args.ids or sorted(ALL_FIGURES):
+        fn = ALL_FIGURES.get(name)
+        if fn is None:
+            print(f"unknown figure {name!r}; options: {sorted(ALL_FIGURES)}",
+                  file=sys.stderr)
+            return 2
+        result = fn(scale=args.scale)
+        for fig in result if isinstance(result, tuple) else (result,):
+            print(fig.table())
+            print()
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro-facts",
+        description="Incremental discovery of prominent situational facts",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    p = sub.add_parser("discover", help="stream a CSV, print facts")
+    p.add_argument("csv")
+    _add_schema_options(p)
+    _add_discovery_options(p)
+    p.add_argument("--narrate", action="store_true")
+    p.add_argument("--json", action="store_true",
+                   help="emit one JSON object per fact (NDJSON)")
+    p.set_defaults(fn=cmd_discover)
+
+    p = sub.add_parser("query", help="forward contextual-skyline query")
+    p.add_argument("csv")
+    _add_schema_options(p)
+    _add_discovery_options(p)
+    p.add_argument("-q", "--query", required=True)
+    p.set_defaults(fn=cmd_query)
+
+    p = sub.add_parser("demo", help="synthetic NBA news feed")
+    p.add_argument("--tuples", type=int, default=800)
+    p.add_argument("--tau", type=float, default=25.0)
+    p.set_defaults(fn=cmd_demo)
+
+    p = sub.add_parser("figures", help="reproduce paper figures")
+    p.add_argument("ids", nargs="*")
+    p.add_argument("--scale", type=float, default=1.0)
+    p.set_defaults(fn=cmd_figures)
+
+    return parser
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    args = build_parser().parse_args(argv)
+    from .core.schema import SchemaError
+    from .query.parser import QueryParseError
+
+    try:
+        return args.fn(args)
+    except (SchemaError, QueryParseError) as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+    except FileNotFoundError as exc:
+        print(f"error: cannot open {exc.filename!r}", file=sys.stderr)
+        return 2
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

@@ -1,0 +1,148 @@
+"""`FactDiscoverer` — the library's main entry point.
+
+Wires together a discovery algorithm (§IV–V), the incremental context
+counter, prominence scoring and the reporting policy (§VII) behind one
+streaming call::
+
+    >>> from repro import DiscoveryConfig, FactDiscoverer, TableSchema
+    >>> schema = TableSchema(("player", "team"), ("points", "assists"))
+    >>> engine = FactDiscoverer(schema, algorithm="stopdown")
+    >>> facts = engine.observe({"player": "Wesley", "team": "Celtics",
+    ...                         "points": 12, "assists": 13})
+    >>> len(facts) > 0
+    True
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, Iterable, List, Mapping, Optional, Union
+
+from ..metrics.counters import OpCounters
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from ..algorithms import DiscoveryAlgorithm
+from .config import DiscoveryConfig
+from .facts import FactSet, SituationalFact
+from .prominence import ContextCounter, score_facts, select_reportable
+from .record import Record
+from .schema import TableSchema
+
+Row = Union[Mapping[str, object], Record]
+
+
+class FactDiscoverer:
+    """Streaming discovery of prominent situational facts.
+
+    Parameters
+    ----------
+    schema:
+        The relation schema ``R(D; M)``.
+    algorithm:
+        Registry name (``"stopdown"``, ``"bottomup"``, …) or an
+        already-constructed :class:`DiscoveryAlgorithm`.
+    config:
+        ``d̂``/``m̂`` caps, prominence threshold ``τ``, ``top_k``.
+    score:
+        When True (default) every fact is annotated with context and
+        skyline cardinalities so prominence ranking works; turn off for
+        raw ``S_t`` streaming at maximum speed.
+    """
+
+    def __init__(
+        self,
+        schema: TableSchema,
+        algorithm: Union[str, DiscoveryAlgorithm] = "stopdown",
+        config: Optional[DiscoveryConfig] = None,
+        score: bool = True,
+        **algorithm_kwargs,
+    ) -> None:
+        # Imported here to keep ``repro.core`` importable on its own
+        # (``repro.algorithms`` imports back into the core package).
+        from ..algorithms import DiscoveryAlgorithm, make_algorithm
+
+        self.schema = schema
+        self.config = config or DiscoveryConfig()
+        if isinstance(algorithm, DiscoveryAlgorithm):
+            self.algorithm = algorithm
+        else:
+            self.algorithm = make_algorithm(
+                algorithm, schema, self.config, **algorithm_kwargs
+            )
+        self.context_counter = ContextCounter(self.config.max_bound_dims)
+        if not score and (self.config.tau is not None or self.config.top_k is not None):
+            raise ValueError(
+                "tau/top_k reporting needs prominence scores; "
+                "score=False would silently report nothing"
+            )
+        self.score = score
+
+    # ------------------------------------------------------------------
+    # Streaming API
+    # ------------------------------------------------------------------
+    def observe(self, row: Row) -> List[SituationalFact]:
+        """Process one arriving tuple and return its reportable facts.
+
+        The returned list honours the config's reporting policy: all
+        ranked facts by default, the prominent ones when ``τ`` is set,
+        or the top-k when ``top_k`` is set.
+        """
+        facts = self.facts_for(row)
+        return select_reportable(facts, self.config)
+
+    def facts_for(self, row: Row) -> FactSet:
+        """Process one tuple and return the full (scored) ``S_t``."""
+        facts = self.algorithm.process(row)
+        self.context_counter.register(facts.record)
+        if self.score:
+            sizes = self.algorithm.skyline_sizes(facts)
+            facts = score_facts(facts, self.context_counter, sizes)
+        return facts
+
+    def observe_all(self, rows: Iterable[Row]) -> List[List[SituationalFact]]:
+        """Process many tuples; one reportable-fact list per tuple."""
+        return [self.observe(row) for row in rows]
+
+    def delete(self, tid: int) -> Record:
+        """Remove a previously observed tuple (§VIII deletion extension).
+
+        Repairs the algorithm's skyline stores — tuples the removed one
+        was suppressing re-enter their contextual skylines — and reverses
+        the context counts used for prominence.  Returns the removed
+        record.
+        """
+        removed = self.algorithm.retract(tid)
+        self.context_counter.unregister(removed)
+        return removed
+
+    def update(self, tid: int, row: Mapping[str, object]) -> List[SituationalFact]:
+        """Replace a previously observed tuple (§VIII "update of data").
+
+        Implemented as retract-then-observe: the old version leaves every
+        skyline it held (suppressed tuples re-enter), and the new version
+        is discovered against the repaired state.  The updated tuple
+        receives a fresh arrival id; returns its reportable facts.
+        """
+        self.delete(tid)
+        return self.observe(row)
+
+    # ------------------------------------------------------------------
+    # Introspection
+    # ------------------------------------------------------------------
+    @property
+    def counters(self) -> OpCounters:
+        """The algorithm's operation counters."""
+        return self.algorithm.counters
+
+    @property
+    def table(self):
+        """The underlying append-only relation."""
+        return self.algorithm.table
+
+    def __len__(self) -> int:
+        return len(self.algorithm.table)
+
+    def __repr__(self) -> str:
+        return (
+            f"FactDiscoverer(algorithm={self.algorithm.name!r}, "
+            f"n={len(self.algorithm.table)})"
+        )

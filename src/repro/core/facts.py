@@ -1,0 +1,153 @@
+"""Situational facts — the discovery output (Problem Statement, §III).
+
+A *situational fact* pertinent to a new tuple ``t`` is one
+constraint–measure pair ``(C, M)`` for which ``t`` is a contextual
+skyline tuple.  :class:`FactSet` is ``S_t``, the set of all such pairs,
+enriched (when the engine computes prominence) with context / skyline
+cardinalities so facts can be ranked.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterator, List, Optional, Set, Tuple
+
+from .constraint import Constraint
+from .record import Record
+from .schema import TableSchema
+
+
+@dataclass(slots=True)
+class SituationalFact:
+    """One discovered fact: ``t`` is in the skyline of ``(C, M)``.
+
+    ``prominence`` is ``|σ_C(R)| / |λ_M(σ_C(R))|`` (§VII); ``None`` when
+    the producing algorithm was run without prominence evaluation.
+    Instances are created unscored by the discovery algorithms; the
+    engine fills ``context_size`` / ``skyline_size`` in afterwards
+    (mutable on purpose — ``S_t`` can hold thousands of facts per
+    arrival and re-creating them measurably hurts throughput).
+    """
+
+    record: Record
+    constraint: Constraint
+    subspace: int
+    context_size: Optional[int] = None
+    skyline_size: Optional[int] = None
+
+    @property
+    def prominence(self) -> Optional[float]:
+        """Cardinality ratio of context tuples to skyline tuples; larger
+        means rarer, hence more prominent."""
+        if self.context_size is None or not self.skyline_size:
+            return None
+        return self.context_size / self.skyline_size
+
+    @property
+    def pair(self) -> Tuple[Constraint, int]:
+        """The raw ``(C, M)`` pair, the paper's element of ``S_t``."""
+        return (self.constraint, self.subspace)
+
+    def describe(self, schema: TableSchema) -> str:
+        """Readable one-liner, e.g.
+        ``(month=Feb ∧ team=Celtics, {points}) prominence=5.0``."""
+        measures = ", ".join(schema.measure_names(self.subspace))
+        prom = self.prominence
+        suffix = f" prominence={prom:.3g}" if prom is not None else ""
+        return f"({self.constraint.describe(schema)}, {{{measures}}}){suffix}"
+
+    def to_json_dict(self, schema: TableSchema) -> dict:
+        """JSON-serialisable rendering (CLI ``--json``, integrations)."""
+        return {
+            "tuple_id": self.record.tid,
+            "tuple": self.record.as_dict(schema),
+            "constraint": self.constraint.to_mapping(schema),
+            "measures": list(schema.measure_names(self.subspace)),
+            "context_size": self.context_size,
+            "skyline_size": self.skyline_size,
+            "prominence": self.prominence,
+        }
+
+
+class FactSet:
+    """``S_t`` — all facts pertinent to one arriving tuple.
+
+    Iterates in insertion order; :meth:`ranked` orders by descending
+    prominence (§VII).  Supports membership tests on ``(C, M)`` pairs so
+    algorithm-equivalence tests can compare outputs cheaply.
+    """
+
+    def __init__(self, record: Record) -> None:
+        self.record = record
+        self._facts: List[SituationalFact] = []
+        self._pair_cache: Optional[Set[Tuple[Constraint, int]]] = None
+
+    def add(self, fact: SituationalFact) -> None:
+        """Add a fact.
+
+        Callers (the discovery algorithms) visit each ``(C, M)`` pair at
+        most once per arrival, so no duplicate check is performed here;
+        ``S_t`` can hold thousands of facts and the hash-set guard was a
+        measurable cost.  :attr:`pairs` deduplicates defensively.
+        """
+        self._facts.append(fact)
+        self._pair_cache = None
+
+    def add_pair(self, constraint: Constraint, subspace: int) -> None:
+        """Convenience: add a bare ``(C, M)`` pair without prominence."""
+        self._facts.append(SituationalFact(self.record, constraint, subspace))
+        self._pair_cache = None
+
+    def __len__(self) -> int:
+        return len(self._facts)
+
+    def __iter__(self) -> Iterator[SituationalFact]:
+        return iter(self._facts)
+
+    def __contains__(self, pair: Tuple[Constraint, int]) -> bool:
+        return pair in self.pairs
+
+    @property
+    def pairs(self) -> Set[Tuple[Constraint, int]]:
+        """The set of raw ``(C, M)`` pairs (order-free comparison form)."""
+        if self._pair_cache is None:
+            self._pair_cache = {f.pair for f in self._facts}
+        return self._pair_cache
+
+    def ranked(self) -> List[SituationalFact]:
+        """Facts in descending prominence; facts lacking prominence sort
+        last, ties broken by more-general-constraint-first then smaller
+        subspace."""
+        return sorted(
+            self._facts,
+            key=lambda f: (
+                -(f.prominence if f.prominence is not None else float("-inf")),
+                f.constraint.bound_count,
+                bin(f.subspace).count("1"),
+            ),
+        )
+
+    def prominent(self, tau: float) -> List[SituationalFact]:
+        """The paper's *prominent facts*: those attaining the highest
+        prominence in ``S_t``, provided it is ``≥ τ`` (ties all kept)."""
+        scored = [f for f in self._facts if f.prominence is not None]
+        if not scored:
+            return []
+        best = max(f.prominence for f in scored)  # type: ignore[arg-type, return-value]
+        if best < tau:
+            return []
+        return [f for f in scored if f.prominence == best]
+
+    def top_k(self, k: int) -> List[SituationalFact]:
+        """The ``k`` most prominent facts (ties at the cut kept)."""
+        ranked = self.ranked()
+        if len(ranked) <= k:
+            return ranked
+        cutoff = ranked[k - 1].prominence
+        out = ranked[:k]
+        for fact in ranked[k:]:
+            if fact.prominence is not None and fact.prominence == cutoff:
+                out.append(fact)
+            else:
+                break
+        return out

@@ -1,0 +1,97 @@
+"""Prominence measure and context bookkeeping (paper §VII).
+
+The prominence of a fact ``(C, M)`` is ``|σ_C(R)| / |λ_M(σ_C(R))|`` —
+the cardinality ratio of the context to its skyline.  Large ratios mean
+the new tuple is one of very few skyline tuples among many, i.e. a rare,
+newsworthy event.
+
+``|σ_C(R)|`` is maintained incrementally by :class:`ContextCounter`:
+every arriving tuple increments the count of each constraint it
+satisfies (at most ``2^d̂`` per tuple).  ``|λ_M(σ_C(R))|`` comes from the
+algorithm's skyline store (or a from-scratch oracle fallback).
+"""
+
+from __future__ import annotations
+
+from collections import defaultdict
+from typing import Dict, List, Mapping, Optional
+
+from .config import DiscoveryConfig
+from .constraint import Constraint, satisfied_constraints
+from .facts import FactSet, SituationalFact
+from .record import Record
+
+
+class ContextCounter:
+    """Incremental ``|σ_C(R)|`` for every constraint seen so far.
+
+    Only constraints actually satisfied by some tuple have entries, so
+    memory is bounded by distinct dimension-value combinations, not by
+    ``|C_D| = Π(|dom(di)|+1)``.
+    """
+
+    def __init__(self, max_bound_dims: Optional[int] = None) -> None:
+        self._counts: Dict[Constraint, int] = defaultdict(int)
+        self._max_bound = max_bound_dims
+
+    def register(self, record: Record) -> None:
+        """Account for one appended tuple: bump every ``C ∈ C^t``."""
+        for constraint in satisfied_constraints(record, self._max_bound):
+            self._counts[constraint] += 1
+
+    def unregister(self, record: Record) -> None:
+        """Reverse :meth:`register` (deletion extension, §VIII)."""
+        for constraint in satisfied_constraints(record, self._max_bound):
+            remaining = self._counts[constraint] - 1
+            if remaining <= 0:
+                del self._counts[constraint]
+            else:
+                self._counts[constraint] = remaining
+
+    def count(self, constraint: Constraint) -> int:
+        """Current ``|σ_C(R)|``."""
+        return self._counts.get(constraint, 0)
+
+    def __len__(self) -> int:
+        return len(self._counts)
+
+
+def score_facts(
+    facts: FactSet,
+    counter: ContextCounter,
+    sizes_by_pair: Mapping,
+) -> FactSet:
+    """Attach context / skyline cardinalities to every fact in ``S_t``.
+
+    ``sizes_by_pair[(C, M)]`` must be ``|λ_M(σ_C(R))|`` *after* the new
+    tuple has been incorporated (algorithms produce it in bulk via
+    :meth:`~repro.algorithms.base.DiscoveryAlgorithm.skyline_sizes`).
+    Facts are annotated in place; the same :class:`FactSet` is returned.
+    """
+    count_cache: Dict[Constraint, int] = {}
+    for fact in facts:
+        constraint = fact.constraint
+        size = count_cache.get(constraint)
+        if size is None:
+            size = counter.count(constraint)
+            count_cache[constraint] = size
+        fact.context_size = size
+        fact.skyline_size = sizes_by_pair[fact.pair]
+    return facts
+
+
+def select_reportable(facts: FactSet, config: DiscoveryConfig) -> List[SituationalFact]:
+    """Apply the reporting policy of §VII to a scored ``S_t``.
+
+    * ``tau`` set → the *prominent facts*: ties at the maximum
+      prominence, provided it reaches ``τ``;
+    * ``top_k`` set → the ``k`` most prominent (ties kept);
+    * neither → everything, ranked.
+    """
+    if config.tau is not None:
+        return facts.prominent(config.tau)
+    if config.top_k is not None:
+        return facts.top_k(config.top_k)
+    return facts.ranked()
+
+

@@ -1,0 +1,172 @@
+"""Relational schema for situational-fact discovery.
+
+The paper (Sec. III) models an append-only relation ``R(D; M)`` where ``D``
+is a set of *dimension* attributes (categorical, used to form conjunctive
+constraints) and ``M`` is a set of *measure* attributes (numeric, used for
+skyline dominance).  :class:`TableSchema` captures that split plus the
+per-measure preference direction ("better than" in Def. 2 may mean larger
+or smaller, e.g. NBA ``points`` vs ``fouls``).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Iterable, Mapping, Sequence, Tuple
+
+#: Preference direction meaning "larger values are better".
+MAX = "max"
+#: Preference direction meaning "smaller values are better".
+MIN = "min"
+
+_VALID_PREFERENCES = (MAX, MIN)
+
+
+class SchemaError(ValueError):
+    """Raised for malformed schemas or rows that do not match a schema."""
+
+
+@dataclass(frozen=True)
+class TableSchema:
+    """Schema of an append-only relation ``R(D; M)``.
+
+    Parameters
+    ----------
+    dimensions:
+        Ordered names of the dimension attributes ``D`` on which
+        conjunctive constraints are specified.
+    measures:
+        Ordered names of the measure attributes ``M`` on which the
+        dominance relation is defined.
+    preferences:
+        Optional mapping from measure name to :data:`MAX` (larger is
+        better, the default) or :data:`MIN` (smaller is better).
+
+    Examples
+    --------
+    >>> schema = TableSchema(
+    ...     dimensions=("player", "season", "team"),
+    ...     measures=("points", "fouls"),
+    ...     preferences={"fouls": MIN},
+    ... )
+    >>> schema.n_dimensions, schema.n_measures
+    (3, 2)
+    """
+
+    dimensions: Tuple[str, ...]
+    measures: Tuple[str, ...]
+    preferences: Mapping[str, str] = field(default_factory=dict)
+
+    def __init__(
+        self,
+        dimensions: Sequence[str],
+        measures: Sequence[str],
+        preferences: Mapping[str, str] | None = None,
+    ) -> None:
+        object.__setattr__(self, "dimensions", tuple(dimensions))
+        object.__setattr__(self, "measures", tuple(measures))
+        object.__setattr__(self, "preferences", dict(preferences or {}))
+        self._validate()
+
+    def _validate(self) -> None:
+        if not self.dimensions:
+            raise SchemaError("schema needs at least one dimension attribute")
+        if not self.measures:
+            raise SchemaError("schema needs at least one measure attribute")
+        seen = set(self.dimensions) | set(self.measures)
+        if len(seen) != len(self.dimensions) + len(self.measures):
+            raise SchemaError("attribute names must be unique across D and M")
+        for name, direction in self.preferences.items():
+            if name not in self.measures:
+                raise SchemaError(f"preference for unknown measure {name!r}")
+            if direction not in _VALID_PREFERENCES:
+                raise SchemaError(
+                    f"preference for {name!r} must be 'max' or 'min', got {direction!r}"
+                )
+
+    # ------------------------------------------------------------------
+    # Introspection helpers
+    # ------------------------------------------------------------------
+    @property
+    def n_dimensions(self) -> int:
+        """Number of dimension attributes, ``|D|`` (paper: ``n``)."""
+        return len(self.dimensions)
+
+    @property
+    def n_measures(self) -> int:
+        """Number of measure attributes, ``|M|`` (paper: ``s``)."""
+        return len(self.measures)
+
+    @property
+    def full_measure_mask(self) -> int:
+        """Bitmask selecting every measure attribute (the full space ``M``)."""
+        return (1 << self.n_measures) - 1
+
+    def dimension_index(self, name: str) -> int:
+        """Position of dimension ``name`` within :attr:`dimensions`."""
+        try:
+            return self.dimensions.index(name)
+        except ValueError:
+            raise SchemaError(f"unknown dimension attribute {name!r}") from None
+
+    def measure_index(self, name: str) -> int:
+        """Position of measure ``name`` within :attr:`measures`."""
+        try:
+            return self.measures.index(name)
+        except ValueError:
+            raise SchemaError(f"unknown measure attribute {name!r}") from None
+
+    def preference(self, name: str) -> str:
+        """Preference direction for measure ``name`` (default :data:`MAX`)."""
+        if name not in self.measures:
+            raise SchemaError(f"unknown measure attribute {name!r}")
+        return self.preferences.get(name, MAX)
+
+    def measure_signs(self) -> Tuple[int, ...]:
+        """Per-measure sign: ``+1`` for max-preferred, ``-1`` for min-preferred.
+
+        Measures are *normalised* at ingestion time by multiplying with this
+        sign so that, internally, "larger is better" holds uniformly
+        (the paper makes the same without-loss-of-generality assumption
+        after Def. 2).
+        """
+        return tuple(1 if self.preference(m) == MAX else -1 for m in self.measures)
+
+    def measure_mask(self, names: Iterable[str]) -> int:
+        """Bitmask for the measure subspace given by ``names``."""
+        mask = 0
+        for name in names:
+            mask |= 1 << self.measure_index(name)
+        return mask
+
+    def measure_names(self, mask: int) -> Tuple[str, ...]:
+        """Measure names selected by bitmask ``mask`` (inverse of
+        :meth:`measure_mask`)."""
+        if mask < 0 or mask > self.full_measure_mask:
+            raise SchemaError(f"measure mask {mask:#x} out of range")
+        return tuple(
+            name for i, name in enumerate(self.measures) if mask & (1 << i)
+        )
+
+    def project_row(self, row: Mapping[str, object]) -> Tuple[tuple, tuple]:
+        """Split a mapping-style row into ``(dims, raw_measures)`` tuples.
+
+        Raises :class:`SchemaError` when an attribute is missing.
+        """
+        try:
+            dims = tuple(row[d] for d in self.dimensions)
+        except KeyError as exc:
+            raise SchemaError(f"row is missing dimension {exc.args[0]!r}") from None
+        try:
+            meas = tuple(row[m] for m in self.measures)
+        except KeyError as exc:
+            raise SchemaError(f"row is missing measure {exc.args[0]!r}") from None
+        return dims, meas
+
+    def describe(self) -> Dict[str, object]:
+        """Human-readable summary used by ``repr`` and diagnostics."""
+        return {
+            "dimensions": list(self.dimensions),
+            "measures": [
+                f"{m} ({self.preference(m)})" for m in self.measures
+            ],
+        }

@@ -1,0 +1,84 @@
+"""Reference skyline operators ``λ_M`` (Def. 2/3).
+
+These are the *oracles* the incremental algorithms are validated against:
+a block-nested-loop skyline and a presort-based skyline, plus contextual
+variants that first apply ``σ_C``.  They recompute from scratch, so they
+are deliberately simple and obviously correct.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, List, Sequence
+
+from .constraint import Constraint
+from .dominance import dominates, measure_projection
+from .record import Record
+
+
+def skyline_bnl(records: Sequence[Record], subspace: int) -> List[Record]:
+    """Block-nested-loop skyline of ``records`` in bitmask ``subspace``.
+
+    The classic window algorithm of Börzsönyi et al. [5]: keep a window of
+    incomparable tuples; each candidate either is dominated, evicts
+    dominated window members, or both survive.
+    """
+    if subspace == 0:
+        return []
+    window: List[Record] = []
+    for cand in records:
+        dominated = False
+        survivors: List[Record] = []
+        for w in window:
+            if dominates(w, cand, subspace):
+                dominated = True
+                survivors = window  # unchanged; cand discarded
+                break
+            if not dominates(cand, w, subspace):
+                survivors.append(w)
+        if not dominated:
+            survivors.append(cand)
+            window = survivors
+    return window
+
+
+def skyline_presort(records: Sequence[Record], subspace: int) -> List[Record]:
+    """Sort-filter skyline (SFS): presort by descending measure sum so a
+    tuple can only be dominated by earlier ones, then one filtering pass.
+
+    Same output set as :func:`skyline_bnl` (order may differ).
+    """
+    if subspace == 0:
+        return []
+    order = sorted(
+        records,
+        key=lambda r: (sum(measure_projection(r, subspace)), r.tid),
+        reverse=True,
+    )
+    window: List[Record] = []
+    for cand in order:
+        if not any(dominates(w, cand, subspace) for w in window):
+            window.append(cand)
+    return window
+
+
+def contextual_skyline(
+    records: Iterable[Record], constraint: Constraint, subspace: int
+) -> List[Record]:
+    """``λ_M(σ_C(R))`` — the contextual skyline of Def. 3, recomputed
+    from scratch.  Used as the correctness oracle for every incremental
+    algorithm and for Invariant 1/2 property tests."""
+    context = [r for r in records if constraint.satisfied_by(r)]
+    return skyline_bnl(context, subspace)
+
+
+def is_contextual_skyline_tuple(
+    t: Record, records: Iterable[Record], constraint: Constraint, subspace: int
+) -> bool:
+    """True iff ``t ∈ λ_M(σ_C(R ∪ {t}))`` — i.e. no tuple in the context
+    dominates ``t`` (Proposition 1 direction used by the baselines)."""
+    if subspace == 0:
+        return False
+    for r in records:
+        if r.tid != t.tid and constraint.satisfied_by(r) and dominates(r, t, subspace):
+            return False
+    return True

@@ -1,0 +1,43 @@
+"""Dataset substrates: synthetic NBA, synthetic UK weather, generic
+skyline-benchmark workloads, and CSV replay."""
+
+from .loader import load_rows, save_rows
+from .nba import (
+    DIMENSION_SPACES,
+    MEASURE_SPACES,
+    dimension_space,
+    generate_nba,
+    measure_space,
+    nba_rows,
+    nba_schema,
+)
+from .synthetic import (
+    ANTICORRELATED,
+    CORRELATED,
+    INDEPENDENT,
+    generate_synthetic,
+    synthetic_rows,
+    synthetic_schema,
+)
+from .weather import generate_weather, weather_rows, weather_schema
+
+__all__ = [
+    "load_rows",
+    "save_rows",
+    "DIMENSION_SPACES",
+    "MEASURE_SPACES",
+    "dimension_space",
+    "measure_space",
+    "generate_nba",
+    "nba_rows",
+    "nba_schema",
+    "ANTICORRELATED",
+    "CORRELATED",
+    "INDEPENDENT",
+    "generate_synthetic",
+    "synthetic_rows",
+    "synthetic_schema",
+    "generate_weather",
+    "weather_rows",
+    "weather_schema",
+]

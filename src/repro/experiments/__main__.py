@@ -1,0 +1,42 @@
+"""Run every figure reproduction and print the tables.
+
+Usage::
+
+    python -m repro.experiments            # all figures, default scale
+    python -m repro.experiments fig8a      # one figure
+    python -m repro.experiments --scale 2  # bigger workloads
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+import time
+
+from .figures import ALL_FIGURES
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("figures", nargs="*", help="figure ids (default: all)")
+    parser.add_argument("--scale", type=float, default=1.0)
+    args = parser.parse_args(argv)
+    chosen = args.figures or list(ALL_FIGURES)
+    for name in chosen:
+        fn = ALL_FIGURES.get(name)
+        if fn is None:
+            print(f"unknown figure {name!r}; options: {sorted(ALL_FIGURES)}")
+            return 2
+        start = time.perf_counter()
+        result = fn(scale=args.scale)
+        elapsed = time.perf_counter() - start
+        results = result if isinstance(result, tuple) else (result,)
+        for fig in results:
+            print(fig.table())
+            print()
+        print(f"[{name} took {elapsed:.1f}s]\n")
+    return 0
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

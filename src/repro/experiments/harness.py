@@ -1,0 +1,176 @@
+"""Measurement harness shared by the per-figure benchmarks.
+
+The paper's evaluation (§VI–VII) plots per-tuple execution time, memory,
+stored-tuple counts, comparison/traversal work, and prominent-fact
+distributions.  This module provides the generic machinery: timed
+streaming runs with checkpoints, parameter sweeps over ``n``/``d``/``m``,
+and plain-text tables in the same shape as the paper's figures.
+
+Scale note: the paper streams up to 317 K (NBA) and 7.8 M (weather)
+tuples through a Java implementation.  Pure-Python throughput is two
+orders of magnitude lower, so the default workloads are scaled down
+(hundreds to thousands of tuples).  Every figure function takes a
+``scale`` multiplier; the *relative* orderings and growth trends — which
+are what the figures demonstrate — are preserved at any scale.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+from typing import Callable, Dict, List, Optional, Sequence, Tuple
+
+from ..algorithms import make_algorithm
+from ..core.config import DiscoveryConfig
+from ..core.schema import TableSchema
+
+
+@dataclass
+class Series:
+    """One plotted line: a label plus (x, y) points."""
+
+    label: str
+    xs: List[float] = field(default_factory=list)
+    ys: List[float] = field(default_factory=list)
+
+    def add(self, x: float, y: float) -> None:
+        self.xs.append(x)
+        self.ys.append(y)
+
+
+@dataclass
+class FigureResult:
+    """All series of one reproduced figure plus axis metadata."""
+
+    title: str
+    xlabel: str
+    ylabel: str
+    series: List[Series]
+
+    def table(self) -> str:
+        """Render as an aligned text table, one row per x value."""
+        xs = self.series[0].xs if self.series else []
+        header = [self.xlabel] + [s.label for s in self.series]
+        rows = [header]
+        for i, x in enumerate(xs):
+            row = [_fmt(x)]
+            for s in self.series:
+                row.append(_fmt(s.ys[i]) if i < len(s.ys) else "-")
+            rows.append(row)
+        widths = [max(len(r[c]) for r in rows) for c in range(len(header))]
+        lines = [f"== {self.title} ==", f"   ({self.ylabel})"]
+        for r in rows:
+            lines.append("  ".join(cell.rjust(w) for cell, w in zip(r, widths)))
+        return "\n".join(lines)
+
+    def final_values(self) -> Dict[str, float]:
+        """Last y of every series (used by shape assertions)."""
+        return {s.label: s.ys[-1] for s in self.series if s.ys}
+
+
+def _fmt(value: float) -> str:
+    if isinstance(value, float) and not value.is_integer():
+        return f"{value:.3f}"
+    return f"{int(value)}"
+
+
+# ----------------------------------------------------------------------
+# Timed streaming runs
+# ----------------------------------------------------------------------
+def timed_stream(
+    algo,
+    rows: Sequence[dict],
+    checkpoints: Sequence[int],
+) -> List[Tuple[int, float]]:
+    """Stream ``rows`` through ``algo``; report the average per-tuple
+    time (milliseconds) within each window ending at a checkpoint —
+    the paper's "execution time per tuple vs tuple id" measurements."""
+    out: List[Tuple[int, float]] = []
+    prev = 0
+    for checkpoint in checkpoints:
+        start = time.perf_counter()
+        for row in rows[prev:checkpoint]:
+            algo.process(row)
+        elapsed = time.perf_counter() - start
+        window = checkpoint - prev
+        if window > 0:
+            out.append((checkpoint, 1000.0 * elapsed / window))
+        prev = checkpoint
+    return out
+
+
+def average_per_tuple_ms(algo, rows: Sequence[dict]) -> float:
+    """Average per-tuple processing time over the whole stream."""
+    start = time.perf_counter()
+    for row in rows:
+        algo.process(row)
+    return 1000.0 * (time.perf_counter() - start) / max(len(rows), 1)
+
+
+def sweep_vary_n(
+    algorithm_names: Sequence[str],
+    schema: TableSchema,
+    rows: Sequence[dict],
+    checkpoints: Sequence[int],
+    config: Optional[DiscoveryConfig] = None,
+    make_kwargs: Optional[Callable[[str], dict]] = None,
+) -> List[Series]:
+    """Per-tuple time vs tuple id for each algorithm (Figs. 7a/8a/9/12a/13)."""
+    series = []
+    for name in algorithm_names:
+        kwargs = make_kwargs(name) if make_kwargs else {}
+        algo = make_algorithm(name, schema, config, **kwargs)
+        s = Series(label=name)
+        for checkpoint, ms in timed_stream(algo, rows, checkpoints):
+            s.add(checkpoint, ms)
+        close = getattr(algo, "close", None)
+        if close:
+            close()
+        series.append(s)
+    return series
+
+
+def sweep_vary_param(
+    algorithm_names: Sequence[str],
+    param_values: Sequence[int],
+    build: Callable[[int], Tuple[TableSchema, Sequence[dict]]],
+    config: Optional[DiscoveryConfig] = None,
+    make_kwargs: Optional[Callable[[str], dict]] = None,
+) -> List[Series]:
+    """Average per-tuple time vs a parameter (d or m) at fixed n
+    (Figs. 7b/7c/8b/8c/12b/12c)."""
+    series = {name: Series(label=name) for name in algorithm_names}
+    for value in param_values:
+        schema, rows = build(value)
+        for name in algorithm_names:
+            kwargs = make_kwargs(name) if make_kwargs else {}
+            algo = make_algorithm(name, schema, config, **kwargs)
+            series[name].add(value, average_per_tuple_ms(algo, rows))
+            close = getattr(algo, "close", None)
+            if close:
+                close()
+    return [series[name] for name in algorithm_names]
+
+
+def counter_stream(
+    algorithm_names: Sequence[str],
+    schema: TableSchema,
+    rows: Sequence[dict],
+    checkpoints: Sequence[int],
+    metric: Callable,
+    config: Optional[DiscoveryConfig] = None,
+) -> List[Series]:
+    """Cumulative work metric vs tuple id (Figs. 10-11): ``metric(algo)``
+    is sampled at every checkpoint."""
+    series = []
+    for name in algorithm_names:
+        algo = make_algorithm(name, schema, config)
+        s = Series(label=name)
+        prev = 0
+        for checkpoint in checkpoints:
+            for row in rows[prev:checkpoint]:
+                algo.process(row)
+            prev = checkpoint
+            s.add(checkpoint, metric(algo))
+        series.append(s)
+    return series

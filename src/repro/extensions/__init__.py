@@ -1,0 +1,14 @@
+"""Extensions beyond the paper's core: sliding windows, aggregates,
+snapshot persistence (all anchored on the §VIII future-work list)."""
+
+from .aggregates import AggregateFactDiscoverer, GroupSpec
+from .snapshot import load_engine, save_engine
+from .windowed import WindowedFactDiscoverer
+
+__all__ = [
+    "WindowedFactDiscoverer",
+    "AggregateFactDiscoverer",
+    "GroupSpec",
+    "save_engine",
+    "load_engine",
+]

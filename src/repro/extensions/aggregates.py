@@ -1,0 +1,154 @@
+"""Aggregate situational facts (§VIII: "aggregates over tuples").
+
+Base tuples are often too fine-grained for a story — the newsworthy
+statement is about a *running aggregate* ("no team has ever piled up
+this many points by the All-Star break").  :class:`AggregateFactDiscoverer`
+maintains group aggregates over the base stream and runs fact discovery
+on the *aggregate* relation: every time a group's aggregate changes, its
+previous aggregate tuple is retracted and the new one observed, so
+facts always describe current group totals.
+
+This is a direct consumer of the deletion extension: without retraction
+an updated group would leave its stale aggregate behind as a phantom
+competitor.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Iterable, List, Mapping, Optional, Sequence, Tuple
+
+from ..core.config import DiscoveryConfig
+from ..core.engine import FactDiscoverer
+from ..core.facts import SituationalFact
+from ..core.schema import TableSchema
+
+#: Supported aggregate functions over a base measure.
+AGGREGATES = ("sum", "max", "min", "count", "avg")
+
+
+@dataclass(frozen=True)
+class GroupSpec:
+    """How to roll base rows up into aggregate tuples.
+
+    Attributes
+    ----------
+    group_by:
+        Base dimension attributes identifying a group (they become the
+        aggregate relation's dimensions).
+    aggregations:
+        Mapping ``output_measure_name -> (base_measure, function)`` with
+        function one of :data:`AGGREGATES`.
+    """
+
+    group_by: Tuple[str, ...]
+    aggregations: Mapping[str, Tuple[str, str]]
+
+    def __post_init__(self) -> None:
+        if not self.group_by:
+            raise ValueError("group_by needs at least one attribute")
+        if not self.aggregations:
+            raise ValueError("at least one aggregation required")
+        for name, (base, fn) in self.aggregations.items():
+            if fn not in AGGREGATES:
+                raise ValueError(
+                    f"aggregation {name!r} uses unknown function {fn!r}; "
+                    f"choose from {AGGREGATES}"
+                )
+
+
+class _GroupState:
+    """Running aggregate state for one group."""
+
+    __slots__ = ("count", "sums", "maxes", "mins")
+
+    def __init__(self, measures: Sequence[str]) -> None:
+        self.count = 0
+        self.sums: Dict[str, float] = {m: 0.0 for m in measures}
+        self.maxes: Dict[str, float] = {}
+        self.mins: Dict[str, float] = {}
+
+    def update(self, row: Mapping[str, object], measures: Sequence[str]) -> None:
+        self.count += 1
+        for m in measures:
+            value = float(row[m])  # type: ignore[arg-type]
+            self.sums[m] += value
+            if m not in self.maxes or value > self.maxes[m]:
+                self.maxes[m] = value
+            if m not in self.mins or value < self.mins[m]:
+                self.mins[m] = value
+
+    def value(self, base: str, fn: str) -> float:
+        if fn == "sum":
+            return self.sums[base]
+        if fn == "max":
+            return self.maxes[base]
+        if fn == "min":
+            return self.mins[base]
+        if fn == "count":
+            return float(self.count)
+        return self.sums[base] / self.count  # avg
+
+
+class AggregateFactDiscoverer:
+    """Fact discovery over running group aggregates.
+
+    Examples
+    --------
+    >>> spec = GroupSpec(("team",), {"total_points": ("points", "sum")})
+    >>> agg = AggregateFactDiscoverer(spec)
+    >>> facts = agg.observe({"team": "T1", "points": 30})
+    """
+
+    def __init__(
+        self,
+        spec: GroupSpec,
+        algorithm: str = "stopdown",
+        config: Optional[DiscoveryConfig] = None,
+    ) -> None:
+        self.spec = spec
+        self._base_measures = sorted({base for base, _fn in spec.aggregations.values()})
+        self.schema = TableSchema(
+            dimensions=spec.group_by,
+            measures=tuple(spec.aggregations),
+        )
+        self.engine = FactDiscoverer(self.schema, algorithm=algorithm, config=config)
+        self._groups: Dict[Tuple[object, ...], _GroupState] = {}
+        self._live_tid: Dict[Tuple[object, ...], int] = {}
+
+    def observe(self, row: Mapping[str, object]) -> List[SituationalFact]:
+        """Fold one base row into its group and rediscover facts for the
+        group's updated aggregate tuple."""
+        key = tuple(row[a] for a in self.spec.group_by)
+        state = self._groups.get(key)
+        if state is None:
+            state = _GroupState(self._base_measures)
+            self._groups[key] = state
+        state.update(row, self._base_measures)
+
+        # Retract the group's previous aggregate (if any), then observe
+        # the fresh one.
+        old_tid = self._live_tid.get(key)
+        if old_tid is not None:
+            self.engine.delete(old_tid)
+        agg_row: Dict[str, object] = dict(zip(self.spec.group_by, key))
+        for name, (base, fn) in self.spec.aggregations.items():
+            agg_row[name] = state.value(base, fn)
+        facts = self.engine.observe(agg_row)
+        self._live_tid[key] = self.engine.table[len(self.engine.table) - 1].tid
+        return facts
+
+    def observe_all(self, rows: Iterable[Mapping[str, object]]) -> List[List[SituationalFact]]:
+        return [self.observe(row) for row in rows]
+
+    def group_count(self) -> int:
+        """Number of live groups (= live aggregate tuples)."""
+        return len(self._groups)
+
+    def aggregate_row(self, key: Tuple[object, ...]) -> Dict[str, object]:
+        """Current aggregate tuple of ``key`` (for inspection)."""
+        state = self._groups[key]
+        out: Dict[str, object] = dict(zip(self.spec.group_by, key))
+        for name, (base, fn) in self.spec.aggregations.items():
+            out[name] = state.value(base, fn)
+        return out

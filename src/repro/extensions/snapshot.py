@@ -1,0 +1,71 @@
+"""Engine snapshots: persist a discovery session and resume it later.
+
+The snapshot is *logical*: schema, config, algorithm name, and the live
+rows in arrival order, as one JSON document.  Loading replays the rows
+through a fresh engine, which rebuilds every store exactly (the
+algorithms are deterministic functions of the stream).  This trades
+reload CPU for a format that is human-readable, diff-able, and immune
+to internal-layout changes — the usual choice for moderate table sizes;
+larger deployments would checkpoint the µ stores themselves (the file
+store already persists them).
+
+Arrival ids are renumbered densely on load (0..n-1); fact outputs are
+unaffected since discovery depends only on tuple order and content.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import asdict
+from ..core.config import DiscoveryConfig
+from ..core.engine import FactDiscoverer
+from ..core.schema import TableSchema
+
+_FORMAT_VERSION = 1
+
+
+def save_engine(engine: FactDiscoverer, path: str) -> None:
+    """Write a JSON snapshot of ``engine`` to ``path``."""
+    schema = engine.schema
+    rows = [record.as_dict(schema) for record in engine.table]
+    doc = {
+        "format_version": _FORMAT_VERSION,
+        "algorithm": engine.algorithm.name,
+        "schema": {
+            "dimensions": list(schema.dimensions),
+            "measures": list(schema.measures),
+            "preferences": dict(schema.preferences),
+        },
+        "config": asdict(engine.config),
+        "rows": rows,
+    }
+    with open(path, "w") as fh:
+        json.dump(doc, fh, indent=1)
+
+
+def load_engine(path: str, score: bool = True) -> FactDiscoverer:
+    """Rebuild a :class:`FactDiscoverer` from a snapshot written by
+    :func:`save_engine`.
+
+    Raises ``ValueError`` for unknown snapshot versions.
+    """
+    with open(path) as fh:
+        doc = json.load(fh)
+    version = doc.get("format_version")
+    if version != _FORMAT_VERSION:
+        raise ValueError(
+            f"unsupported snapshot version {version!r} "
+            f"(this build reads version {_FORMAT_VERSION})"
+        )
+    schema = TableSchema(
+        dimensions=tuple(doc["schema"]["dimensions"]),
+        measures=tuple(doc["schema"]["measures"]),
+        preferences=doc["schema"]["preferences"],
+    )
+    config = DiscoveryConfig(**doc["config"])
+    engine = FactDiscoverer(
+        schema, algorithm=doc["algorithm"], config=config, score=score
+    )
+    for row in doc["rows"]:
+        engine.observe(row)
+    return engine

@@ -1,0 +1,74 @@
+"""Sliding-window fact discovery (built on the §VIII deletion extension).
+
+Journalistic contexts are often time-bounded ("the best performance in
+the last five seasons").  :class:`WindowedFactDiscoverer` keeps only the
+most recent ``window`` tuples live: each arrival beyond the horizon
+retracts the oldest tuple, so every reported fact is a statement about
+the window, not all history.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Deque, Iterable, List, Mapping, Optional
+
+from ..core.config import DiscoveryConfig
+from ..core.engine import FactDiscoverer
+from ..core.facts import SituationalFact
+from ..core.schema import TableSchema
+
+
+class WindowedFactDiscoverer:
+    """A :class:`FactDiscoverer` over a count-based sliding window.
+
+    Parameters
+    ----------
+    schema, algorithm, config:
+        Passed through to the underlying engine.
+    window:
+        Number of most-recent tuples kept live (must be ≥ 1).
+
+    Examples
+    --------
+    >>> from repro import TableSchema
+    >>> engine = WindowedFactDiscoverer(TableSchema(("d",), ("m",)), window=3)
+    >>> for v in (5, 1, 1, 1):
+    ...     _ = engine.observe({"d": "x", "m": v})
+    >>> len(engine)  # the 5 has slid out
+    3
+    """
+
+    def __init__(
+        self,
+        schema: TableSchema,
+        window: int,
+        algorithm: str = "stopdown",
+        config: Optional[DiscoveryConfig] = None,
+    ) -> None:
+        if window < 1:
+            raise ValueError("window must be >= 1")
+        self.window = window
+        self.engine = FactDiscoverer(schema, algorithm=algorithm, config=config)
+        self._live: Deque[int] = deque()
+
+    def observe(self, row: Mapping[str, object]) -> List[SituationalFact]:
+        """Process one arrival; evict the oldest tuple when the window
+        overflows (eviction happens *before* discovery so the new tuple
+        is compared only against live ones)."""
+        while len(self._live) >= self.window:
+            self.engine.delete(self._live.popleft())
+        facts = self.engine.observe(row)
+        newest = self.engine.table[len(self.engine.table) - 1]
+        self._live.append(newest.tid)
+        return facts
+
+    def observe_all(self, rows: Iterable[Mapping[str, object]]) -> List[List[SituationalFact]]:
+        return [self.observe(row) for row in rows]
+
+    def __len__(self) -> int:
+        return len(self._live)
+
+    @property
+    def live_tids(self) -> List[int]:
+        """Arrival ids currently inside the window, oldest first."""
+        return list(self._live)

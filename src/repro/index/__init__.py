@@ -1,0 +1,6 @@
+"""Index substrates: k-d tree [3], skycube [9], compressed skycube [12]."""
+
+from .kdtree import KDTree
+from .skycube import CompressedSkycube, Skycube
+
+__all__ = ["KDTree", "Skycube", "CompressedSkycube"]

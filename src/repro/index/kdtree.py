@@ -1,0 +1,134 @@
+"""k-d tree with one-sided dominance range queries (Bentley [3]).
+
+``BaselineIdx`` (§IV) replaces BaselineSeq's sequential scan with a
+one-sided range query ``∧_{mi∈M} (mi ≥ t.mi)`` over the full measure
+space.  The tree indexes the *normalised* measure vectors of all
+appended records; :meth:`KDTree.dominating_candidates` reports every
+record at least as large as the probe on all constrained axes.
+
+Points are inserted incrementally (the table is append-only), so the
+tree is unbalanced in the worst case; the paper's implementation has the
+same property and the experiments only require faithfulness, not an
+optimal index.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional, Sequence
+
+from ..core.record import Record
+
+
+@dataclass
+class _Node:
+    record: Record
+    axis: int
+    left: Optional["_Node"] = None
+    right: Optional["_Node"] = None
+
+
+class KDTree:
+    """Incremental k-d tree over the full measure space.
+
+    Examples
+    --------
+    >>> from repro.core.schema import TableSchema
+    >>> from repro.core.record import Record
+    >>> tree = KDTree(n_axes=2)
+    >>> tree.insert(Record(0, ("a",), (3.0, 4.0), (3.0, 4.0)))
+    >>> tree.insert(Record(1, ("b",), (5.0, 1.0), (5.0, 1.0)))
+    >>> [r.tid for r in tree.dominating_candidates((2.0, 2.0), 0b11)]
+    [0]
+    """
+
+    def __init__(self, n_axes: int) -> None:
+        if n_axes < 1:
+            raise ValueError("k-d tree needs at least one axis")
+        self.n_axes = n_axes
+        self._root: Optional[_Node] = None
+        self._size = 0
+
+    def __len__(self) -> int:
+        return self._size
+
+    def insert(self, record: Record) -> None:
+        """Insert one record keyed by its normalised measure vector."""
+        if len(record.values) != self.n_axes:
+            raise ValueError(
+                f"record has {len(record.values)} measures, tree has {self.n_axes} axes"
+            )
+        self._size += 1
+        if self._root is None:
+            self._root = _Node(record, 0)
+            return
+        node = self._root
+        while True:
+            axis = node.axis
+            go_left = record.values[axis] < node.record.values[axis]
+            child = node.left if go_left else node.right
+            if child is None:
+                new_node = _Node(record, (axis + 1) % self.n_axes)
+                if go_left:
+                    node.left = new_node
+                else:
+                    node.right = new_node
+                return
+            node = child
+
+    def dominating_candidates(
+        self, probe: Sequence[float], subspace: int
+    ) -> List[Record]:
+        """Records with ``value[i] ≥ probe[i]`` for every axis ``i`` in
+        bitmask ``subspace`` (weak dominance candidates).
+
+        Axes outside ``subspace`` are unconstrained.  The left subtree of
+        a node splitting on a constrained axis is pruned when the node's
+        own value already falls below the probe (everything to the left
+        is smaller still).
+        """
+        if self._root is None or subspace == 0:
+            return []
+        out: List[Record] = []
+        stack = [self._root]
+        while stack:
+            node = stack.pop()
+            values = node.record.values
+            if self._weakly_dominates(values, probe, subspace):
+                out.append(node.record)
+            axis_bit = 1 << node.axis
+            if node.right is not None:
+                stack.append(node.right)
+            if node.left is not None:
+                # Left holds values strictly below this node on node.axis.
+                if not (subspace & axis_bit) or values[node.axis] > probe[node.axis]:
+                    stack.append(node.left)
+                elif values[node.axis] == probe[node.axis]:
+                    # Left values are < probe on a constrained axis: prune.
+                    pass
+                # values < probe on a constrained axis: prune as well.
+        return out
+
+    @staticmethod
+    def _weakly_dominates(values: Sequence[float], probe: Sequence[float], subspace: int) -> bool:
+        mask = subspace
+        i = 0
+        while mask:
+            if mask & 1 and values[i] < probe[i]:
+                return False
+            mask >>= 1
+            i += 1
+        return True
+
+    def items(self) -> List[Record]:
+        """All records in the tree (traversal order unspecified)."""
+        out: List[Record] = []
+        stack = [self._root] if self._root else []
+        while stack:
+            node = stack.pop()
+            out.append(node.record)
+            if node.left:
+                stack.append(node.left)
+            if node.right:
+                stack.append(node.right)
+        return out

@@ -1,0 +1,227 @@
+"""Skycube and Compressed Skycube (CSC) substrates.
+
+The skycube (Pei et al. [9]) materialises the skyline of *every*
+non-empty measure subspace.  The Compressed Skycube (Xia & Zhang [12])
+stores each tuple only in its **minimum subspaces** — subspaces where the
+tuple is a skyline tuple but is not in the skyline of any proper
+sub-subspace — and answers "skyline of ``M``" queries by collecting
+candidates from all subspaces ``M' ⊆ M`` and filtering.
+
+Both structures support incremental insertion, which is what the paper's
+C-CSC comparator (Sec. II adaptation) needs: one CSC per context, updated
+on every arrival.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterator, List, Tuple
+
+from ..core.dominance import dominates
+from ..core.lattice import iter_submasks, nonempty_subspaces
+from ..core.record import Record
+
+
+class Skycube:
+    """Uncompressed skycube: full skyline per subspace (Pei et al. [9]).
+
+    Used as an oracle in tests; the CSC must answer every query
+    identically.
+    """
+
+    def __init__(self, full_space: int) -> None:
+        self.full_space = full_space
+        self._subspaces = nonempty_subspaces(full_space)
+        self._records: List[Record] = []
+        self._skylines: Dict[int, Dict[int, Record]] = {m: {} for m in self._subspaces}
+
+    def insert(self, record: Record) -> None:
+        """Insert and update all ``2^m - 1`` subspace skylines."""
+        for subspace, skyline in self._skylines.items():
+            dominated = False
+            evicted: List[int] = []
+            for other in skyline.values():
+                if dominates(other, record, subspace):
+                    dominated = True
+                    break
+                if dominates(record, other, subspace):
+                    evicted.append(other.tid)
+            if not dominated:
+                for tid in evicted:
+                    del skyline[tid]
+                skyline[record.tid] = record
+        self._records.append(record)
+
+    def skyline(self, subspace: int) -> List[Record]:
+        """``λ_M(R)`` for bitmask ``subspace``."""
+        return list(self._skylines[subspace].values())
+
+    def is_skyline(self, record: Record, subspace: int) -> bool:
+        return record.tid in self._skylines[subspace]
+
+
+class CompressedSkycube:
+    """CSC of Xia & Zhang [12] for one fixed context, with incremental
+    insertion.
+
+    Internal state per tuple ``u``: the bitset (over subspace masks) of
+    subspaces where ``u`` is currently a skyline tuple (``_sky``).  The
+    *stored* sets — ``u`` kept only at its minimal skyline subspaces —
+    are derived and maintained incrementally, matching the CSC storage
+    rule.
+    """
+
+    def __init__(self, full_space: int) -> None:
+        self.full_space = full_space
+        self._subspaces = nonempty_subspaces(full_space)  # big → small
+        self._stored: Dict[int, Dict[int, Record]] = {}
+        self._sky: Dict[int, int] = {}  # tid → bitset of subspace masks
+        self._records: Dict[int, Record] = {}
+        self._size = 0
+        #: Dominance comparisons performed (read by the C-CSC adaptation).
+        self.comparisons = 0
+
+    # ------------------------------------------------------------------
+    # Query (the paper's "query algorithm")
+    # ------------------------------------------------------------------
+    def candidates(self, subspace: int) -> List[Record]:
+        """Union of stored sets over all ``M' ⊆ subspace`` — a superset
+        of ``λ_M(R)`` by the CSC containment property."""
+        seen: Dict[int, Record] = {}
+        for sub in iter_submasks(subspace):
+            bucket = self._stored.get(sub)
+            if bucket:
+                seen.update(bucket)
+        return list(seen.values())
+
+    def skyline(self, subspace: int) -> List[Record]:
+        """``λ_M(R)``: filter the candidate union by dominance within
+        ``subspace``."""
+        cands = self.candidates(subspace)
+        out: List[Record] = []
+        for record in cands:
+            dominated = False
+            for other in cands:
+                if other.tid == record.tid:
+                    continue
+                self.comparisons += 1
+                if dominates(other, record, subspace):
+                    dominated = True
+                    break
+            if not dominated:
+                out.append(record)
+        return out
+
+    def is_skyline(self, record: Record, subspace: int) -> bool:
+        """Membership test using the maintained skyline bitset."""
+        return bool(self._sky.get(record.tid, 0) & self._subspace_bit(subspace))
+
+    @staticmethod
+    def _subspace_bit(subspace: int) -> int:
+        return 1 << subspace
+
+    # ------------------------------------------------------------------
+    # Update (the paper's "update algorithm")
+    # ------------------------------------------------------------------
+    def insert(self, record: Record) -> int:
+        """Insert ``record``; returns the bitset of subspaces in which it
+        is now a skyline tuple.
+
+        For every subspace the current skyline is obtained through the
+        compressed storage (candidate union + filter); tuples newly
+        dominated by ``record`` lose skyline status there, and storage is
+        repaired so each tuple remains stored exactly at its minimal
+        skyline subspaces.
+        """
+        sky_bits = 0
+        demoted: List[Tuple[Record, int]] = []  # (tuple, subspace it left)
+        for subspace in self._subspaces:
+            skyline = self.skyline(subspace)
+            dominated = False
+            for u in skyline:
+                self.comparisons += 1
+                if dominates(u, record, subspace):
+                    dominated = True
+                    break
+            if not dominated:
+                sky_bits |= self._subspace_bit(subspace)
+                for u in skyline:
+                    self.comparisons += 1
+                    if dominates(record, u, subspace):
+                        demoted.append((u, subspace))
+        # Commit the new tuple first so repairs see consistent state.
+        self._records[record.tid] = record
+        self._sky[record.tid] = sky_bits
+        for subspace in self._minimal_subspaces(sky_bits):
+            self._store(subspace, record)
+        for u, subspace in demoted:
+            self._demote(u, subspace)
+        return sky_bits
+
+    def _minimal_subspaces(self, sky_bits: int) -> Iterator[int]:
+        """Subspaces in ``sky_bits`` none of whose proper submasks are in
+        ``sky_bits`` — the CSC's minimum subspaces."""
+        for subspace in self._subspaces:
+            if not sky_bits & self._subspace_bit(subspace):
+                continue
+            minimal = True
+            for sub in iter_submasks(subspace):
+                if sub != subspace and sub != 0 and sky_bits & self._subspace_bit(sub):
+                    minimal = False
+                    break
+            if minimal:
+                yield subspace
+
+    def _store(self, subspace: int, record: Record) -> None:
+        bucket = self._stored.setdefault(subspace, {})
+        if record.tid not in bucket:
+            bucket[record.tid] = record
+            self._size += 1
+
+    def _unstore(self, subspace: int, record: Record) -> None:
+        bucket = self._stored.get(subspace)
+        if bucket and record.tid in bucket:
+            del bucket[record.tid]
+            self._size -= 1
+            if not bucket:
+                del self._stored[subspace]
+
+    def _demote(self, record: Record, subspace: int) -> None:
+        """``record`` lost skyline status in ``subspace``: update its sky
+        bitset and repair minimal-subspace storage."""
+        bits = self._sky.get(record.tid, 0)
+        bit = self._subspace_bit(subspace)
+        if not bits & bit:
+            return
+        bits &= ~bit
+        self._sky[record.tid] = bits
+        was_stored = (
+            subspace in self._stored and record.tid in self._stored[subspace]
+        )
+        if was_stored:
+            self._unstore(subspace, record)
+            # Supersets that were shadowed by this minimal subspace may
+            # now themselves be minimal.
+            for sup in self._subspaces:
+                if sup == subspace or not bits & self._subspace_bit(sup):
+                    continue
+                if subspace & ~sup:
+                    continue  # not a superset
+                minimal = True
+                for sub in iter_submasks(sup):
+                    if sub not in (sup, 0) and bits & self._subspace_bit(sub):
+                        minimal = False
+                        break
+                if minimal:
+                    self._store(sup, record)
+
+    # ------------------------------------------------------------------
+    # Accounting
+    # ------------------------------------------------------------------
+    def stored_tuple_count(self) -> int:
+        """Stored tuple references across all minimum subspaces
+        (Fig. 10b's C-CSC series)."""
+        return self._size
+
+    def iter_stored(self) -> Iterator[Tuple[int, List[Record]]]:
+        for subspace, bucket in self._stored.items():
+            yield subspace, list(bucket.values())

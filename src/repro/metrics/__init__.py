@@ -1,0 +1,6 @@
+"""Instrumentation: operation counters and memory accounting."""
+
+from .counters import OpCounters
+from .memory import approximate_store_bytes
+
+__all__ = ["OpCounters", "approximate_store_bytes"]

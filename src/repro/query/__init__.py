@@ -1,0 +1,11 @@
+"""Forward contextual-skyline queries and the textual query language."""
+
+from .contextual import ContextualQueryEngine
+from .parser import QueryParseError, format_query, parse_query
+
+__all__ = [
+    "ContextualQueryEngine",
+    "QueryParseError",
+    "parse_query",
+    "format_query",
+]

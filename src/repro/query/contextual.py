@@ -1,0 +1,129 @@
+"""Forward contextual-skyline queries (the classic direction, [13]).
+
+The paper solves the *reverse* problem — given an answer tuple, find the
+queries.  Downstream users still need the forward direction: given a
+``(constraint, measure-subspace)`` pair, return the contextual skyline,
+the k-skyband, or context statistics.  :class:`ContextualQueryEngine`
+answers those against a live discovery algorithm, using its maintained
+``µ`` stores when the algorithm has them and falling back to exact
+recomputation otherwise.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional
+
+from ..algorithms.base import DiscoveryAlgorithm
+from ..algorithms.bottom_up import BottomUp
+from ..algorithms.top_down import TopDown
+from ..core.constraint import UNBOUND, Constraint
+from ..core.dominance import dominates
+from ..core.lattice import iter_submasks
+from ..core.record import Record
+from ..core.schema import TableSchema
+from .parser import parse_query
+
+
+class ContextualQueryEngine:
+    """Query façade over a discovery algorithm's state.
+
+    Examples
+    --------
+    >>> from repro import TableSchema, make_algorithm
+    >>> schema = TableSchema(("team",), ("pts", "ast"))
+    >>> algo = make_algorithm("bottomup", schema)
+    >>> _ = algo.process({"team": "T", "pts": 10, "ast": 2})
+    >>> queries = ContextualQueryEngine(algo)
+    >>> [r.tid for r in queries.skyline_text("team=T | pts")]
+    [0]
+    """
+
+    def __init__(self, algorithm: DiscoveryAlgorithm) -> None:
+        self.algorithm = algorithm
+        self.schema: TableSchema = algorithm.schema
+
+    # ------------------------------------------------------------------
+    # Skyline queries
+    # ------------------------------------------------------------------
+    def skyline(self, constraint: Constraint, subspace: int) -> List[Record]:
+        """``λ_M(σ_C(R))`` — from the store when the pair is maintained,
+        exactly recomputed otherwise."""
+        if self._maintained(subspace):
+            if isinstance(self.algorithm, BottomUp):
+                return list(self.algorithm.store.get(constraint, subspace))
+            if isinstance(self.algorithm, TopDown):
+                return self._skyline_from_maximal(constraint, subspace)
+        from ..core.skyline import contextual_skyline
+
+        return contextual_skyline(self.algorithm.table, constraint, subspace)
+
+    def skyline_text(self, query: str) -> List[Record]:
+        """Skyline for a textual query (see :mod:`repro.query.parser`)."""
+        constraint, subspace = parse_query(query, self.schema)
+        return self.skyline(constraint, subspace)
+
+    def _maintained(self, subspace: int) -> bool:
+        return subspace in self.algorithm.maintained_subspaces()
+
+    def _skyline_from_maximal(
+        self, constraint: Constraint, subspace: int
+    ) -> List[Record]:
+        """Invariant 2 reconstruction: a skyline tuple of ``(C, M)`` is
+        anchored at ``C`` or one of its ancestors and satisfies ``C``."""
+        store = self.algorithm.store
+        seen = {}
+        mask = constraint.bound_mask
+        n = constraint.arity
+        for sub in iter_submasks(mask):
+            anc = Constraint(
+                tuple(
+                    constraint.values[i] if sub & (1 << i) else UNBOUND
+                    for i in range(n)
+                )
+            )
+            for record in store.get(anc, subspace):
+                if record.tid not in seen and constraint.satisfied_by(record):
+                    seen[record.tid] = record
+        return list(seen.values())
+
+    # ------------------------------------------------------------------
+    # k-skyband and statistics
+    # ------------------------------------------------------------------
+    def skyband(
+        self, constraint: Constraint, subspace: int, k: int
+    ) -> List[Record]:
+        """The k-skyband of the context: tuples dominated by fewer than
+        ``k`` others (``k=1`` is the skyline).  Related work [11] builds
+        its "one-of-the-few" objects on this notion."""
+        if k < 1:
+            raise ValueError("k must be >= 1")
+        context = self.algorithm.table.select_constraint(constraint)
+        out = []
+        for record in context:
+            dominators = 0
+            for other in context:
+                if other.tid != record.tid and dominates(other, record, subspace):
+                    dominators += 1
+                    if dominators >= k:
+                        break
+            if dominators < k:
+                out.append(record)
+        return out
+
+    def context_size(self, constraint: Constraint) -> int:
+        """``|σ_C(R)|``."""
+        return len(self.algorithm.table.select_constraint(constraint))
+
+    def prominence(self, constraint: Constraint, subspace: int) -> Optional[float]:
+        """Prominence of the pair (§VII): ``|σ_C| / |λ_M(σ_C)|``, or
+        ``None`` for an empty context."""
+        sky = len(self.skyline(constraint, subspace))
+        if sky == 0:
+            return None
+        return self.context_size(constraint) / sky
+
+    def is_skyline_tuple(
+        self, tid: int, constraint: Constraint, subspace: int
+    ) -> bool:
+        """Membership test for a specific live tuple."""
+        return any(r.tid == tid for r in self.skyline(constraint, subspace))

@@ -1,0 +1,97 @@
+"""A tiny textual query language for contextual skyline queries.
+
+Grammar (whitespace-insensitive)::
+
+    query      := [conjunction] "|" measures
+    conjunction:= binding ("&" binding)*   |   "*"
+    binding    := attribute "=" value
+    measures   := attribute ("," attribute)*
+
+Examples::
+
+    team=Celtics & opp_team=Nets | assists, rebounds
+    * | points
+    month=Feb | points, assists, rebounds
+
+Values are matched against dimension domains as strings; numeric
+dimension values are coerced when the string parses as a number.
+"""
+
+from __future__ import annotations
+
+from typing import Tuple
+
+from ..core.constraint import Constraint
+from ..core.schema import SchemaError, TableSchema
+
+
+class QueryParseError(ValueError):
+    """Raised for malformed query strings."""
+
+
+def _coerce(value: str) -> object:
+    text = value.strip()
+    try:
+        number = float(text)
+    except ValueError:
+        return text
+    return int(number) if number.is_integer() and "." not in text else number
+
+
+def parse_query(text: str, schema: TableSchema) -> Tuple[Constraint, int]:
+    """Parse ``text`` into a ``(constraint, measure-subspace mask)`` pair.
+
+    Raises :class:`QueryParseError` on syntax errors and
+    :class:`~repro.core.schema.SchemaError` on unknown attributes.
+
+    >>> schema = TableSchema(("team", "opp"), ("points", "assists"))
+    >>> c, m = parse_query("team=Celtics | points", schema)
+    >>> c.bound_count, bin(m)
+    (1, '0b1')
+    """
+    if "|" not in text:
+        raise QueryParseError(
+            "query must contain '|' separating constraint from measures"
+        )
+    constraint_part, _, measure_part = text.partition("|")
+    constraint_part = constraint_part.strip()
+    measure_part = measure_part.strip()
+    if not measure_part:
+        raise QueryParseError("no measure attributes given after '|'")
+
+    bindings = {}
+    if constraint_part and constraint_part != "*":
+        for clause in constraint_part.split("&"):
+            clause = clause.strip()
+            if not clause:
+                raise QueryParseError("empty conjunct in constraint")
+            if "=" not in clause:
+                raise QueryParseError(f"conjunct {clause!r} lacks '='")
+            name, _, value = clause.partition("=")
+            name = name.strip()
+            if not name:
+                raise QueryParseError(f"conjunct {clause!r} lacks attribute name")
+            if name in bindings:
+                raise QueryParseError(f"attribute {name!r} bound twice")
+            bindings[name] = _coerce(value)
+
+    constraint = Constraint.from_mapping(schema, bindings)
+
+    names = [part.strip() for part in measure_part.split(",")]
+    if any(not name for name in names):
+        raise QueryParseError("empty measure name in list")
+    if len(set(names)) != len(names):
+        raise QueryParseError("duplicate measure attribute in list")
+    subspace = schema.measure_mask(names)
+    return constraint, subspace
+
+
+def format_query(constraint: Constraint, subspace: int, schema: TableSchema) -> str:
+    """Inverse of :func:`parse_query` (canonical spacing)."""
+    bindings = constraint.to_mapping(schema)
+    if bindings:
+        left = " & ".join(f"{k}={v}" for k, v in bindings.items())
+    else:
+        left = "*"
+    right = ", ".join(schema.measure_names(subspace))
+    return f"{left} | {right}"

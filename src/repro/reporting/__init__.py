@@ -1,0 +1,13 @@
+"""Fact narration and streaming news-feed reporting."""
+
+from .feed import Headline, NewsFeed
+from .narrate import context_phrase, measure_phrase, narrate, narrate_all
+
+__all__ = [
+    "Headline",
+    "NewsFeed",
+    "narrate",
+    "narrate_all",
+    "measure_phrase",
+    "context_phrase",
+]

@@ -1,0 +1,78 @@
+"""Streaming news feed of prominent facts (§VII reporting policy).
+
+Wraps a :class:`~repro.core.engine.FactDiscoverer` and, per arriving
+tuple, emits the *prominent facts* — the facts tied at the highest
+prominence in ``S_t``, provided that prominence reaches ``τ`` — as
+narrated headlines.  This is the end-to-end pipeline a newsroom would
+run (paper §I motivation).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterable, List, Mapping, Optional
+
+from ..core.config import DiscoveryConfig
+from ..core.engine import FactDiscoverer
+from ..core.facts import SituationalFact
+from ..core.schema import TableSchema
+from .narrate import narrate
+
+
+@dataclass
+class Headline:
+    """One emitted news item."""
+
+    tuple_index: int
+    fact: SituationalFact
+    text: str
+
+
+class NewsFeed:
+    """Prominence-thresholded streaming reporter.
+
+    Examples
+    --------
+    >>> from repro import TableSchema
+    >>> schema = TableSchema(("player",), ("points",))
+    >>> feed = NewsFeed(schema, tau=2.0)
+    >>> _ = feed.push({"player": "A", "points": 10})
+    """
+
+    def __init__(
+        self,
+        schema: TableSchema,
+        tau: float = 500.0,
+        algorithm: str = "stopdown",
+        max_bound_dims: Optional[int] = 3,
+        max_measure_dims: Optional[int] = 3,
+    ) -> None:
+        self.schema = schema
+        config = DiscoveryConfig(
+            max_bound_dims=max_bound_dims,
+            max_measure_dims=max_measure_dims,
+            tau=tau,
+        )
+        self.engine = FactDiscoverer(schema, algorithm=algorithm, config=config)
+        self.headlines: List[Headline] = []
+        self._index = 0
+
+    def push(self, row: Mapping[str, object]) -> List[Headline]:
+        """Feed one tuple; returns headlines it triggered (often none)."""
+        prominent = self.engine.observe(row)
+        emitted = [
+            Headline(self._index, fact, narrate(fact, self.schema))
+            for fact in prominent
+        ]
+        self.headlines.extend(emitted)
+        self._index += 1
+        return emitted
+
+    def run(self, rows: Iterable[Mapping[str, object]]) -> List[Headline]:
+        """Feed a whole stream; returns every headline emitted."""
+        for row in rows:
+            self.push(row)
+        return self.headlines
+
+    def __len__(self) -> int:
+        return len(self.headlines)

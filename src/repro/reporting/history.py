@@ -1,0 +1,97 @@
+"""Historical framing of facts — "the first X since Y" sentences.
+
+The paper's opening example is Elias-style: *"Paul George ... became the
+first Pacers player with a 20/10/5 game against the Bulls since Detlef
+Schrempf in December 1992."*  Such framing needs one extra query over
+history: within the fact's context, when was the last time any tuple
+matched-or-beat the new tuple on the fact's measures?
+
+:func:`last_precedent` finds that tuple; :func:`narrate_with_history`
+renders the enriched sentence.  A *precedent* is a historical tuple in
+the same context that equals or exceeds the new tuple on every measure
+of the subspace — exactly the tuples whose absence makes the fact "the
+first since ...".
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Optional
+
+from ..core.facts import SituationalFact
+from ..core.record import Record
+from ..core.schema import TableSchema
+from .narrate import context_phrase, measure_phrase, subject_phrase
+
+
+def is_precedent(candidate: Record, record: Record, subspace: int) -> bool:
+    """True iff ``candidate`` matches or beats ``record`` on every
+    measure of ``subspace`` (normalised values)."""
+    mask = subspace
+    i = 0
+    while mask:
+        if mask & 1 and candidate.values[i] < record.values[i]:
+            return False
+        mask >>= 1
+        i += 1
+    return True
+
+
+def last_precedent(
+    fact: SituationalFact,
+    history: Iterable[Record],
+    time_attribute: Optional[int] = None,
+) -> Optional[Record]:
+    """The most recent historical tuple in the fact's context that
+    matched-or-beat the fact's tuple on its measure subspace.
+
+    "Most recent" means largest tid (arrival order) unless
+    ``time_attribute`` names a dimension index to sort by instead.
+    Returns ``None`` when the fact is unprecedented in its context —
+    an all-time first.
+    """
+    record = fact.record
+    best: Optional[Record] = None
+    for candidate in history:
+        if candidate.tid == record.tid:
+            continue
+        if not fact.constraint.satisfied_by(candidate):
+            continue
+        if not is_precedent(candidate, record, fact.subspace):
+            continue
+        if best is None:
+            best = candidate
+        elif time_attribute is not None:
+            if candidate.dims[time_attribute] > best.dims[time_attribute]:
+                best = candidate
+        elif candidate.tid > best.tid:
+            best = candidate
+    return best
+
+
+def narrate_with_history(
+    fact: SituationalFact,
+    schema: TableSchema,
+    history: Iterable[Record],
+    entity_attribute: int = 0,
+    when_attribute: Optional[int] = None,
+) -> str:
+    """Narrate ``fact`` with Elias-style historical framing.
+
+    ``entity_attribute``/``when_attribute`` are dimension indexes used
+    to describe the precedent ("since <entity> in <when>").
+    """
+    lead = subject_phrase(fact, schema)
+    measures = measure_phrase(fact, schema)
+    context = context_phrase(fact, schema)
+    precedent = last_precedent(fact, history, when_attribute)
+    if precedent is None:
+        return (
+            f"{lead} recorded {measures} - the first ever among {context}."
+        )
+    who = precedent.dims[entity_attribute]
+    sentence = f"{lead} recorded {measures} - the first among {context}"
+    if when_attribute is not None:
+        sentence += f" since {who} in {precedent.dims[when_attribute]}"
+    else:
+        sentence += f" since {who}"
+    return sentence + "."

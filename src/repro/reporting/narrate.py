@@ -1,0 +1,77 @@
+"""Natural-language narration of situational facts (paper §VIII future
+work: "narrating facts in natural-language text").
+
+Turns a scored :class:`~repro.core.facts.SituationalFact` into the kind
+of sentence the paper's introduction quotes, e.g.::
+
+    Player0042 put up 54 points - no game with team=TEAM07 among 1,203
+    on record matched it (one of 1 skyline performances; prominence 1203).
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Sequence
+
+from ..core.facts import SituationalFact
+from ..core.schema import TableSchema
+
+
+def _format_number(value: float) -> str:
+    if float(value).is_integer():
+        return f"{int(value):,}"
+    return f"{value:,.1f}"
+
+
+def measure_phrase(fact: SituationalFact, schema: TableSchema) -> str:
+    """``"21 points, 11 rebounds and 5 assists"``-style phrase."""
+    names = schema.measure_names(fact.subspace)
+    parts = []
+    for name in names:
+        idx = schema.measure_index(name)
+        parts.append(f"{_format_number(fact.record.raw[idx])} {name}")
+    if len(parts) == 1:
+        return parts[0]
+    return ", ".join(parts[:-1]) + " and " + parts[-1]
+
+
+def context_phrase(fact: SituationalFact, schema: TableSchema) -> str:
+    """``"games with month=Feb and team=Celtics"`` or ``"all records"``."""
+    bindings = fact.constraint.to_mapping(schema)
+    if not bindings:
+        return "all records"
+    clauses = [f"{name}={value}" for name, value in bindings.items()]
+    return "records with " + " and ".join(clauses)
+
+
+def subject_phrase(fact: SituationalFact, schema: TableSchema) -> str:
+    """Lead entity: the tuple's first dimension value (by convention the
+    entity attribute — player, location, ticker — comes first in the
+    schema), e.g. ``"Wesley"`` in "Wesley recorded 13 assists"."""
+    return str(fact.record.dims[0])
+
+
+def narrate(fact: SituationalFact, schema: TableSchema) -> str:
+    """One-sentence narration of a scored fact."""
+    measures = measure_phrase(fact, schema)
+    context = context_phrase(fact, schema)
+    lead = subject_phrase(fact, schema)
+    sentence = f"{lead} recorded {measures} - unbeaten among {context}"
+    if fact.context_size is not None:
+        sentence += f" ({fact.context_size:,} on record"
+        if fact.skyline_size is not None:
+            sentence += f"; one of {fact.skyline_size} skyline tuples"
+        prom = fact.prominence
+        if prom is not None:
+            sentence += f"; prominence {prom:,.0f}"
+        sentence += ")"
+    return sentence + "."
+
+
+def narrate_all(
+    facts: Sequence[SituationalFact],
+    schema: TableSchema,
+    limit: Optional[int] = None,
+) -> str:
+    """Narrate a ranked fact list as a bulleted digest."""
+    chosen = facts if limit is None else facts[:limit]
+    return "\n".join(f"- {narrate(f, schema)}" for f in chosen)

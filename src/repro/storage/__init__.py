@@ -1,0 +1,15 @@
+"""Skyline stores: in-memory (§VI-B) and file-based (§VI-C) ``µ_{C,M}``."""
+
+from .base import PairKey, SkylineStore
+from .codec import DimensionInterner, RecordCodec
+from .file_store import FileSkylineStore
+from .memory_store import MemorySkylineStore
+
+__all__ = [
+    "PairKey",
+    "SkylineStore",
+    "MemorySkylineStore",
+    "FileSkylineStore",
+    "RecordCodec",
+    "DimensionInterner",
+]

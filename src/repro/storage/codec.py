@@ -1,0 +1,99 @@
+"""Fixed-width binary codec for tuples in per-pair files (§VI-C).
+
+Each ``µ_{C,M}`` file holds a little-endian header (record count) followed
+by fixed-width records: ``tid`` (int64), one int32 per dimension (values
+interned through a :class:`DimensionInterner`), and one float64 per raw
+measure.  Fixed width keeps files tiny and lets a whole pair be read into
+a buffer with a single ``read()``, exactly as the paper's file-based
+implementation does.
+"""
+
+from __future__ import annotations
+
+import struct
+from typing import Dict, List, Sequence
+
+from ..core.record import Record
+from ..core.schema import TableSchema
+
+_HEADER = struct.Struct("<I")
+
+
+class DimensionInterner:
+    """Bidirectional mapping of dimension values to dense int32 ids.
+
+    Dimension values are arbitrary hashables in memory; on disk they are
+    int32 ids.  The interner lives alongside the file store for the
+    store's lifetime (the paper's files likewise presume an in-process
+    catalog).
+    """
+
+    def __init__(self) -> None:
+        self._to_id: Dict[object, int] = {}
+        self._to_value: List[object] = []
+
+    def intern(self, value: object) -> int:
+        """Id for ``value``, assigning the next dense id when new."""
+        existing = self._to_id.get(value)
+        if existing is not None:
+            return existing
+        new_id = len(self._to_value)
+        self._to_id[value] = new_id
+        self._to_value.append(value)
+        return new_id
+
+    def lookup(self, value_id: int) -> object:
+        """Value for ``value_id``; raises ``IndexError`` when unknown."""
+        return self._to_value[value_id]
+
+    def __len__(self) -> int:
+        return len(self._to_value)
+
+
+class RecordCodec:
+    """Encode/decode :class:`Record` lists for one schema."""
+
+    def __init__(self, schema: TableSchema, interner: DimensionInterner) -> None:
+        self.schema = schema
+        self.interner = interner
+        self._signs = schema.measure_signs()
+        self._record_struct = struct.Struct(
+            "<q" + "i" * schema.n_dimensions + "d" * schema.n_measures
+        )
+
+    @property
+    def record_size(self) -> int:
+        """Bytes per encoded record."""
+        return self._record_struct.size
+
+    def encode(self, records: Sequence[Record]) -> bytes:
+        """Serialise ``records`` to one buffer (header + fixed records)."""
+        parts = [_HEADER.pack(len(records))]
+        for record in records:
+            dim_ids = tuple(self.interner.intern(v) for v in record.dims)
+            parts.append(self._record_struct.pack(record.tid, *dim_ids, *record.raw))
+        return b"".join(parts)
+
+    def decode(self, buffer: bytes) -> List[Record]:
+        """Inverse of :meth:`encode`; normalised values are rebuilt from
+        raw measures via the schema's preference signs."""
+        if len(buffer) < _HEADER.size:
+            raise ValueError("truncated µ file: missing header")
+        (count,) = _HEADER.unpack_from(buffer, 0)
+        expected = _HEADER.size + count * self._record_struct.size
+        if len(buffer) != expected:
+            raise ValueError(
+                f"corrupt µ file: expected {expected} bytes, got {len(buffer)}"
+            )
+        n_dim = self.schema.n_dimensions
+        records: List[Record] = []
+        offset = _HEADER.size
+        for _ in range(count):
+            fields = self._record_struct.unpack_from(buffer, offset)
+            offset += self._record_struct.size
+            tid = fields[0]
+            dims = tuple(self.interner.lookup(i) for i in fields[1 : 1 + n_dim])
+            raw = tuple(fields[1 + n_dim :])
+            values = tuple(s * v for s, v in zip(self._signs, raw))
+            records.append(Record(tid, dims, values, raw))
+        return records

@@ -1,0 +1,69 @@
+"""Dict-backed skyline store — the paper's memory-based implementation."""
+
+from __future__ import annotations
+
+from typing import Dict, Iterator, List, Tuple
+
+from ..core.constraint import Constraint
+from ..core.record import Record
+from ..metrics.memory import approximate_store_bytes
+from .base import PairKey, SkylineStore
+
+
+class MemorySkylineStore(SkylineStore):
+    """``µ_{C,M}`` as a dict of dicts.
+
+    Inner maps are keyed by tid so insert/delete/contains are O(1);
+    :meth:`get` returns a list copy, so algorithms may mutate the store
+    while iterating over a previously-fetched snapshot (both BottomUp and
+    TopDown delete during their scan of ``µ_{C,M}``).
+    """
+
+    def __init__(self, counters=None) -> None:
+        super().__init__(counters)
+        self._pairs: Dict[PairKey, Dict[int, Record]] = {}
+        self._total = 0
+
+    _EMPTY: tuple = ()
+
+    def get(self, constraint: Constraint, subspace: int) -> List[Record]:
+        bucket = self._pairs.get((constraint, subspace))
+        # The empty case dominates lattice sweeps; a shared immutable
+        # empty avoids one allocation per visited pair.
+        return list(bucket.values()) if bucket else self._EMPTY  # type: ignore[return-value]
+
+    def insert(self, constraint: Constraint, subspace: int, record: Record) -> None:
+        bucket = self._pairs.setdefault((constraint, subspace), {})
+        if record.tid not in bucket:
+            bucket[record.tid] = record
+            self._total += 1
+            self.counters.stored_tuples = self._total
+
+    def delete(self, constraint: Constraint, subspace: int, record: Record) -> None:
+        key = (constraint, subspace)
+        bucket = self._pairs.get(key)
+        if bucket and record.tid in bucket:
+            del bucket[record.tid]
+            self._total -= 1
+            self.counters.stored_tuples = self._total
+            if not bucket:
+                del self._pairs[key]
+
+    def contains(self, constraint: Constraint, subspace: int, record: Record) -> bool:
+        bucket = self._pairs.get((constraint, subspace))
+        return bool(bucket) and record.tid in bucket
+
+    def iter_pairs(self) -> Iterator[Tuple[PairKey, List[Record]]]:
+        for key, bucket in self._pairs.items():
+            yield key, list(bucket.values())
+
+    def stored_tuple_count(self) -> int:
+        return self._total
+
+    def approx_bytes(self) -> int:
+        return approximate_store_bytes(self.iter_pairs())
+
+    def clear(self) -> None:
+        self._pairs.clear()
+        self._total = 0
+        self.counters.stored_tuples = 0

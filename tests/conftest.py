@@ -1,0 +1,71 @@
+"""Shared fixtures: the paper's running examples and small workloads."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro import TableSchema
+
+#: All registry algorithm names that run fully in memory.
+MEMORY_ALGORITHMS = [
+    "bruteforce",
+    "baselineseq",
+    "baselineidx",
+    "baselinevec",
+    "ccsc",
+    "bottomup",
+    "topdown",
+    "sbottomup",
+    "stopdown",
+]
+
+#: The incremental algorithms (maintain µ stores).
+STORE_ALGORITHMS = ["bottomup", "topdown", "sbottomup", "stopdown"]
+
+
+@pytest.fixture
+def running_example_schema() -> TableSchema:
+    """Schema of Table IV: D={d1,d2,d3}, M={m1,m2}."""
+    return TableSchema(("d1", "d2", "d3"), ("m1", "m2"))
+
+
+@pytest.fixture
+def running_example_rows():
+    """Tuples t1..t5 of Table IV, in arrival order."""
+    return [
+        {"d1": "a1", "d2": "b2", "d3": "c2", "m1": 10, "m2": 15},
+        {"d1": "a1", "d2": "b1", "d3": "c1", "m1": 15, "m2": 10},
+        {"d1": "a2", "d2": "b1", "d3": "c2", "m1": 17, "m2": 17},
+        {"d1": "a2", "d2": "b1", "d3": "c1", "m1": 20, "m2": 20},
+        {"d1": "a1", "d2": "b1", "d3": "c1", "m1": 11, "m2": 15},
+    ]
+
+
+@pytest.fixture
+def gamelog_schema() -> TableSchema:
+    """Schema of Table I (Example 1): 5 dimensions, 3 measures."""
+    return TableSchema(
+        ("player", "month", "season", "team", "opp_team"),
+        ("points", "assists", "rebounds"),
+    )
+
+
+@pytest.fixture
+def gamelog_rows():
+    """Tuples t1..t7 of Table I, in arrival order."""
+    return [
+        dict(player="Bogues", month="Feb", season="1991-92", team="Hornets",
+             opp_team="Hawks", points=4, assists=12, rebounds=5),
+        dict(player="Seikaly", month="Feb", season="1991-92", team="Heat",
+             opp_team="Hawks", points=24, assists=5, rebounds=15),
+        dict(player="Sherman", month="Dec", season="1993-94", team="Celtics",
+             opp_team="Nets", points=13, assists=13, rebounds=5),
+        dict(player="Wesley", month="Feb", season="1994-95", team="Celtics",
+             opp_team="Nets", points=2, assists=5, rebounds=2),
+        dict(player="Wesley", month="Feb", season="1994-95", team="Celtics",
+             opp_team="Timberwolves", points=3, assists=5, rebounds=3),
+        dict(player="Strickland", month="Jan", season="1995-96", team="Blazers",
+             opp_team="Celtics", points=27, assists=18, rebounds=8),
+        dict(player="Wesley", month="Feb", season="1995-96", team="Celtics",
+             opp_team="Nets", points=12, assists=13, rebounds=5),
+    ]

@@ -1,0 +1,135 @@
+"""Tests for the repro-facts command-line interface."""
+
+import pytest
+
+from repro.cli import build_parser, main
+from repro.datasets import nba_rows, nba_schema, save_rows
+
+
+@pytest.fixture
+def nba_csv(tmp_path):
+    schema = nba_schema(4, 4)
+    path = str(tmp_path / "nba.csv")
+    save_rows(path, schema, nba_rows(40, d=4, m=4))
+    return path
+
+
+DIMS = "player,season,team,opp_team"
+MEAS = "points,rebounds,assists,blocks"
+
+
+class TestParser:
+    def test_requires_subcommand(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])
+
+    def test_discover_args(self):
+        args = build_parser().parse_args(
+            ["discover", "x.csv", "-d", DIMS, "-m", MEAS, "--tau", "5"]
+        )
+        assert args.csv == "x.csv"
+        assert args.tau == 5.0
+
+
+class TestDiscover:
+    def test_discover_prints_facts(self, nba_csv, capsys):
+        rc = main(
+            ["discover", nba_csv, "-d", DIMS, "-m", MEAS,
+             "--dhat", "2", "--mhat", "2", "--tau", "3"]
+        )
+        assert rc == 0
+        err = capsys.readouterr().err
+        assert "facts from 40 tuples" in err
+
+    def test_discover_json(self, nba_csv, capsys):
+        import json
+
+        rc = main(
+            ["discover", nba_csv, "-d", DIMS, "-m", MEAS,
+             "--dhat", "1", "--mhat", "1", "--tau", "2", "--json"]
+        )
+        assert rc == 0
+        out = capsys.readouterr().out
+        for line in out.strip().splitlines():
+            doc = json.loads(line)
+            assert {"tuple_id", "constraint", "measures", "prominence"} <= set(doc)
+
+    def test_discover_narrated(self, nba_csv, capsys):
+        rc = main(
+            ["discover", nba_csv, "-d", DIMS, "-m", MEAS,
+             "--dhat", "1", "--mhat", "1", "--tau", "2", "--narrate"]
+        )
+        assert rc == 0
+        out = capsys.readouterr().out
+        # Narrations end with a period and mention records.
+        if out:
+            assert "unbeaten among" in out
+
+
+class TestQuery:
+    def test_query_outputs_skyline(self, nba_csv, capsys):
+        rc = main(
+            ["query", nba_csv, "-d", DIMS, "-m", MEAS,
+             "-q", "* | points, rebounds"]
+        )
+        assert rc == 0
+        captured = capsys.readouterr()
+        assert "skyline size" in captured.err
+        assert "points" in captured.out
+
+    def test_query_with_constraint(self, nba_csv, capsys):
+        rc = main(
+            ["query", nba_csv, "-d", DIMS, "-m", MEAS,
+             "-q", "season=1991-92 | points"]
+        )
+        assert rc == 0
+
+
+class TestDemo:
+    def test_demo_runs(self, capsys):
+        rc = main(["demo", "--tuples", "60", "--tau", "5"])
+        assert rc == 0
+        assert "prominent facts from 60 tuples" in capsys.readouterr().err
+
+
+class TestErrorHandling:
+    def test_bad_query_string(self, nba_csv, capsys):
+        rc = main(["query", nba_csv, "-d", DIMS, "-m", MEAS, "-q", "no pipe here"])
+        assert rc == 2
+        assert "error:" in capsys.readouterr().err
+
+    def test_unknown_attribute_in_query(self, nba_csv, capsys):
+        rc = main(["query", nba_csv, "-d", DIMS, "-m", MEAS, "-q", "coach=X | points"])
+        assert rc == 2
+        assert "error:" in capsys.readouterr().err
+
+    def test_missing_csv(self, capsys):
+        rc = main(["discover", "/nonexistent.csv", "-d", DIMS, "-m", MEAS])
+        assert rc == 2
+        assert "cannot open" in capsys.readouterr().err
+
+
+class TestFigures:
+    def test_unknown_figure(self, capsys):
+        rc = main(["figures", "fig99"])
+        assert rc == 2
+
+    def test_min_prefer_plumbs_through(self, tmp_path, capsys):
+        # fouls min-preferred: a low-foul line must be able to win.
+        from repro.datasets import save_rows
+        from repro import MIN, TableSchema
+
+        schema = TableSchema(("player",), ("points", "fouls"), {"fouls": MIN})
+        rows = [
+            {"player": "A", "points": 10, "fouls": 5},
+            {"player": "B", "points": 10, "fouls": 0},
+        ]
+        path = str(tmp_path / "f.csv")
+        save_rows(path, schema, rows)
+        rc = main(
+            ["query", path, "-d", "player", "-m", "points,fouls",
+             "--min-prefer", "fouls", "-q", "* | points, fouls"]
+        )
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert "'player': 'B'" in out

@@ -1,0 +1,62 @@
+"""Tests for DiscoveryConfig (d̂ / m̂ / τ / top-k knobs)."""
+
+import pytest
+
+from repro import DiscoveryConfig
+
+
+class TestValidation:
+    def test_defaults_are_unrestricted(self):
+        cfg = DiscoveryConfig()
+        assert cfg.max_bound_dims is None
+        assert cfg.max_measure_dims is None
+        assert cfg.tau is None
+        assert cfg.top_k is None
+
+    def test_negative_dhat_rejected(self):
+        with pytest.raises(ValueError):
+            DiscoveryConfig(max_bound_dims=-1)
+
+    def test_zero_mhat_rejected(self):
+        with pytest.raises(ValueError):
+            DiscoveryConfig(max_measure_dims=0)
+
+    def test_tau_below_one_rejected(self):
+        with pytest.raises(ValueError):
+            DiscoveryConfig(tau=0.5)
+
+    def test_top_k_zero_rejected(self):
+        with pytest.raises(ValueError):
+            DiscoveryConfig(top_k=0)
+
+    def test_dhat_zero_allowed(self):
+        """d̂=0 means only ⊤ (the whole table) is considered."""
+        cfg = DiscoveryConfig(max_bound_dims=0)
+        assert cfg.allows_constraint_mask(0)
+        assert not cfg.allows_constraint_mask(1)
+
+
+class TestAllowances:
+    def test_constraint_mask_cap(self):
+        cfg = DiscoveryConfig(max_bound_dims=2)
+        assert cfg.allows_constraint_mask(0b011)
+        assert cfg.allows_constraint_mask(0b100)
+        assert not cfg.allows_constraint_mask(0b111)
+
+    def test_subspace_cap(self):
+        cfg = DiscoveryConfig(max_measure_dims=2)
+        assert cfg.allows_subspace(0b11)
+        assert not cfg.allows_subspace(0b111)
+
+    def test_empty_subspace_never_allowed(self):
+        assert not DiscoveryConfig().allows_subspace(0)
+
+    def test_unrestricted_allows_everything_nonempty(self):
+        cfg = DiscoveryConfig()
+        assert cfg.allows_constraint_mask(0b11111111)
+        assert cfg.allows_subspace(0b1111111)
+
+    def test_frozen(self):
+        cfg = DiscoveryConfig()
+        with pytest.raises(AttributeError):
+            cfg.tau = 3.0

@@ -1,0 +1,148 @@
+"""Unit tests for constraints and the subsumption order (Defs. 1, 5-7)."""
+
+import pytest
+
+from repro import TableSchema
+from repro.core.constraint import (
+    UNBOUND,
+    Constraint,
+    constraint_for_record,
+    satisfied_constraints,
+)
+from repro.core.record import Record
+
+
+def rec(*dims):
+    return Record(0, tuple(dims), (1.0,), (1.0,))
+
+
+class TestBasics:
+    def test_bound_mask_and_count(self):
+        c = Constraint(("a", None, "c"))
+        assert c.bound_mask == 0b101
+        assert c.bound_count == 2
+        assert c.arity == 3
+
+    def test_top(self):
+        top = Constraint.top(3)
+        assert top.is_top
+        assert top.bound_count == 0
+
+    def test_equality_and_hash(self):
+        assert Constraint(("a", None)) == Constraint(("a", None))
+        assert hash(Constraint(("a", None))) == hash(Constraint(("a", None)))
+        assert Constraint(("a", None)) != Constraint((None, "a"))
+
+    def test_repr_shows_stars(self):
+        assert "*" in repr(Constraint(("a", None)))
+
+    def test_from_mapping_and_back(self):
+        schema = TableSchema(("d1", "d2", "d3"), ("m",))
+        c = Constraint.from_mapping(schema, {"d2": "x"})
+        assert c.values == (None, "x", None)
+        assert c.to_mapping(schema) == {"d2": "x"}
+
+    def test_describe(self):
+        schema = TableSchema(("d1", "d2"), ("m",))
+        assert Constraint(("a", None)).describe(schema) == "d1=a"
+        assert Constraint((None, None)).describe(schema) == "(no constraint)"
+        assert Constraint(("a", "b")).describe(schema) == "d1=a ∧ d2=b"
+
+
+class TestSatisfaction:
+    def test_satisfied_by_matching_record(self):
+        c = Constraint(("a", None))
+        assert c.satisfied_by(rec("a", "z"))
+
+    def test_not_satisfied_on_mismatch(self):
+        c = Constraint(("a", "b"))
+        assert not c.satisfied_by(rec("a", "z"))
+
+    def test_top_satisfied_by_everything(self):
+        assert Constraint.top(2).satisfied_by(rec("p", "q"))
+
+
+class TestSubsumption:
+    def test_example_4_from_paper(self):
+        # C1=⟨a,b,c⟩ is subsumed by C2=⟨a,*,c⟩.
+        c1 = Constraint(("a", "b", "c"))
+        c2 = Constraint(("a", None, "c"))
+        assert c1.subsumed_by(c2)
+        assert c1.strictly_subsumed_by(c2)
+        assert not c2.subsumed_by(c1)
+
+    def test_subsumed_by_is_reflexive(self):
+        c = Constraint(("a", None))
+        assert c.subsumed_by(c)
+        assert not c.strictly_subsumed_by(c)
+
+    def test_everything_subsumed_by_top(self):
+        assert Constraint(("a", "b")).subsumed_by(Constraint.top(2))
+
+    def test_selection_containment(self):
+        """C1 ⊑ C2 implies σ_C1(R) ⊆ σ_C2(R) (Def. 5 consequence)."""
+        c1 = Constraint(("a", "b"))
+        c2 = Constraint(("a", None))
+        for dims in [("a", "b"), ("a", "z"), ("q", "b")]:
+            r = rec(*dims)
+            if c1.satisfied_by(r):
+                assert c2.satisfied_by(r)
+
+
+class TestLatticeNeighbours:
+    def test_parents_unbind_one_attribute(self):
+        c = Constraint(("a", "b", None))
+        parents = set(p.values for p in c.parents())
+        assert parents == {(None, "b", None), ("a", None, None)}
+
+    def test_ancestors_count(self):
+        c = Constraint(("a", "b", "c"))
+        assert sum(1 for _ in c.ancestors()) == 7  # 2^3 - 1 proper ancestors
+
+    def test_example_5_neighbours(self):
+        """Fig. 1: C=⟨a1,*,c1⟩ within C^t5."""
+        t5 = rec("a1", "b1", "c1")
+        c = Constraint(("a1", None, "c1"))
+        parents = {p.values for p in c.parents()}
+        assert parents == {(None, None, "c1"), ("a1", None, None)}
+        children = {ch.values for ch in c.children_for(t5)}
+        assert children == {("a1", "b1", "c1")}
+
+    def test_bind_unbind(self):
+        c = Constraint((None, "b"))
+        assert c.bind(0, "a").values == ("a", "b")
+        assert c.unbind(1).values == (None, None)
+
+
+class TestSatisfiedConstraints:
+    def test_count_is_two_to_the_n(self):
+        r = rec("a", "b", "c")
+        assert sum(1 for _ in satisfied_constraints(r)) == 8
+
+    def test_every_generated_constraint_is_satisfied(self):
+        r = rec("a", "b", "c")
+        for c in satisfied_constraints(r):
+            assert c.satisfied_by(r)
+
+    def test_max_bound_cap(self):
+        r = rec("a", "b", "c")
+        capped = list(satisfied_constraints(r, max_bound=1))
+        assert len(capped) == 4  # ⊤ plus three single bindings
+        assert all(c.bound_count <= 1 for c in capped)
+
+    def test_constraint_for_record_mask(self):
+        r = rec("a", "b", "c")
+        c = constraint_for_record(r, 0b101)
+        assert c.values == ("a", None, "c")
+
+    def test_breadth_first_order(self):
+        """Alg. 1 generates ⊤ first, then level by level."""
+        r = rec("a", "b", "c")
+        order = [c.bound_count for c in satisfied_constraints(r)]
+        assert order[0] == 0
+        assert order == sorted(order)
+
+    def test_no_duplicates(self):
+        r = rec("a", "b", "c")
+        seen = list(satisfied_constraints(r))
+        assert len(seen) == len(set(seen))

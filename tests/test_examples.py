@@ -1,0 +1,55 @@
+"""Every example script must run clean (small workloads).
+
+Examples are the first thing a new user executes; breaking one is a
+release blocker, so they are exercised as subprocesses here.
+"""
+
+import os
+import subprocess
+import sys
+
+import pytest
+
+EXAMPLES_DIR = os.path.join(os.path.dirname(__file__), os.pardir, "examples")
+
+
+def run_example(name, *args, timeout=120):
+    return subprocess.run(
+        [sys.executable, os.path.join(EXAMPLES_DIR, name), *args],
+        capture_output=True,
+        text=True,
+        timeout=timeout,
+    )
+
+
+class TestExamples:
+    def test_quickstart(self):
+        proc = run_example("quickstart.py")
+        assert proc.returncode == 0, proc.stderr
+        assert "195 pairs" in proc.stdout
+        assert "prominence" in proc.stdout
+
+    def test_algorithm_comparison(self):
+        proc = run_example("algorithm_comparison.py", "60")
+        assert proc.returncode == 0, proc.stderr
+        assert "identical fact sets" in proc.stdout
+
+    def test_nba_news_feed(self):
+        proc = run_example("nba_news_feed.py", "150", "10")
+        assert proc.returncode == 0, proc.stderr
+        assert "prominent facts from 150 tuples" in proc.stdout
+
+    def test_weather_extremes(self):
+        proc = run_example("weather_extremes.py", "150")
+        assert proc.returncode == 0, proc.stderr
+        assert "weather alerts raised" in proc.stdout
+
+    def test_stock_alerts(self):
+        proc = run_example("stock_alerts.py", "250")
+        assert proc.returncode == 0, proc.stderr
+        assert "market alerts raised" in proc.stdout
+
+    def test_record_watch(self):
+        proc = run_example("record_watch.py", "200", "60")
+        assert proc.returncode == 0, proc.stderr
+        assert "windowed records spotted" in proc.stdout

@@ -1,0 +1,121 @@
+"""Tests for the experiment harness (timing, sweeps, tables)."""
+
+import pytest
+
+from repro import DiscoveryConfig, make_algorithm
+from repro.datasets import synthetic_rows, synthetic_schema
+from repro.experiments.harness import (
+    FigureResult,
+    Series,
+    average_per_tuple_ms,
+    counter_stream,
+    sweep_vary_n,
+    sweep_vary_param,
+    timed_stream,
+)
+
+SCHEMA = synthetic_schema(2, 2)
+ROWS = synthetic_rows(20, 2, 2, cardinalities=[3, 3], seed=4)
+
+
+class TestSeries:
+    def test_add(self):
+        s = Series("x")
+        s.add(1, 2.0)
+        s.add(2, 3.0)
+        assert s.xs == [1, 2] and s.ys == [2.0, 3.0]
+
+
+class TestFigureResult:
+    def _fig(self):
+        a = Series("alpha", [1, 2], [0.5, 1.5])
+        b = Series("beta", [1, 2], [2.0, 4.0])
+        return FigureResult("T", "n", "ms", [a, b])
+
+    def test_table_contains_everything(self):
+        text = self._fig().table()
+        assert "T" in text and "alpha" in text and "beta" in text
+        assert "0.500" in text and "4" in text
+
+    def test_final_values(self):
+        assert self._fig().final_values() == {"alpha": 1.5, "beta": 4.0}
+
+    def test_empty_series_tolerated(self):
+        fig = FigureResult("T", "n", "ms", [Series("empty")])
+        assert fig.final_values() == {}
+        assert "T" in fig.table()
+
+
+class TestTimedRuns:
+    def test_timed_stream_checkpoints(self):
+        algo = make_algorithm("bottomup", SCHEMA)
+        out = timed_stream(algo, ROWS, [10, 20])
+        assert [cp for cp, _ in out] == [10, 20]
+        assert all(ms >= 0 for _, ms in out)
+        assert len(algo.table) == 20
+
+    def test_average_per_tuple(self):
+        algo = make_algorithm("bottomup", SCHEMA)
+        ms = average_per_tuple_ms(algo, ROWS)
+        assert ms > 0
+
+    def test_sweep_vary_n(self):
+        series = sweep_vary_n(
+            ["bottomup", "topdown"], SCHEMA, ROWS, [10, 20]
+        )
+        assert [s.label for s in series] == ["bottomup", "topdown"]
+        assert all(len(s.ys) == 2 for s in series)
+
+    def test_sweep_vary_param(self):
+        def build(m):
+            return synthetic_schema(2, m), synthetic_rows(8, 2, m, seed=m)
+
+        series = sweep_vary_param(["bottomup"], [1, 2], build)
+        (s,) = series
+        assert s.xs == [1, 2]
+        assert len(s.ys) == 2
+
+    def test_counter_stream_is_cumulative(self):
+        series = counter_stream(
+            ["bottomup"],
+            SCHEMA,
+            ROWS,
+            [10, 20],
+            metric=lambda algo: algo.counters.traversed_constraints,
+        )
+        (s,) = series
+        assert s.ys[1] >= s.ys[0] > 0
+
+
+class TestFigureFunctionsSmoke:
+    """Tiny-scale smoke of each figure callable (full runs live in
+    benchmarks/)."""
+
+    def test_fig14_smoke(self):
+        from repro.experiments import figure14
+
+        fig = figure14(scale=0.1, window=50)
+        (s,) = fig.series
+        assert len(s.ys) >= 1
+
+    def test_fig15_smoke(self):
+        from repro.experiments import figure15
+
+        fig_a, fig_b = figure15(scale=0.05, taus=(2.0,))
+        assert fig_a.series and fig_b.series
+
+    def test_checkpoint_helper(self):
+        from repro.experiments.figures import _checkpoints
+
+        assert _checkpoints(100, windows=4) == [25, 50, 75, 100]
+        assert _checkpoints(7, windows=4)[-1] == 7
+
+    def test_registry_complete(self):
+        from repro.experiments import ALL_FIGURES
+
+        expected = {
+            "fig7a", "fig7b", "fig7c", "fig8a", "fig8b", "fig8c", "fig9",
+            "fig10a", "fig10b", "fig11a", "fig11b", "fig12a", "fig12b",
+            "fig12c", "fig13", "fig14", "fig15",
+        }
+        assert set(ALL_FIGURES) == expected

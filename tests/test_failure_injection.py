@@ -1,0 +1,102 @@
+"""Failure-injection tests: corrupted files, malformed inputs, misuse."""
+
+import os
+
+import pytest
+
+from repro import Constraint, SchemaError, TableSchema, make_algorithm
+from repro.core.record import Record
+from repro.storage import FileSkylineStore
+
+SCHEMA = TableSchema(("d0", "d1"), ("m0", "m1"))
+C1 = Constraint(("a", None))
+
+
+def rec(tid):
+    return Record(tid, ("a", "b"), (1.0, 2.0), (1.0, 2.0))
+
+
+class TestCorruptFiles:
+    def _store_with_file(self, tmp_path):
+        store = FileSkylineStore(SCHEMA, directory=str(tmp_path))
+        store.insert(C1, 0b11, rec(0))
+        store.flush()
+        (path,) = [
+            os.path.join(tmp_path, f)
+            for f in os.listdir(tmp_path)
+            if f.endswith(".bin")
+        ]
+        return store, path
+
+    def test_truncated_file_raises_cleanly(self, tmp_path):
+        store, path = self._store_with_file(tmp_path)
+        with open(path, "r+b") as fh:
+            fh.truncate(2)
+        with pytest.raises(ValueError, match="truncated|corrupt"):
+            store.get(C1, 0b11)
+
+    def test_appended_garbage_raises_cleanly(self, tmp_path):
+        store, path = self._store_with_file(tmp_path)
+        with open(path, "ab") as fh:
+            fh.write(b"\xde\xad\xbe\xef")
+        with pytest.raises(ValueError, match="corrupt"):
+            store.get(C1, 0b11)
+
+    def test_deleted_file_is_treated_as_lost_pair(self, tmp_path):
+        store, path = self._store_with_file(tmp_path)
+        os.remove(path)
+        # The pair is registered but its file vanished: read as empty.
+        assert list(store.get(C1, 0b11)) == []
+
+
+class TestMalformedRows:
+    def test_missing_attribute(self):
+        algo = make_algorithm("bottomup", SCHEMA)
+        with pytest.raises(SchemaError):
+            algo.process({"d0": "a", "m0": 1, "m1": 1})
+
+    def test_non_numeric_measure(self):
+        algo = make_algorithm("bottomup", SCHEMA)
+        with pytest.raises(SchemaError):
+            algo.process({"d0": "a", "d1": "b", "m0": "lots", "m1": 1})
+
+    def test_failed_process_leaves_table_unchanged(self):
+        algo = make_algorithm("bottomup", SCHEMA)
+        algo.process({"d0": "a", "d1": "b", "m0": 1, "m1": 1})
+        with pytest.raises(SchemaError):
+            algo.process({"d0": "a", "d1": "b", "m0": "x", "m1": 1})
+        assert len(algo.table) == 1
+
+    def test_none_measure_rejected(self):
+        algo = make_algorithm("stopdown", SCHEMA)
+        with pytest.raises(SchemaError):
+            algo.process({"d0": "a", "d1": "b", "m0": None, "m1": 1})
+
+
+class TestMisuse:
+    def test_unknown_algorithm_lists_options(self):
+        with pytest.raises(ValueError) as err:
+            make_algorithm("does-not-exist", SCHEMA)
+        assert "bottomup" in str(err.value)
+
+    def test_retract_unknown_tid(self):
+        algo = make_algorithm("topdown", SCHEMA)
+        with pytest.raises(KeyError):
+            algo.retract(3)
+
+    def test_double_retract(self):
+        algo = make_algorithm("bottomup", SCHEMA)
+        algo.process({"d0": "a", "d1": "b", "m0": 1, "m1": 1})
+        algo.retract(0)
+        with pytest.raises(KeyError):
+            algo.retract(0)
+
+    def test_nan_measures_never_dominate_into_facts(self):
+        """NaN breaks ordering; inserting one must not corrupt others'
+        facts (NaN comparisons are all False, so a NaN row is simply
+        incomparable)."""
+        algo = make_algorithm("bruteforce", SCHEMA)
+        algo.process({"d0": "a", "d1": "b", "m0": float("nan"), "m1": 1})
+        facts = algo.process({"d0": "a", "d1": "b", "m0": 5, "m1": 5})
+        # The normal tuple is undominated everywhere.
+        assert len(facts) == 4 * 3

@@ -1,0 +1,68 @@
+"""Tests for the file-based algorithm variants (§VI-C)."""
+
+import pytest
+
+from repro import TableSchema, make_algorithm
+from repro.algorithms import FSBottomUp, FSTopDown
+from repro.datasets import synthetic_rows, synthetic_schema
+
+
+@pytest.fixture
+def small_stream():
+    return synthetic_rows(25, 2, 2, "independent", cardinalities=[3, 3], seed=9)
+
+
+SCHEMA = synthetic_schema(2, 2)
+
+
+class TestEquivalenceWithMemoryVariants:
+    def test_fsbottomup_matches_sbottomup(self, small_stream, tmp_path):
+        mem = make_algorithm("sbottomup", SCHEMA)
+        fil = FSBottomUp(SCHEMA, directory=str(tmp_path / "bu"))
+        expected = [fs.pairs for fs in mem.process_stream(small_stream)]
+        got = [fs.pairs for fs in fil.process_stream(small_stream)]
+        assert got == expected
+        fil.close()
+
+    def test_fstopdown_matches_stopdown(self, small_stream, tmp_path):
+        mem = make_algorithm("stopdown", SCHEMA)
+        fil = FSTopDown(SCHEMA, directory=str(tmp_path / "td"))
+        expected = [fs.pairs for fs in mem.process_stream(small_stream)]
+        got = [fs.pairs for fs in fil.process_stream(small_stream)]
+        assert got == expected
+        fil.close()
+
+    def test_gamelog_example(self, gamelog_schema, gamelog_rows, tmp_path):
+        mem = make_algorithm("bruteforce", gamelog_schema)
+        fil = FSTopDown(gamelog_schema, directory=str(tmp_path))
+        expected = [fs.pairs for fs in mem.process_stream(gamelog_rows)]
+        got = [fs.pairs for fs in fil.process_stream(gamelog_rows)]
+        assert got == expected
+        fil.close()
+
+
+class TestIOAccounting:
+    def test_fstopdown_does_less_io_than_fsbottomup(self, tmp_path):
+        """§VI-C: maximal-constraint storage touches far fewer files."""
+        rows = synthetic_rows(60, 2, 2, "independent", cardinalities=[4, 4], seed=3)
+        bu = FSBottomUp(SCHEMA, directory=str(tmp_path / "bu"))
+        td = FSTopDown(SCHEMA, directory=str(tmp_path / "td"))
+        bu.process_stream(rows)
+        td.process_stream(rows)
+        assert td.counters.file_writes < bu.counters.file_writes
+        assert td.stored_tuple_count() <= bu.stored_tuple_count()
+        bu.close()
+        td.close()
+
+    def test_registry_names(self):
+        assert FSBottomUp.name == "fsbottomup"
+        assert FSTopDown.name == "fstopdown"
+
+    def test_store_survives_flush_cycles(self, tmp_path):
+        rows = synthetic_rows(15, 2, 2, seed=2)
+        algo = FSTopDown(SCHEMA, directory=str(tmp_path))
+        algo.process_stream(rows)
+        algo.store.flush()
+        snapshot = {k: {r.tid for r in v} for k, v in algo.store.iter_pairs()}
+        assert snapshot  # non-empty and readable back from disk
+        algo.close()

@@ -1,0 +1,98 @@
+"""Tests for Elias-style historical framing ("first since ...")."""
+
+import pytest
+
+from repro import Constraint, Record, TableSchema
+from repro.core.facts import SituationalFact
+from repro.reporting.history import is_precedent, last_precedent, narrate_with_history
+
+SCHEMA = TableSchema(("player", "month"), ("points", "rebounds"))
+
+
+def rec(tid, player, month, points, rebounds):
+    vals = (float(points), float(rebounds))
+    return Record(tid, (player, month), vals, vals)
+
+
+def fact_for(record, bindings, measures):
+    return SituationalFact(
+        record,
+        Constraint.from_mapping(SCHEMA, bindings),
+        SCHEMA.measure_mask(measures),
+    )
+
+
+class TestIsPrecedent:
+    def test_equal_is_precedent(self):
+        assert is_precedent(rec(0, "A", "Jan", 20, 10), rec(1, "B", "Jan", 20, 10), 0b11)
+
+    def test_better_is_precedent(self):
+        assert is_precedent(rec(0, "A", "Jan", 25, 12), rec(1, "B", "Jan", 20, 10), 0b11)
+
+    def test_worse_on_one_axis_is_not(self):
+        assert not is_precedent(rec(0, "A", "Jan", 25, 9), rec(1, "B", "Jan", 20, 10), 0b11)
+
+    def test_subspace_restriction(self):
+        # Worse on rebounds but rebounds outside the subspace.
+        assert is_precedent(rec(0, "A", "Jan", 25, 0), rec(1, "B", "Jan", 20, 10), 0b01)
+
+
+class TestLastPrecedent:
+    def test_none_for_unprecedented(self):
+        history = [rec(0, "A", "Jan", 5, 5)]
+        f = fact_for(rec(1, "B", "Jan", 20, 10), {"month": "Jan"}, ("points",))
+        assert last_precedent(f, history) is None
+
+    def test_finds_most_recent_by_tid(self):
+        history = [
+            rec(0, "Old", "Jan", 30, 10),
+            rec(1, "Mid", "Jan", 2, 2),
+            rec(2, "New", "Jan", 25, 10),
+        ]
+        f = fact_for(rec(3, "B", "Jan", 20, 5), {"month": "Jan"}, ("points",))
+        found = last_precedent(f, history)
+        assert found is not None and found.dims[0] == "New"
+
+    def test_respects_context(self):
+        history = [rec(0, "A", "Feb", 30, 10)]  # wrong month
+        f = fact_for(rec(1, "B", "Jan", 20, 10), {"month": "Jan"}, ("points",))
+        assert last_precedent(f, history) is None
+
+    def test_ignores_the_fact_tuple_itself(self):
+        target = rec(1, "B", "Jan", 20, 10)
+        f = fact_for(target, {"month": "Jan"}, ("points",))
+        assert last_precedent(f, [target]) is None
+
+    def test_time_attribute_ordering(self):
+        history = [
+            rec(0, "Late", "Mar", 30, 10),
+            rec(1, "Early", "Feb", 30, 10),
+        ]
+        f = fact_for(rec(2, "B", None or "Jan", 20, 5), {}, ("points",))
+        found = last_precedent(f, history, time_attribute=1)
+        assert found is not None and found.dims[0] == "Late"
+
+
+class TestNarrateWithHistory:
+    def test_first_ever(self):
+        history = [rec(0, "A", "Jan", 5, 5)]
+        f = fact_for(rec(1, "B", "Jan", 20, 10), {"month": "Jan"}, ("points",))
+        text = narrate_with_history(f, SCHEMA, history)
+        assert "first ever" in text
+        assert "B" in text
+
+    def test_first_since_with_entity(self):
+        history = [
+            rec(0, "Schrempf", "Dec", 21, 11),
+            rec(1, "Scrub", "Dec", 1, 1),
+        ]
+        f = fact_for(rec(2, "George", "Dec", 21, 11), {"month": "Dec"},
+                     ("points", "rebounds"))
+        text = narrate_with_history(f, SCHEMA, history)
+        assert "since Schrempf" in text
+
+    def test_first_since_with_when(self):
+        history = [rec(0, "Schrempf", "Dec", 30, 12)]
+        f = fact_for(rec(1, "George", "Feb", 21, 11), {}, ("points",))
+        text = narrate_with_history(f, SCHEMA, history, when_attribute=1)
+        assert "since Schrempf in Dec" in text

@@ -1,0 +1,92 @@
+"""Tests for the k-d tree substrate (BaselineIdx's index)."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.record import Record
+from repro.index.kdtree import KDTree
+
+
+def rec(tid, *values):
+    vals = tuple(float(v) for v in values)
+    return Record(tid, ("x",), vals, vals)
+
+
+class TestBasics:
+    def test_empty_tree(self):
+        tree = KDTree(2)
+        assert len(tree) == 0
+        assert tree.dominating_candidates((0, 0), 0b11) == []
+
+    def test_rejects_zero_axes(self):
+        with pytest.raises(ValueError):
+            KDTree(0)
+
+    def test_rejects_wrong_arity(self):
+        tree = KDTree(2)
+        with pytest.raises(ValueError):
+            tree.insert(rec(0, 1.0))
+
+    def test_single_point(self):
+        tree = KDTree(2)
+        tree.insert(rec(0, 3, 4))
+        assert [r.tid for r in tree.dominating_candidates((3, 4), 0b11)] == [0]
+        assert tree.dominating_candidates((4, 4), 0b11) == []
+
+    def test_items_returns_everything(self):
+        tree = KDTree(2)
+        for i in range(10):
+            tree.insert(rec(i, i, 10 - i))
+        assert {r.tid for r in tree.items()} == set(range(10))
+
+
+class TestOneSidedRangeQuery:
+    def test_subspace_only_constrains_selected_axes(self):
+        tree = KDTree(2)
+        tree.insert(rec(0, 5, 0))
+        tree.insert(rec(1, 0, 5))
+        # Constrain axis 0 only: record 1 fails (0 < 3), record 0 passes.
+        got = {r.tid for r in tree.dominating_candidates((3, 99), 0b01)}
+        assert got == {0}
+
+    def test_equal_values_are_candidates(self):
+        """Weak dominance: equality on every axis still qualifies."""
+        tree = KDTree(2)
+        tree.insert(rec(0, 2, 2))
+        got = {r.tid for r in tree.dominating_candidates((2, 2), 0b11)}
+        assert got == {0}
+
+    @settings(max_examples=40, deadline=None)
+    @given(
+        st.lists(
+            st.tuples(
+                st.integers(min_value=0, max_value=6),
+                st.integers(min_value=0, max_value=6),
+                st.integers(min_value=0, max_value=6),
+            ),
+            max_size=40,
+        ),
+        st.tuples(
+            st.integers(min_value=0, max_value=6),
+            st.integers(min_value=0, max_value=6),
+            st.integers(min_value=0, max_value=6),
+        ),
+        st.integers(min_value=1, max_value=7),
+    )
+    def test_matches_linear_scan(self, points, probe, subspace):
+        tree = KDTree(3)
+        records = [rec(i, *p) for i, p in enumerate(points)]
+        for r in records:
+            tree.insert(r)
+        got = {r.tid for r in tree.dominating_candidates(probe, subspace)}
+        expected = set()
+        for r in records:
+            ok = True
+            for axis in range(3):
+                if subspace & (1 << axis) and r.values[axis] < probe[axis]:
+                    ok = False
+                    break
+            if ok:
+                expected.add(r.tid)
+        assert got == expected

@@ -1,0 +1,46 @@
+"""Unit tests for the latency-measurement harness."""
+
+import pytest
+
+from repro.datasets import synthetic_rows, synthetic_schema
+from repro.experiments.latency import LatencyProfile, latency_table, measure_latency
+
+
+class TestLatencyProfile:
+    def test_percentiles(self):
+        p = LatencyProfile("x", [1.0, 2.0, 3.0, 4.0, 5.0])
+        assert p.p50 == 3.0
+        assert p.worst == 5.0
+        assert p.mean == 3.0
+        assert p.percentile(0) == 1.0
+        assert p.percentile(100) == 5.0
+
+    def test_single_sample(self):
+        p = LatencyProfile("x", [7.0])
+        assert p.p50 == p.p99 == p.worst == 7.0
+
+    def test_empty_raises(self):
+        with pytest.raises(ValueError):
+            LatencyProfile("x", []).percentile(50)
+
+    def test_row_keys(self):
+        p = LatencyProfile("x", [1.0, 2.0])
+        assert set(p.row()) == {"mean", "p50", "p90", "p99", "max"}
+
+
+class TestMeasureLatency:
+    def test_measures_all_rows_minus_warmup(self):
+        schema = synthetic_schema(2, 2)
+        rows = synthetic_rows(12, 2, 2, cardinalities=[2, 2], seed=1)
+        profile = measure_latency("bottomup", schema, rows, warmup=2)
+        assert len(profile.samples_ms) == 10
+        assert all(s >= 0 for s in profile.samples_ms)
+
+    def test_table_rendering(self):
+        schema = synthetic_schema(2, 2)
+        rows = synthetic_rows(6, 2, 2, seed=2)
+        profiles = [
+            measure_latency(name, schema, rows) for name in ("bottomup", "topdown")
+        ]
+        text = latency_table(profiles)
+        assert "bottomup" in text and "p99" in text

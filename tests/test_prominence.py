@@ -1,0 +1,153 @@
+"""Tests for prominence scoring, context counting, and fact ranking."""
+
+import pytest
+
+from repro import (
+    Constraint,
+    ContextCounter,
+    DiscoveryConfig,
+    Record,
+    TableSchema,
+)
+from repro.core.facts import FactSet, SituationalFact
+from repro.core.prominence import score_facts, select_reportable
+
+SCHEMA = TableSchema(("d0", "d1"), ("m0", "m1"))
+
+
+def rec(tid, dims=("a", "b"), values=(1.0, 1.0)):
+    return Record(tid, tuple(dims), tuple(values), tuple(values))
+
+
+class TestContextCounter:
+    def test_register_counts_all_satisfied_constraints(self):
+        counter = ContextCounter()
+        counter.register(rec(0, ("a", "b")))
+        assert counter.count(Constraint((None, None))) == 1
+        assert counter.count(Constraint(("a", None))) == 1
+        assert counter.count(Constraint(("a", "b"))) == 1
+        assert counter.count(Constraint(("z", None))) == 0
+
+    def test_counts_accumulate(self):
+        counter = ContextCounter()
+        counter.register(rec(0, ("a", "b")))
+        counter.register(rec(1, ("a", "c")))
+        assert counter.count(Constraint(("a", None))) == 2
+        assert counter.count(Constraint(("a", "b"))) == 1
+
+    def test_unregister_reverses(self):
+        counter = ContextCounter()
+        counter.register(rec(0, ("a", "b")))
+        counter.register(rec(1, ("a", "b")))
+        counter.unregister(rec(1, ("a", "b")))
+        assert counter.count(Constraint(("a", "b"))) == 1
+        counter.unregister(rec(0, ("a", "b")))
+        assert counter.count(Constraint(("a", "b"))) == 0
+        assert len(counter) == 0
+
+    def test_max_bound_cap(self):
+        counter = ContextCounter(max_bound_dims=1)
+        counter.register(rec(0, ("a", "b")))
+        assert counter.count(Constraint(("a", None))) == 1
+        assert counter.count(Constraint(("a", "b"))) == 0  # beyond d̂
+
+
+class TestSituationalFact:
+    def test_prominence_ratio(self):
+        f = SituationalFact(rec(0), Constraint(("a", None)), 0b1, 10, 2)
+        assert f.prominence == 5.0
+
+    def test_prominence_none_when_unscored(self):
+        f = SituationalFact(rec(0), Constraint(("a", None)), 0b1)
+        assert f.prominence is None
+
+    def test_prominence_none_when_zero_skyline(self):
+        f = SituationalFact(rec(0), Constraint(("a", None)), 0b1, 10, 0)
+        assert f.prominence is None
+
+    def test_describe(self):
+        f = SituationalFact(rec(0), Constraint(("a", None)), 0b1, 10, 2)
+        text = f.describe(SCHEMA)
+        assert "d0=a" in text and "m0" in text and "prominence=5" in text
+
+
+class TestFactSet:
+    def _facts(self):
+        fs = FactSet(rec(0))
+        fs.add(SituationalFact(rec(0), Constraint(("a", None)), 0b01, 10, 1))
+        fs.add(SituationalFact(rec(0), Constraint(("a", "b")), 0b01, 4, 2))
+        fs.add(SituationalFact(rec(0), Constraint((None, None)), 0b11, 20, 4))
+        return fs
+
+    def test_ranked_descending_prominence(self):
+        ranked = self._facts().ranked()
+        proms = [f.prominence for f in ranked]
+        assert proms == sorted(proms, reverse=True)
+        assert proms[0] == 10.0
+
+    def test_prominent_threshold_and_ties(self):
+        fs = self._facts()
+        assert [f.prominence for f in fs.prominent(tau=5)] == [10.0]
+        assert fs.prominent(tau=50) == []
+
+    def test_prominent_keeps_all_ties(self):
+        fs = FactSet(rec(0))
+        fs.add(SituationalFact(rec(0), Constraint(("a", None)), 0b01, 10, 1))
+        fs.add(SituationalFact(rec(0), Constraint(("a", "b")), 0b10, 20, 2))
+        winners = fs.prominent(tau=2)
+        assert len(winners) == 2  # both at prominence 10
+
+    def test_top_k_with_tie_at_cut(self):
+        fs = FactSet(rec(0))
+        fs.add(SituationalFact(rec(0), Constraint(("a", None)), 0b01, 9, 1))
+        fs.add(SituationalFact(rec(0), Constraint(("a", "b")), 0b01, 6, 2))
+        fs.add(SituationalFact(rec(0), Constraint((None, "b")), 0b10, 3, 1))
+        top = fs.top_k(2)
+        assert [f.prominence for f in top] == [9.0, 3.0, 3.0]
+
+    def test_pairs_and_contains(self):
+        fs = self._facts()
+        assert (Constraint(("a", None)), 0b01) in fs
+        assert (Constraint(("z", None)), 0b01) not in fs
+        assert len(fs.pairs) == 3
+
+    def test_len_and_iter(self):
+        fs = self._facts()
+        assert len(fs) == 3
+        assert len(list(fs)) == 3
+
+
+class TestScoreAndSelect:
+    def test_score_facts_fills_sizes(self):
+        counter = ContextCounter()
+        r = rec(0, ("a", "b"))
+        counter.register(r)
+        fs = FactSet(r)
+        fs.add_pair(Constraint(("a", None)), 0b1)
+        sizes = {(Constraint(("a", None)), 0b1): 1}
+        scored = score_facts(fs, counter, sizes)
+        (fact,) = list(scored)
+        assert fact.context_size == 1
+        assert fact.skyline_size == 1
+        assert fact.prominence == 1.0
+
+    def test_select_reportable_tau(self):
+        fs = FactSet(rec(0))
+        fs.add(SituationalFact(rec(0), Constraint(("a", None)), 0b1, 10, 1))
+        fs.add(SituationalFact(rec(0), Constraint(("a", "b")), 0b1, 2, 1))
+        out = select_reportable(fs, DiscoveryConfig(tau=5))
+        assert [f.prominence for f in out] == [10.0]
+
+    def test_select_reportable_top_k(self):
+        fs = FactSet(rec(0))
+        fs.add(SituationalFact(rec(0), Constraint(("a", None)), 0b1, 10, 1))
+        fs.add(SituationalFact(rec(0), Constraint(("a", "b")), 0b1, 2, 1))
+        out = select_reportable(fs, DiscoveryConfig(top_k=1))
+        assert len(out) == 1 and out[0].prominence == 10.0
+
+    def test_select_reportable_default_ranks_all(self):
+        fs = FactSet(rec(0))
+        fs.add(SituationalFact(rec(0), Constraint(("a", None)), 0b1, 10, 1))
+        fs.add(SituationalFact(rec(0), Constraint(("a", "b")), 0b1, 2, 1))
+        out = select_reportable(fs, DiscoveryConfig())
+        assert len(out) == 2

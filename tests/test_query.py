@@ -1,0 +1,184 @@
+"""Tests for the forward-query layer and the textual query language."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro import Constraint, SchemaError, TableSchema, make_algorithm
+from repro.core.skyline import contextual_skyline
+from repro.query import ContextualQueryEngine, QueryParseError, format_query, parse_query
+
+SCHEMA = TableSchema(("team", "opp"), ("pts", "ast"))
+
+
+class TestParser:
+    def test_basic(self):
+        c, m = parse_query("team=Celtics & opp=Nets | pts, ast", SCHEMA)
+        assert c.to_mapping(SCHEMA) == {"team": "Celtics", "opp": "Nets"}
+        assert m == 0b11
+
+    def test_star_constraint(self):
+        c, m = parse_query("* | pts", SCHEMA)
+        assert c.is_top
+        assert m == 0b01
+
+    def test_empty_constraint_means_top(self):
+        c, _m = parse_query(" | pts", SCHEMA)
+        assert c.is_top
+
+    def test_numeric_value_coercion(self):
+        c, _ = parse_query("team=12 | pts", SCHEMA)
+        assert c.to_mapping(SCHEMA) == {"team": 12}
+
+    def test_missing_pipe(self):
+        with pytest.raises(QueryParseError, match="must contain"):
+            parse_query("team=Celtics", SCHEMA)
+
+    def test_missing_measures(self):
+        with pytest.raises(QueryParseError, match="no measure"):
+            parse_query("team=Celtics |", SCHEMA)
+
+    def test_conjunct_without_equals(self):
+        with pytest.raises(QueryParseError, match="lacks '='"):
+            parse_query("team | pts", SCHEMA)
+
+    def test_duplicate_binding(self):
+        with pytest.raises(QueryParseError, match="bound twice"):
+            parse_query("team=A & team=B | pts", SCHEMA)
+
+    def test_duplicate_measure(self):
+        with pytest.raises(QueryParseError, match="duplicate measure"):
+            parse_query("* | pts, pts", SCHEMA)
+
+    def test_unknown_attribute(self):
+        with pytest.raises(SchemaError):
+            parse_query("coach=X | pts", SCHEMA)
+        with pytest.raises(SchemaError):
+            parse_query("* | fouls", SCHEMA)
+
+    def test_format_roundtrip(self):
+        text = "team=Celtics & opp=Nets | pts, ast"
+        c, m = parse_query(text, SCHEMA)
+        assert parse_query(format_query(c, m, SCHEMA), SCHEMA) == (c, m)
+
+    def test_format_top(self):
+        c, m = parse_query("* | ast", SCHEMA)
+        assert format_query(c, m, SCHEMA) == "* | ast"
+
+
+ROWS = [
+    {"team": "T", "opp": "U", "pts": 10, "ast": 2},
+    {"team": "T", "opp": "V", "pts": 5, "ast": 9},
+    {"team": "T", "opp": "U", "pts": 3, "ast": 3},
+    {"team": "W", "opp": "U", "pts": 8, "ast": 8},
+]
+
+
+class TestContextualQueryEngine:
+    @pytest.mark.parametrize(
+        "name", ["bottomup", "topdown", "sbottomup", "stopdown", "bruteforce"]
+    )
+    def test_skyline_matches_oracle(self, name):
+        algo = make_algorithm(name, SCHEMA)
+        algo.process_stream(ROWS)
+        queries = ContextualQueryEngine(algo)
+        for text in ["team=T | pts, ast", "* | pts", "opp=U | ast", "team=T & opp=U | pts"]:
+            constraint, subspace = parse_query(text, SCHEMA)
+            expected = {
+                r.tid for r in contextual_skyline(algo.table, constraint, subspace)
+            }
+            got = {r.tid for r in queries.skyline(constraint, subspace)}
+            assert got == expected, (name, text)
+
+    def test_skyband_k1_is_skyline(self):
+        algo = make_algorithm("bottomup", SCHEMA)
+        algo.process_stream(ROWS)
+        queries = ContextualQueryEngine(algo)
+        constraint, subspace = parse_query("* | pts, ast", SCHEMA)
+        sky = {r.tid for r in queries.skyline(constraint, subspace)}
+        band = {r.tid for r in queries.skyband(constraint, subspace, k=1)}
+        assert band == sky
+
+    def test_skyband_grows_with_k(self):
+        algo = make_algorithm("bottomup", SCHEMA)
+        algo.process_stream(ROWS)
+        queries = ContextualQueryEngine(algo)
+        constraint, subspace = parse_query("* | pts", SCHEMA)
+        sizes = [len(queries.skyband(constraint, subspace, k)) for k in (1, 2, 3, 4)]
+        assert sizes == sorted(sizes)
+        assert sizes[-1] == len(ROWS)
+
+    def test_skyband_members_dominated_by_fewer_than_k(self):
+        from repro.core.dominance import dominates
+
+        algo = make_algorithm("bottomup", SCHEMA)
+        algo.process_stream(ROWS)
+        queries = ContextualQueryEngine(algo)
+        constraint, subspace = parse_query("* | pts, ast", SCHEMA)
+        for k in (1, 2, 3):
+            for member in queries.skyband(constraint, subspace, k):
+                dominators = sum(
+                    1
+                    for other in algo.table
+                    if other.tid != member.tid
+                    and dominates(other, member, subspace)
+                )
+                assert dominators < k
+
+    def test_skyband_k_validation(self):
+        algo = make_algorithm("bottomup", SCHEMA)
+        queries = ContextualQueryEngine(algo)
+        with pytest.raises(ValueError):
+            queries.skyband(Constraint.top(2), 0b1, k=0)
+
+    def test_context_size_and_prominence(self):
+        algo = make_algorithm("bottomup", SCHEMA)
+        algo.process_stream(ROWS)
+        queries = ContextualQueryEngine(algo)
+        constraint, subspace = parse_query("team=T | pts", SCHEMA)
+        assert queries.context_size(constraint) == 3
+        # Skyline of team=T on pts is just the 10-point game.
+        assert queries.prominence(constraint, subspace) == 3.0
+
+    def test_prominence_empty_context(self):
+        algo = make_algorithm("bottomup", SCHEMA)
+        algo.process_stream(ROWS)
+        queries = ContextualQueryEngine(algo)
+        constraint, subspace = parse_query("team=NOPE | pts", SCHEMA)
+        assert queries.prominence(constraint, subspace) is None
+
+    def test_is_skyline_tuple(self):
+        algo = make_algorithm("topdown", SCHEMA)
+        algo.process_stream(ROWS)
+        queries = ContextualQueryEngine(algo)
+        constraint, subspace = parse_query("team=T | pts", SCHEMA)
+        assert queries.is_skyline_tuple(0, constraint, subspace)
+        assert not queries.is_skyline_tuple(2, constraint, subspace)
+
+    @settings(max_examples=15, deadline=None)
+    @given(
+        st.lists(
+            st.tuples(
+                st.sampled_from(["T", "W"]),
+                st.sampled_from(["U", "V"]),
+                st.integers(min_value=0, max_value=5),
+                st.integers(min_value=0, max_value=5),
+            ),
+            min_size=1,
+            max_size=12,
+        )
+    )
+    def test_topdown_reconstruction_property(self, tuples):
+        rows = [
+            {"team": t, "opp": o, "pts": p, "ast": a} for t, o, p, a in tuples
+        ]
+        algo = make_algorithm("topdown", SCHEMA)
+        algo.process_stream(rows)
+        queries = ContextualQueryEngine(algo)
+        for text in ["* | pts, ast", "team=T | pts", "team=T & opp=U | ast"]:
+            constraint, subspace = parse_query(text, SCHEMA)
+            expected = {
+                r.tid for r in contextual_skyline(algo.table, constraint, subspace)
+            }
+            got = {r.tid for r in queries.skyline(constraint, subspace)}
+            assert got == expected

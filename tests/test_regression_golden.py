@@ -1,0 +1,76 @@
+"""Golden regression tests: deterministic outputs pinned on synthetic
+streams.
+
+The generators are seeded, so exact fact counts, store sizes, and
+prominence statistics are reproducible.  These tests freeze them —
+any algorithmic change that silently alters discovery output trips a
+golden value even if cross-algorithm equivalence still holds (e.g. a
+bug introduced symmetrically into a shared helper).
+"""
+
+import pytest
+
+from repro import DiscoveryConfig, FactDiscoverer, make_algorithm
+from repro.datasets import nba_rows, nba_schema, weather_rows, weather_schema
+
+CONFIG = DiscoveryConfig(max_bound_dims=4)
+
+
+@pytest.fixture(scope="module")
+def nba_state():
+    """One shared 120-tuple NBA run per algorithm family."""
+    schema = nba_schema(4, 4)
+    rows = nba_rows(120, d=4, m=4)
+    out = {}
+    for name in ("bottomup", "topdown", "stopdown"):
+        algo = make_algorithm(name, schema, CONFIG)
+        fact_counts = [len(fs) for fs in algo.process_stream(rows)]
+        out[name] = (algo, fact_counts)
+    return out
+
+
+class TestNBAGolden:
+    def test_total_fact_count_consistent(self, nba_state):
+        counts = {name: sum(fc) for name, (_a, fc) in nba_state.items()}
+        assert len(set(counts.values())) == 1  # all algorithms agree
+        total = next(iter(counts.values()))
+        # Golden value for seed 2014, n=120, d=4, m=4, d̂=4.
+        assert total == 24684
+
+    def test_first_tuple_wins_all_pairs(self, nba_state):
+        _algo, fact_counts = nba_state["bottomup"]
+        assert fact_counts[0] == 16 * 15  # 2^4 constraints × (2^4 - 1) subspaces
+
+    def test_store_sizes(self, nba_state):
+        bottomup, _ = nba_state["bottomup"]
+        topdown, _ = nba_state["topdown"]
+        assert bottomup.stored_tuple_count() == 22903
+        assert topdown.stored_tuple_count() == 6067
+
+    def test_comparison_counts(self, nba_state):
+        stopdown, _ = nba_state["stopdown"]
+        topdown, _ = nba_state["topdown"]
+        assert stopdown.counters.comparisons == 5070
+        assert topdown.counters.comparisons == 13209
+
+
+class TestWeatherGolden:
+    def test_fact_stream(self):
+        schema = weather_schema(4, 4)
+        rows = weather_rows(80, d=4, m=4)
+        algo = make_algorithm("sbottomup", schema, CONFIG)
+        counts = [len(fs) for fs in algo.process_stream(rows)]
+        assert sum(counts) == 15919
+        assert counts[0] == 16 * 15
+
+
+class TestProminenceGolden:
+    def test_prominent_fact_totals(self):
+        """Fig. 14/15 source numbers at miniature scale."""
+        schema = nba_schema(5, 4)
+        config = DiscoveryConfig(max_bound_dims=3, max_measure_dims=3, tau=10.0)
+        engine = FactDiscoverer(schema, algorithm="stopdown", config=config)
+        total = 0
+        for row in nba_rows(400, d=5, m=4):
+            total += len(engine.observe(row))
+        assert total == 135

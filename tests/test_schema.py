@@ -1,0 +1,109 @@
+"""Unit tests for repro.core.schema."""
+
+import pytest
+
+from repro import MAX, MIN, SchemaError, TableSchema
+
+
+class TestConstruction:
+    def test_basic(self):
+        s = TableSchema(("d1", "d2"), ("m1",))
+        assert s.n_dimensions == 2
+        assert s.n_measures == 1
+        assert s.dimensions == ("d1", "d2")
+        assert s.measures == ("m1",)
+
+    def test_accepts_lists(self):
+        s = TableSchema(["d"], ["m"])
+        assert s.dimensions == ("d",)
+
+    def test_requires_dimensions(self):
+        with pytest.raises(SchemaError):
+            TableSchema((), ("m",))
+
+    def test_requires_measures(self):
+        with pytest.raises(SchemaError):
+            TableSchema(("d",), ())
+
+    def test_rejects_duplicate_names(self):
+        with pytest.raises(SchemaError):
+            TableSchema(("d", "d"), ("m",))
+
+    def test_rejects_name_shared_between_spaces(self):
+        with pytest.raises(SchemaError):
+            TableSchema(("x",), ("x",))
+
+    def test_rejects_unknown_preference_attribute(self):
+        with pytest.raises(SchemaError):
+            TableSchema(("d",), ("m",), {"other": MIN})
+
+    def test_rejects_bad_preference_value(self):
+        with pytest.raises(SchemaError):
+            TableSchema(("d",), ("m",), {"m": "upwards"})
+
+
+class TestPreferences:
+    def test_default_is_max(self):
+        s = TableSchema(("d",), ("m1", "m2"))
+        assert s.preference("m1") == MAX
+        assert s.measure_signs() == (1, 1)
+
+    def test_min_preference_sign(self):
+        s = TableSchema(("d",), ("points", "fouls"), {"fouls": MIN})
+        assert s.preference("fouls") == MIN
+        assert s.measure_signs() == (1, -1)
+
+    def test_preference_unknown_measure_raises(self):
+        s = TableSchema(("d",), ("m",))
+        with pytest.raises(SchemaError):
+            s.preference("nope")
+
+
+class TestMasks:
+    def test_full_measure_mask(self):
+        s = TableSchema(("d",), ("a", "b", "c"))
+        assert s.full_measure_mask == 0b111
+
+    def test_measure_mask_roundtrip(self):
+        s = TableSchema(("d",), ("a", "b", "c"))
+        mask = s.measure_mask(("a", "c"))
+        assert mask == 0b101
+        assert s.measure_names(mask) == ("a", "c")
+
+    def test_measure_names_out_of_range(self):
+        s = TableSchema(("d",), ("a",))
+        with pytest.raises(SchemaError):
+            s.measure_names(0b10)
+
+    def test_indexes(self):
+        s = TableSchema(("d1", "d2"), ("m1", "m2"))
+        assert s.dimension_index("d2") == 1
+        assert s.measure_index("m2") == 1
+        with pytest.raises(SchemaError):
+            s.dimension_index("m1")
+        with pytest.raises(SchemaError):
+            s.measure_index("d1")
+
+
+class TestRows:
+    def test_project_row(self):
+        s = TableSchema(("d",), ("m",))
+        dims, meas = s.project_row({"d": "x", "m": 3, "extra": 9})
+        assert dims == ("x",)
+        assert meas == (3,)
+
+    def test_project_row_missing_dimension(self):
+        s = TableSchema(("d",), ("m",))
+        with pytest.raises(SchemaError, match="dimension"):
+            s.project_row({"m": 3})
+
+    def test_project_row_missing_measure(self):
+        s = TableSchema(("d",), ("m",))
+        with pytest.raises(SchemaError, match="measure"):
+            s.project_row({"d": "x"})
+
+    def test_describe(self):
+        s = TableSchema(("d",), ("m",), {"m": MIN})
+        desc = s.describe()
+        assert desc["dimensions"] == ["d"]
+        assert desc["measures"] == ["m (min)"]

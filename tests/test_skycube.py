@@ -1,0 +1,131 @@
+"""Tests for the skycube and compressed skycube substrates ([9], [12])."""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.lattice import iter_submasks, nonempty_subspaces
+from repro.core.record import Record
+from repro.core.skyline import skyline_bnl
+from repro.index.skycube import CompressedSkycube, Skycube
+
+
+def rec(tid, *values):
+    vals = tuple(float(v) for v in values)
+    return Record(tid, ("x",), vals, vals)
+
+
+streams = st.lists(
+    st.tuples(
+        st.integers(min_value=0, max_value=4),
+        st.integers(min_value=0, max_value=4),
+        st.integers(min_value=0, max_value=4),
+    ),
+    min_size=1,
+    max_size=20,
+)
+
+FULL = 0b111
+
+
+class TestSkycube:
+    @settings(max_examples=30, deadline=None)
+    @given(streams)
+    def test_matches_bnl_in_every_subspace(self, rows):
+        cube = Skycube(FULL)
+        records = [rec(i, *vals) for i, vals in enumerate(rows)]
+        for r in records:
+            cube.insert(r)
+        for subspace in nonempty_subspaces(FULL):
+            expected = {r.tid for r in skyline_bnl(records, subspace)}
+            got = {r.tid for r in cube.skyline(subspace)}
+            assert got == expected
+
+    def test_is_skyline_membership(self):
+        cube = Skycube(0b11)
+        a, b = rec(0, 3, 1), rec(1, 1, 3)
+        cube.insert(a)
+        cube.insert(b)
+        assert cube.is_skyline(a, 0b11) and cube.is_skyline(b, 0b11)
+        assert cube.is_skyline(a, 0b01) and not cube.is_skyline(b, 0b01)
+
+
+class TestCompressedSkycube:
+    @settings(max_examples=30, deadline=None)
+    @given(streams)
+    def test_query_matches_bnl(self, rows):
+        csc = CompressedSkycube(FULL)
+        records = [rec(i, *vals) for i, vals in enumerate(rows)]
+        for r in records:
+            csc.insert(r)
+        for subspace in nonempty_subspaces(FULL):
+            expected = {r.tid for r in skyline_bnl(records, subspace)}
+            got = {r.tid for r in csc.skyline(subspace)}
+            assert got == expected, subspace
+
+    @settings(max_examples=30, deadline=None)
+    @given(streams)
+    def test_insert_reports_correct_skyline_bits(self, rows):
+        csc = CompressedSkycube(FULL)
+        records = [rec(i, *vals) for i, vals in enumerate(rows)]
+        history = []
+        for r in records:
+            bits = csc.insert(r)
+            history.append(r)
+            for subspace in nonempty_subspaces(FULL):
+                expected = any(
+                    s.tid == r.tid for s in skyline_bnl(history, subspace)
+                )
+                assert bool(bits & (1 << subspace)) == expected
+
+    @settings(max_examples=25, deadline=None)
+    @given(streams)
+    def test_minimum_subspace_storage_rule(self, rows):
+        """A tuple is stored at M iff M is a minimal skyline subspace of
+        it (the CSC compression rule of [12])."""
+        csc = CompressedSkycube(FULL)
+        records = [rec(i, *vals) for i, vals in enumerate(rows)]
+        for r in records:
+            csc.insert(r)
+        sky = {
+            r.tid: {
+                m
+                for m in nonempty_subspaces(FULL)
+                if any(s.tid == r.tid for s in skyline_bnl(records, m))
+            }
+            for r in records
+        }
+        stored = {}
+        for subspace, recs in csc.iter_stored():
+            for r in recs:
+                stored.setdefault(r.tid, set()).add(subspace)
+        for tid, subspaces in sky.items():
+            minimal = {
+                m
+                for m in subspaces
+                if not any(
+                    s != m and s != 0 and s in subspaces
+                    for s in iter_submasks(m)
+                )
+            }
+            assert stored.get(tid, set()) == minimal, tid
+
+    def test_compression_stores_fewer_entries(self):
+        """CSC must never store more entries than the full skycube."""
+        rows = [(i % 5, (i * 3) % 5, (i * 7) % 5) for i in range(25)]
+        csc = CompressedSkycube(FULL)
+        cube = Skycube(FULL)
+        for i, vals in enumerate(rows):
+            r = rec(i, *vals)
+            csc.insert(r)
+            cube.insert(r)
+        cube_entries = sum(
+            len(cube.skyline(m)) for m in nonempty_subspaces(FULL)
+        )
+        assert csc.stored_tuple_count() <= cube_entries
+
+    def test_comparison_counter_increments(self):
+        csc = CompressedSkycube(0b11)
+        csc.insert(rec(0, 1, 2))
+        before = csc.comparisons
+        csc.insert(rec(1, 2, 1))
+        assert csc.comparisons > before

@@ -1,0 +1,115 @@
+"""Tests for the reference skyline operators (oracles)."""
+
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.core.constraint import Constraint
+from repro.core.dominance import dominates
+from repro.core.record import Record
+from repro.core.skyline import (
+    contextual_skyline,
+    is_contextual_skyline_tuple,
+    skyline_bnl,
+    skyline_presort,
+)
+
+
+def rec(tid, dims, values):
+    vals = tuple(float(v) for v in values)
+    return Record(tid, tuple(dims), vals, vals)
+
+
+def table_iv():
+    """The paper's running example (Table IV)."""
+    return [
+        rec(1, ("a1", "b2", "c2"), (10, 15)),
+        rec(2, ("a1", "b1", "c1"), (15, 10)),
+        rec(3, ("a2", "b1", "c2"), (17, 17)),
+        rec(4, ("a2", "b1", "c1"), (20, 20)),
+        rec(5, ("a1", "b1", "c1"), (11, 15)),
+    ]
+
+
+random_records = st.lists(
+    st.tuples(
+        st.sampled_from(["a", "b"]),
+        st.integers(min_value=0, max_value=5),
+        st.integers(min_value=0, max_value=5),
+        st.integers(min_value=0, max_value=5),
+    ),
+    min_size=0,
+    max_size=25,
+).map(
+    lambda rows: [rec(i, (d,), vals) for i, (d, *vals) in enumerate(rows)]
+)
+
+
+class TestExample3:
+    """Example 3 of the paper, verbatim."""
+
+    def test_full_space_skyline_is_t4(self):
+        sky = skyline_bnl(table_iv(), 0b11)
+        assert {r.tid for r in sky} == {4}
+
+    def test_contextual_skyline_full_space(self):
+        c = Constraint(("a1", "b1", "c1"))
+        sky = contextual_skyline(table_iv(), c, 0b11)
+        assert {r.tid for r in sky} == {2, 5}
+
+    def test_contextual_skyline_m1_only(self):
+        c = Constraint(("a1", "b1", "c1"))
+        sky = contextual_skyline(table_iv(), c, 0b01)
+        assert {r.tid for r in sky} == {2}
+
+
+class TestOperators:
+    def test_empty_input(self):
+        assert skyline_bnl([], 0b1) == []
+        assert skyline_presort([], 0b1) == []
+
+    def test_empty_subspace(self):
+        assert skyline_bnl(table_iv(), 0) == []
+
+    def test_duplicates_both_survive(self):
+        a, b = rec(0, ("x",), (3, 3)), rec(1, ("x",), (3, 3))
+        sky = skyline_bnl([a, b], 0b11)
+        assert {r.tid for r in sky} == {0, 1}
+
+    @given(random_records, st.integers(min_value=1, max_value=7))
+    def test_bnl_equals_presort(self, records, subspace):
+        bnl = {r.tid for r in skyline_bnl(records, subspace)}
+        pre = {r.tid for r in skyline_presort(records, subspace)}
+        assert bnl == pre
+
+    @given(random_records, st.integers(min_value=1, max_value=7))
+    def test_skyline_members_are_undominated(self, records, subspace):
+        sky = skyline_bnl(records, subspace)
+        for s in sky:
+            assert not any(
+                o.tid != s.tid and dominates(o, s, subspace) for o in records
+            )
+
+    @given(random_records, st.integers(min_value=1, max_value=7))
+    def test_non_members_are_dominated(self, records, subspace):
+        sky_ids = {r.tid for r in skyline_bnl(records, subspace)}
+        for r in records:
+            if r.tid not in sky_ids:
+                assert any(
+                    o.tid != r.tid and dominates(o, r, subspace) for o in records
+                )
+
+
+class TestMembership:
+    def test_is_contextual_skyline_tuple(self):
+        rows = table_iv()
+        t5 = rows[-1]
+        # t5 is dominated by t4 under ⊤ in full space.
+        assert not is_contextual_skyline_tuple(t5, rows, Constraint.top(3), 0b11)
+        # ...but in context d1=a1 only t1, t2 compete, neither dominates.
+        assert is_contextual_skyline_tuple(
+            t5, rows, Constraint(("a1", None, None)), 0b11
+        )
+
+    def test_empty_subspace_is_never_skyline(self):
+        rows = table_iv()
+        assert not is_contextual_skyline_tuple(rows[0], rows, Constraint.top(3), 0)

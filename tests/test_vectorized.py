@@ -1,0 +1,82 @@
+"""Tests for the NumPy tuple-at-a-time baseline."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro import DiscoveryConfig, TableSchema, make_algorithm
+from repro.algorithms.vectorized import VectorizedBaseline
+
+SCHEMA = TableSchema(("d0", "d1"), ("m0", "m1"))
+
+row_strategy = st.fixed_dictionaries(
+    {
+        "d0": st.sampled_from(["a", "b", "c"]),
+        "d1": st.sampled_from(["x", "y"]),
+        "m0": st.integers(min_value=0, max_value=4),
+        "m1": st.integers(min_value=0, max_value=4),
+    }
+)
+
+
+class TestEquivalence:
+    @settings(max_examples=25, deadline=None)
+    @given(st.lists(row_strategy, min_size=1, max_size=16))
+    def test_matches_bruteforce(self, rows):
+        ref = make_algorithm("bruteforce", SCHEMA)
+        vec = make_algorithm("baselinevec", SCHEMA)
+        expected = [fs.pairs for fs in ref.process_stream(rows)]
+        got = [fs.pairs for fs in vec.process_stream(rows)]
+        assert got == expected
+
+    def test_matches_on_paper_example(self, gamelog_schema, gamelog_rows):
+        ref = make_algorithm("bruteforce", gamelog_schema)
+        vec = make_algorithm("baselinevec", gamelog_schema)
+        expected = [fs.pairs for fs in ref.process_stream(gamelog_rows)]
+        got = [fs.pairs for fs in vec.process_stream(gamelog_rows)]
+        assert got == expected
+
+    @settings(max_examples=15, deadline=None)
+    @given(st.lists(row_strategy, min_size=1, max_size=12))
+    def test_matches_under_caps(self, rows):
+        cfg = DiscoveryConfig(max_bound_dims=1, max_measure_dims=1)
+        ref = make_algorithm("bruteforce", SCHEMA, cfg)
+        vec = make_algorithm("baselinevec", SCHEMA, cfg)
+        assert [fs.pairs for fs in vec.process_stream(rows)] == [
+            fs.pairs for fs in ref.process_stream(rows)
+        ]
+
+
+class TestInternals:
+    def test_array_growth_preserves_history(self):
+        from repro.algorithms import vectorized
+
+        vec = VectorizedBaseline(SCHEMA)
+        n = vectorized._INITIAL_CAPACITY + 10
+        rows = [
+            {"d0": "a", "d1": "x", "m0": i % 5, "m1": (i * 7) % 5}
+            for i in range(n)
+        ]
+        vec.process_stream(rows)
+        assert vec._size == n
+        assert len(vec.table) == n
+        # History still consulted correctly after growth.
+        ref = make_algorithm("bruteforce", SCHEMA)
+        ref.process_stream(rows)
+        probe = {"d0": "a", "d1": "x", "m0": 2, "m1": 2}
+        assert vec.process(probe).pairs == ref.process(probe).pairs
+
+    def test_reset_clears_arrays(self):
+        vec = VectorizedBaseline(SCHEMA)
+        vec.process({"d0": "a", "d1": "x", "m0": 1, "m1": 1})
+        vec.reset()
+        assert vec._size == 0
+        assert len(vec.table) == 0
+
+    def test_first_tuple_wins_everything(self):
+        vec = VectorizedBaseline(SCHEMA)
+        facts = vec.process({"d0": "a", "d1": "x", "m0": 1, "m1": 1})
+        assert len(facts) == 4 * 3  # 4 constraints x 3 subspaces
+
+    def test_registered(self):
+        assert make_algorithm("baselinevec", SCHEMA).name == "baselinevec"
