@@ -1,0 +1,113 @@
+"""Columnar-engine head-to-head: ``stopdown`` vs ``svec`` vs ``baselinevec``.
+
+Not a paper figure — this repo's tuple-axis vectorization bench.  The
+three contenders run the same synthetic stream and we report *marginal*
+per-tuple latency (the cost of one more arrival once the history holds
+``n`` tuples — the paper's Fig. 7–9 x-axis), across history size ``n``,
+dimension count ``d`` and measure count ``m``.
+
+The default workload is the skyline literature's stress case:
+anticorrelated measures (largest skylines, so scalar sharing does the
+most per-tuple work) at ``n=3000, d=4, m=4``, domain cardinality 8.  The
+headline assertion is the acceptance bar of the columnar subsystem:
+``svec`` beats scalar ``stopdown`` by ≥ 5× marginal per-tuple latency
+there, while being output-equivalent (facts, stores, counters — see
+``tests/test_columnar.py``).
+
+Run with ``pytest benchmarks/bench_columnar.py -s`` to see the tables;
+``REPRO_BENCH_SCALE`` enlarges the workload.
+"""
+
+import statistics
+import time
+
+from repro import make_algorithm
+from repro.datasets.synthetic import synthetic_rows, synthetic_schema
+
+ANTICORRELATED = "anticorrelated"
+CHUNK = 100  # arrivals per timed chunk after the warm-up history
+CHUNKS = 3  # timed chunks; the median damps scheduler/allocator noise
+
+#: Default head-to-head workload (the acceptance-bar configuration).
+DEFAULT = dict(n=3000, d=4, m=4, distribution=ANTICORRELATED)
+
+#: Sweep grid: one axis varies around a lighter pivot, plus the default.
+GRID = [
+    dict(DEFAULT, n=1000),
+    dict(DEFAULT, n=2000),
+    dict(DEFAULT),
+    dict(DEFAULT, n=1500, d=3),
+    dict(DEFAULT, n=1500, d=5),
+    dict(DEFAULT, n=1500, m=3),
+    dict(DEFAULT, n=1500, m=2),
+]
+
+CONTENDERS = ("stopdown", "svec", "baselinevec")
+
+
+def marginal_latency(name, schema, warm, chunks):
+    """Median per-tuple seconds once the history holds ``len(warm)``."""
+    algo = make_algorithm(name, schema)
+    algo.process_many(warm)
+    samples = []
+    for chunk in chunks:
+        start = time.perf_counter()
+        algo.process_many(chunk)
+        samples.append((time.perf_counter() - start) / len(chunk))
+    return statistics.median(samples)
+
+
+def run_cell(cfg, scale=1.0):
+    n = int(cfg["n"] * scale)
+    d, m = cfg["d"], cfg["m"]
+    schema = synthetic_schema(d, m)
+    rows = synthetic_rows(
+        n + CHUNK * CHUNKS, d, m, distribution=cfg["distribution"]
+    )
+    warm = rows[:n]
+    chunks = [
+        rows[n + i * CHUNK : n + (i + 1) * CHUNK] for i in range(CHUNKS)
+    ]
+    return {
+        name: marginal_latency(name, schema, warm, chunks)
+        for name in CONTENDERS
+    }
+
+
+def _table(results):
+    header = f"{'workload':<28}" + "".join(f"{c:>14}" for c in CONTENDERS)
+    lines = [header, "-" * len(header)]
+    for cfg, cell in results:
+        label = f"n={cfg['n']} d={cfg['d']} m={cfg['m']}"
+        lines.append(
+            f"{label:<28}"
+            + "".join(f"{1e3 * cell[c]:>12.3f}ms" for c in CONTENDERS)
+        )
+    return "\n".join(lines)
+
+
+def test_columnar_head_to_head(benchmark, bench_scale):
+    """svec ≥ 5× faster than scalar stopdown at the default workload."""
+    results = benchmark.pedantic(
+        lambda: [(cfg, run_cell(cfg, bench_scale)) for cfg in GRID],
+        iterations=1,
+        rounds=1,
+    )
+    print()
+    print("marginal per-tuple latency (anticorrelated, cardinality 8)")
+    print(_table(results))
+    # The acceptance cell is the unmodified DEFAULT entry of the grid.
+    cell = next(c for cfg, c in results if cfg == DEFAULT)
+    speedup = cell["stopdown"] / cell["svec"]
+    benchmark.extra_info["stopdown_ms"] = round(1e3 * cell["stopdown"], 3)
+    benchmark.extra_info["svec_ms"] = round(1e3 * cell["svec"], 3)
+    benchmark.extra_info["speedup"] = round(speedup, 2)
+    print(f"\nsvec speedup over stopdown at default workload: {speedup:.2f}x")
+    assert speedup >= 5.0, (
+        f"columnar engine regressed: svec only {speedup:.2f}x faster than "
+        f"scalar stopdown (need >= 5x)"
+    )
+    # Sanity on every cell: vectorizing the sharing engine must never be
+    # a pessimisation over the scalar original.
+    for cfg, c in results:
+        assert c["svec"] < c["stopdown"] * 1.5, cfg

@@ -1,0 +1,62 @@
+"""Vectorization regression guard for the NumPy hot paths.
+
+Future PRs must not silently de-vectorize the columnar engine: a change
+that pushes ``svec``'s inner loops back into per-tuple Python shows up
+as an order-of-magnitude latency jump that the equivalence tests cannot
+see (they check outputs, not wall-clock) and the operation counters
+cannot see either (the counting convention is deliberately
+vectorization-blind — see ``repro/metrics/counters.py``).
+
+The guard compares marginal per-tuple latency against ``baselinevec``,
+the minimal NumPy-sweep algorithm: ``svec`` does strictly more per
+arrival (store maintenance, demotion repair), so a *generous* multiple
+of ``baselinevec`` is a stable ceiling across machines — scalar
+``stopdown`` sits far above it on this workload, so a de-vectorized
+``svec`` trips the bound with a wide margin on any hardware.
+
+Run with ``pytest benchmarks/bench_guard.py``; part of the bench suite,
+not of tier-1 (timing asserts do not belong in unit CI).
+"""
+
+import time
+
+from repro import make_algorithm
+from repro.datasets.synthetic import synthetic_rows, synthetic_schema
+
+#: Default scale of the guard workload (matches bench_columnar DEFAULT).
+N, D, M = 2000, 4, 4
+PROBE = 100
+
+#: svec may cost at most this multiple of baselinevec per tuple.  The
+#: measured ratio is ~2x; a de-vectorized svec lands at ~12x (scalar
+#: stopdown territory), so 6x separates the regimes with slack on both
+#: sides.
+GENEROUS_MULTIPLE = 6.0
+
+
+def _marginal(name, schema, warm, probe):
+    algo = make_algorithm(name, schema)
+    algo.process_many(warm)
+    start = time.perf_counter()
+    algo.process_many(probe)
+    return (time.perf_counter() - start) / len(probe)
+
+
+def test_svec_stays_vectorized():
+    schema = synthetic_schema(D, M)
+    rows = synthetic_rows(N + PROBE, D, M, distribution="anticorrelated")
+    warm, probe = rows[:N], rows[N:]
+    base = _marginal("baselinevec", schema, warm, probe)
+    svec = _marginal("svec", schema, warm, probe)
+    ratio = svec / base
+    print(
+        f"\nper-tuple @ n={N}: baselinevec={1e3 * base:.3f}ms "
+        f"svec={1e3 * svec:.3f}ms ratio={ratio:.2f}x "
+        f"(ceiling {GENEROUS_MULTIPLE}x)"
+    )
+    assert ratio <= GENEROUS_MULTIPLE, (
+        f"svec costs {ratio:.1f}x baselinevec per tuple (ceiling "
+        f"{GENEROUS_MULTIPLE}x) — the sharing engine has likely been "
+        f"de-vectorized; see benchmarks/bench_columnar.py for the "
+        f"full head-to-head"
+    )

@@ -24,6 +24,7 @@ ALGOS = (
     "topdown",
     "sbottomup",
     "stopdown",
+    "svec",
 )
 
 

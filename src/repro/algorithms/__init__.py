@@ -15,6 +15,10 @@ Name                      Paper reference
 ``fstopdown``             §VI-C file-based STopDown
 ``baselinevec``           NumPy tuple-at-a-time baseline (this repo's
                           extension; output-equivalent to BaselineSeq)
+``svec``                  STopDown over columnar storage with batched
+                          NumPy comparisons (this repo's extension;
+                          output-equivalent to STopDown, stores and
+                          counters included)
 ========================  =============================================
 """
 
@@ -31,6 +35,7 @@ from .csc import CCSC
 from .file_based import FSBottomUp, FSTopDown
 from .s_bottom_up import SBottomUp
 from .s_top_down import STopDown
+from .s_vectorized import SVectorized
 from .top_down import TopDown
 from .vectorized import VectorizedBaseline
 
@@ -49,6 +54,7 @@ ALGORITHMS: Dict[str, Type[DiscoveryAlgorithm]] = {
         FSBottomUp,
         FSTopDown,
         VectorizedBaseline,
+        SVectorized,
     )
 }
 
@@ -90,4 +96,5 @@ __all__ = [
     "FSBottomUp",
     "FSTopDown",
     "VectorizedBaseline",
+    "SVectorized",
 ]

@@ -81,6 +81,8 @@ class DiscoveryAlgorithm(abc.ABC):
         self.masks_bottom_up: Tuple[int, ...] = tuple(
             m for level in reversed(levels[: cap + 1]) for m in level
         )
+        #: Memo for :meth:`constraint_cache`, keyed by dims tuple.
+        self._ct_by_dims: Dict[Tuple[object, ...], Dict[int, Constraint]] = {}
 
     # ------------------------------------------------------------------
     # Public API
@@ -103,6 +105,27 @@ class DiscoveryAlgorithm(abc.ABC):
     def process_stream(self, rows: Iterable[Row]) -> List[FactSet]:
         """Process many rows; returns one ``S_t`` per row, in order."""
         return [self.process(row) for row in rows]
+
+    def process_many(self, rows: Iterable[Row]) -> List[FactSet]:
+        """Batched ingestion: like :meth:`process_stream`, but the whole
+        block is announced upfront via :meth:`reserve` so vectorized
+        algorithms can intern/append in blocks (grow their column arrays
+        once instead of geometrically along the way).
+
+        Discovery itself stays per-arrival — each tuple is compared
+        against the history *including* the earlier tuples of the same
+        block, so the output is identical to a loop of :meth:`process`.
+        """
+        rows = list(rows)
+        self.reserve(len(rows))
+        return [self.process(row) for row in rows]
+
+    def reserve(self, extra: int) -> None:
+        """Capacity hint: ``extra`` more arrivals are imminent.
+
+        Default is a no-op; algorithms with columnar state override it
+        to pre-grow their arrays in one allocation.
+        """
 
     # ------------------------------------------------------------------
     # Subclass contract
@@ -159,11 +182,22 @@ class DiscoveryAlgorithm(abc.ABC):
         return list(self.subspaces)
 
     def constraint_cache(self, record: Record) -> Dict[int, Constraint]:
-        """The constraints of ``C^t`` keyed by bound mask, built once per
-        arrival so lattice sweeps across many subspaces share them."""
-        return {
+        """The constraints of ``C^t`` keyed by bound mask.
+
+        ``C^t`` depends only on the record's dimension values, which
+        bounded-domain streams repeat constantly, so the per-arrival
+        build is memoised by dims tuple (capped FIFO to bound memory on
+        unbounded domains)."""
+        cached = self._ct_by_dims.get(record.dims)
+        if cached is not None:
+            return cached
+        cached = {
             mask: constraint_for_record(record, mask) for mask in self.masks_top_down
         }
+        if len(self._ct_by_dims) >= 16384:
+            self._ct_by_dims.pop(next(iter(self._ct_by_dims)))
+        self._ct_by_dims[record.dims] = cached
+        return cached
 
     # ------------------------------------------------------------------
     # Prominence support

@@ -1,0 +1,282 @@
+"""SVectorized — STopDown with batched NumPy tuple comparisons ("svec").
+
+STopDown (Alg. 6) already shares work *across measure subspaces*: one
+full-space partition ``(M>, M<, M=)`` per historical tuple answers
+dominance in every subspace via Proposition 4.  This algorithm adds the
+orthogonal sharing axis of :class:`~repro.algorithms.vectorized.\
+VectorizedBaseline` — *across tuples* — while keeping STopDown's
+materialised stores and output semantics:
+
+* the whole history lives column-wise in a
+  :class:`~repro.storage.columnar_store.ColumnarSkylineStore`, so the
+  per-arrival ``(M<, M>, agreement)`` partition against **every**
+  historical tuple is three NumPy matrix expressions;
+* the Prop. 4 pruned matrix is assembled per subspace from the
+  vectorized dominator set, OR-ing submask closures over the *distinct*
+  agreement masks only (at most ``2^n`` of them, however long the
+  history);
+* the lattice passes then run on integer bitsets exactly like scalar
+  STopDown — same facts, same store mutations, same demotion repair
+  (which stays scalar: demotions are rare) — so ``svec`` is
+  output-equivalent to ``stopdown`` *including* the Invariant-2 store
+  contents and the operation counters.
+
+Why precomputing the pruned matrix is sound: STopDown's node passes
+already rely on the root-pass bits being *exact* — a constraint survives
+iff the new tuple is undominated there (the paper's covering argument:
+any dominator in a context is covered by a full-space skyline tuple
+anchored at an ancestor, which the root pass meets in level order).  The
+vectorized sweep computes those exact bits directly from the full
+history, so per-mask decisions come out identical.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Optional
+
+import numpy as np
+
+from ..core.config import DiscoveryConfig
+from ..core.facts import FactSet
+from ..core.record import Record
+from ..core.schema import TableSchema
+from ..metrics.counters import OpCounters
+from ..storage.columnar_store import ColumnarSkylineStore
+from .s_top_down import STopDown
+from .top_down import repair_demoted_tuple
+
+
+class SVectorized(STopDown):
+    """STopDown with the tuple axis vectorized over columnar storage."""
+
+    name = "svec"
+
+    def __init__(
+        self,
+        schema: TableSchema,
+        config: Optional[DiscoveryConfig] = None,
+        counters: Optional[OpCounters] = None,
+        store: Optional[ColumnarSkylineStore] = None,
+    ) -> None:
+        if store is not None and not isinstance(store, ColumnarSkylineStore):
+            raise TypeError(
+                "svec needs a ColumnarSkylineStore; got "
+                f"{type(store).__name__}"
+            )
+        super().__init__(schema, config, counters, store)
+        if store is None:
+            self.store = ColumnarSkylineStore(
+                self.counters,
+                n_dimensions=schema.n_dimensions,
+                n_measures=schema.n_measures,
+            )
+        #: Bit weights turning boolean comparison columns into bitmasks.
+        self._measure_bits = (1 << np.arange(schema.n_measures)).astype(np.int64)
+        self._dim_bits = (1 << np.arange(schema.n_dimensions)).astype(np.int64)
+        allowed_bits = 0
+        for mask in self.masks_top_down:
+            allowed_bits |= 1 << mask
+        #: Bitset (over constraint masks) of the d̂-allowed lattice.
+        self._allowed_bits = allowed_bits
+        #: Maintained subspace keys, full space (sharing substrate) first.
+        self._subspace_keys = [self.full_space] + [
+            s for s in self.subspaces if s != self.full_space
+        ]
+        #: Column vector of the keys, for one broadcast Prop. 4 test.
+        self._keys_column = np.asarray(self._subspace_keys, dtype=np.int64)[:, None]
+        #: One-hot agreement histogram is worth it only while 2^n stays
+        #: a narrow matrix; beyond that fall back to per-key sets.
+        self._use_one_hot = (1 << schema.n_dimensions) <= 256
+        self._arange = np.arange(0, dtype=np.int64)
+
+    # ------------------------------------------------------------------
+    # Streaming hooks
+    # ------------------------------------------------------------------
+    def _after_append(self, record: Record) -> None:
+        # Every arrival enters the columns, stored or not: the next
+        # arrival's sweep runs against the full history.
+        self.store.register(record)
+
+    def reserve(self, extra: int) -> None:
+        self.store.reserve(extra)
+
+    def _repair_after_retract(self, record: Record) -> None:
+        # Standard Invariant-2 repair first, then drop the row from the
+        # columns — the sweep must no longer see the retracted tuple.
+        super()._repair_after_retract(record)
+        self.store.unregister(record.tid)
+
+    # ------------------------------------------------------------------
+    # Discovery
+    # ------------------------------------------------------------------
+    def _discover(self, record: Record) -> FactSet:
+        facts = FactSet(record)
+        store = self.store
+        full = self.full_space
+        constraints = self.constraint_cache(record)
+        n = store.n_rows
+        allowed_bits = self._allowed_bits
+        closure = self._closure
+
+        # Subspace keys, full space (the sharing substrate) first.
+        keys = self._subspace_keys
+        pruned: Dict[int, int] = dict.fromkeys(keys, 0)
+        has_demote = dict.fromkeys(keys, False)
+        lt_list = gt_list = None
+
+        if n:
+            # --- One batched sweep: partition bitmasks vs the whole
+            # history.  lt/gt follow core.dominance.compare's orientation
+            # for compare(record, other): bit i of lt[r] set iff row r
+            # beats the probe on measure i.
+            probe_values = np.asarray(record.values, dtype=np.float64)
+            probe_dims = store.intern_dims(record.dims)
+            values = store.values_matrix()
+            dims = store.dims_matrix()
+            lt = (values > probe_values) @ self._measure_bits
+            gt = (values < probe_values) @ self._measure_bits
+            agree = (dims == probe_dims) @ self._dim_bits
+            # Prop. 4 broadcast over every maintained subspace at once:
+            # row r dominates the probe in key k iff lt[r] hits the
+            # subspace and gt[r] misses it (and vice versa for rows the
+            # probe dominates — the demotion candidates).
+            keys_col = self._keys_column
+            lt_hit = (lt & keys_col) != 0
+            gt_hit = (gt & keys_col) != 0
+            dominated = lt_hit & ~gt_hit
+            demotable_any = (gt_hit & ~lt_hit).any(axis=1)
+            # Distinct agreement masks bound the per-key closure loop at
+            # 2^n regardless of history length.  One bool matmul against
+            # a one-hot agreement matrix yields, per key, exactly which
+            # agreement masks occur among its dominators.
+            present = None
+            if self._use_one_hot:
+                if self._arange.shape[0] < n:
+                    self._arange = np.arange(
+                        max(n, 2 * self._arange.shape[0]), dtype=np.int64
+                    )
+                one_hot = np.zeros(
+                    (n, 1 << self.schema.n_dimensions), dtype=bool
+                )
+                one_hot[self._arange[:n], agree] = True
+                present = dominated @ one_hot
+            for k, subspace in enumerate(keys):
+                has_demote[subspace] = bool(demotable_any[k])
+                if present is not None:
+                    agree_masks = np.nonzero(present[k])[0].tolist()
+                else:
+                    row_mask = dominated[k]
+                    if not row_mask.any():
+                        continue
+                    agree_masks = set(agree[row_mask].tolist())
+                bits = 0
+                for agree_mask in agree_masks:
+                    bits |= closure[agree_mask]
+                    if bits & allowed_bits == allowed_bits:
+                        break
+                pruned[subspace] = bits
+            # Plain-int views for the O(1) per-bucket-row demotion test
+            # in the lattice passes (scalar indexing into numpy arrays
+            # is an order of magnitude slower).
+            lt_list = lt.tolist()
+            gt_list = gt.tolist()
+
+        # C^t as a flat sequence, zipped against masks in every pass.
+        cons_seq = tuple(constraints[m] for m in self.masks_top_down)
+
+        # --- Full-space pass (STopDownRoot), then per-subspace passes
+        # (STopDownNode) that skip pruned constraints.
+        for subspace in keys:
+            self._lattice_pass(
+                record,
+                subspace,
+                facts,
+                pruned[subspace],
+                cons_seq,
+                lt_list,
+                gt_list,
+                has_demote[subspace],
+                is_root=subspace == full,
+            )
+        return facts
+
+    def _lattice_pass(
+        self,
+        record: Record,
+        subspace: int,
+        facts: FactSet,
+        pruned_bits: int,
+        cons_seq,
+        lt_list,
+        gt_list,
+        has_demote: bool,
+        is_root: bool,
+    ) -> None:
+        """One top-down sweep of ``C^t`` in ``subspace``.
+
+        ``lt_list``/``gt_list`` are the per-row partition bitmasks of the
+        arrival sweep (``None`` for an empty history); a stored row is
+        demoted iff the new tuple dominates it there — ``gt`` hits the
+        subspace, ``lt`` misses it.  ``has_demote`` is the sweep's
+        verdict on whether *any* row qualifies, letting demote-free
+        arrivals (the common case) skip every bucket scan.  The root
+        pass visits every constraint (counting and demoting like
+        STopDownRoot); node passes skip pruned ones.  Counter
+        conventions match scalar STopDown exactly — see
+        :mod:`repro.metrics.counters`.
+        """
+        store = self.store
+        counters = self.counters
+        parents = self._parents
+        record_at = store.record_at
+        allowed_mask = self.allowed_mask
+        report = not is_root or self.config.allows_subspace(subspace)
+        submap = store.submap(subspace)
+        insert = store.insert
+        add_pair = facts.add_pair
+        comparisons = 0
+        traversed = 0
+        # Rows at or beyond the sweep length are this very arrival
+        # (met again only when two C^t masks yield *equal* constraints,
+        # e.g. a None dimension value): a self-comparison, never a
+        # demotion — exactly like the scalar pass.
+        swept = len(lt_list) if lt_list is not None else 0
+        for mask, constraint in zip(self.masks_top_down, cons_seq):
+            shifted = pruned_bits >> mask
+            if not is_root and shifted & 1:
+                continue
+            traversed += 1
+            bucket = submap.get(constraint) if submap else None
+            if bucket:
+                comparisons += len(bucket)
+                if has_demote:
+                    # Snapshot before repairing: repair deletes from
+                    # this very bucket.
+                    demoted = [
+                        r
+                        for r in bucket.values()
+                        if r < swept
+                        and gt_list[r] & subspace
+                        and not lt_list[r] & subspace
+                    ]
+                    for row in demoted:
+                        repair_demoted_tuple(
+                            store,
+                            record,
+                            record_at(row),
+                            constraint,
+                            subspace,
+                            allowed_mask,
+                        )
+            if not shifted & 1:
+                if report:
+                    add_pair(constraint, subspace)
+                # Maximal (all parents pruned): with no pruning at all,
+                # only ⊤ qualifies — skip the per-parent scan.
+                if pruned_bits:
+                    if all((pruned_bits >> p) & 1 for p in parents[mask]):
+                        insert(constraint, subspace, record)
+                elif not mask:
+                    insert(constraint, subspace, record)
+        counters.comparisons += comparisons
+        counters.traversed_constraints += traversed

@@ -62,34 +62,57 @@ def repair_demoted_tuple(
     """
     store.delete(constraint, subspace, demoted)
     mask = constraint.bound_mask
-    n = len(demoted.dims)
-    for j in range(n):
-        bit = 1 << j
-        if mask & bit:
-            continue  # already bound
-        if demoted.dims[j] == new_record.dims[j]:
+    dims = demoted.dims
+    new_dims = new_record.dims
+    n = len(dims)
+    cvalues = constraint.values
+    # Stores indexing anchors by bound mask answer the "is an ancestor
+    # anchored?" question with integer arithmetic (see
+    # SkylineStore.anchor_masks); others take the constraint-probing
+    # path below.
+    anchors = store.anchor_masks(demoted.tid, subspace)
+    # Candidate children bind one attribute that is currently free and on
+    # which the two tuples disagree; iterate those bits only.
+    free = ~mask & ((1 << n) - 1)
+    while free:
+        bit = free & -free
+        free ^= bit
+        j = bit.bit_length() - 1
+        if dims[j] == new_dims[j]:
             # Child lies in C^t: new_record is in that context and still
             # dominates, so demoted is not in its skyline.
             continue
+        if dims[j] is UNBOUND:
+            # A value equal to the unbound marker cannot be bound —
+            # there is no child on this attribute.
+            continue
         if not allows_mask(mask | bit):
             continue
-        child_values = list(constraint.values)
-        child_values[j] = demoted.dims[j]
-        child = Constraint(child_values)
+        child_mask = mask | bit
         # Ancestors of the child satisfied by demoted but not by
         # new_record all bind j; scan them for an existing anchor.
-        stored_above = False
-        for sub in iter_submasks(mask):
-            if sub == mask:
-                continue
-            anc_values = [
-                constraint.values[i] if sub & (1 << i) else UNBOUND for i in range(n)
-            ]
-            anc_values[j] = demoted.dims[j]
-            if store.contains(Constraint(anc_values), subspace, demoted):
-                stored_above = True
-                break
+        if anchors is not None:
+            stored_above = any(
+                a & bit and a != child_mask and not a & ~child_mask
+                for a in anchors
+            )
+        else:
+            stored_above = False
+            for sub in iter_submasks(mask):
+                if sub == mask:
+                    continue
+                anc_values = [
+                    cvalues[i] if sub & (1 << i) else UNBOUND for i in range(n)
+                ]
+                anc_values[j] = dims[j]
+                anc = Constraint.from_values_mask(tuple(anc_values), sub | bit)
+                if store.contains(anc, subspace, demoted):
+                    stored_above = True
+                    break
         if not stored_above:
+            child_values = list(cvalues)
+            child_values[j] = dims[j]
+            child = Constraint.from_values_mask(tuple(child_values), child_mask)
             store.insert(child, subspace, demoted)
 
 

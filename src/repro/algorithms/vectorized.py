@@ -19,17 +19,17 @@ Arrays grow geometrically; dimension values are interned to int32 ids.
 
 from __future__ import annotations
 
-from typing import Dict, List, Optional
+from typing import Optional
 
 import numpy as np
 
 from ..core.config import DiscoveryConfig
-from ..core.constraint import constraint_for_record
 from ..core.facts import FactSet
 from ..core.lattice import submask_closure_table
 from ..core.record import Record
 from ..core.schema import TableSchema
 from ..metrics.counters import OpCounters
+from ..storage.columnar_store import ColumnInterner, grow_2d
 from .base import DiscoveryAlgorithm
 
 _INITIAL_CAPACITY = 256
@@ -52,9 +52,7 @@ class VectorizedBaseline(DiscoveryAlgorithm):
         self._size = 0
         self._values = np.empty((self._capacity, schema.n_measures), dtype=np.float64)
         self._dims = np.empty((self._capacity, schema.n_dimensions), dtype=np.int32)
-        self._interners: List[Dict[object, int]] = [
-            {} for _ in range(schema.n_dimensions)
-        ]
+        self._interner = ColumnInterner(schema.n_dimensions)
         #: Bit weights for measure positions (column -> bit).
         self._measure_bits = (1 << np.arange(schema.n_measures)).astype(np.int64)
         self._dim_bits = (1 << np.arange(schema.n_dimensions)).astype(np.int64)
@@ -62,36 +60,21 @@ class VectorizedBaseline(DiscoveryAlgorithm):
     # ------------------------------------------------------------------
     # Array maintenance
     # ------------------------------------------------------------------
-    def _intern_dims(self, record: Record) -> np.ndarray:
-        out = np.empty(self.schema.n_dimensions, dtype=np.int32)
-        for i, value in enumerate(record.dims):
-            table = self._interners[i]
-            vid = table.get(value)
-            if vid is None:
-                vid = len(table)
-                table[value] = vid
-            out[i] = vid
-        return out
-
-    def _grow(self) -> None:
-        self._capacity *= 2
-        new_values = np.empty(
-            (self._capacity, self.schema.n_measures), dtype=np.float64
-        )
-        new_values[: self._size] = self._values[: self._size]
-        self._values = new_values
-        new_dims = np.empty(
-            (self._capacity, self.schema.n_dimensions), dtype=np.int32
-        )
-        new_dims[: self._size] = self._dims[: self._size]
-        self._dims = new_dims
-
     def _after_append(self, record: Record) -> None:
-        if self._size == self._capacity:
-            self._grow()
+        self._values = grow_2d(self._values, self._size)
+        self._dims = grow_2d(self._dims, self._size)
+        self._capacity = self._values.shape[0]
         self._values[self._size] = record.values
-        self._dims[self._size] = self._intern_dims(record)
+        self._dims[self._size] = self._interner.intern_row(record.dims)
         self._size += 1
+
+    def reserve(self, extra: int) -> None:
+        """Pre-grow both column arrays once for a known-size block."""
+        if extra <= 0:
+            return
+        self._values = grow_2d(self._values, self._size, self._size + extra)
+        self._dims = grow_2d(self._dims, self._size, self._size + extra)
+        self._capacity = self._values.shape[0]
 
     # ------------------------------------------------------------------
     # Discovery
@@ -100,14 +83,19 @@ class VectorizedBaseline(DiscoveryAlgorithm):
         facts = FactSet(record)
         n = self._size
         allowed = self.masks_top_down
+        # C^t built once per arrival and shared by every subspace (the
+        # Constraint construction cost used to be paid per (subspace,
+        # mask) pair — the dominant allocation in this loop).
+        constraints = self.constraint_cache(record)
         if n == 0:
             for subspace in self.subspaces:
+                self.counters.traversed_constraints += len(allowed)
                 for mask in allowed:
-                    facts.add_pair(constraint_for_record(record, mask), subspace)
+                    facts.add_pair(constraints[mask], subspace)
             return facts
 
         probe_values = np.asarray(record.values, dtype=np.float64)
-        probe_dims = self._intern_dims(record)
+        probe_dims = self._interner.intern_row(record.dims)
 
         values = self._values[:n]
         dims = self._dims[:n]
@@ -116,7 +104,10 @@ class VectorizedBaseline(DiscoveryAlgorithm):
         lt = ((values > probe_values) @ self._measure_bits).astype(np.int64)
         gt = ((values < probe_values) @ self._measure_bits).astype(np.int64)
         agree = ((dims == probe_dims) @ self._dim_bits).astype(np.int64)
-        self.counters.comparisons += n
+        # Counting convention (see metrics.counters): the shared sweep
+        # resolves one tuple-pair comparison per historical tuple *per
+        # consuming subspace*, mirroring BaselineSeq's per-subspace scan.
+        self.counters.comparisons += n * len(self.subspaces)
 
         full_universe_bits = (1 << (1 << self.schema.n_dimensions)) - 1
         allowed_bits = 0
@@ -126,22 +117,25 @@ class VectorizedBaseline(DiscoveryAlgorithm):
         for subspace in self.subspaces:
             # Prop. 4 vectorised: t dominated by row i in `subspace` iff
             # lt[i] hits the subspace and gt[i] misses it entirely.
-            dominators = np.nonzero((lt & subspace != 0) & (gt & subspace == 0))[0]
+            dominated = ((lt & subspace) != 0) & ((gt & subspace) == 0)
             pruned_bits = 0
-            for i in dominators:
-                pruned_bits |= self._closure[int(agree[i])]
-                if pruned_bits & allowed_bits == allowed_bits:
-                    break  # everything allowed is already pruned
+            if dominated.any():
+                # Distinct agreement masks bound this loop at 2^n no
+                # matter how many dominators the history holds.
+                for agree_mask in np.unique(agree[dominated]):
+                    pruned_bits |= self._closure[int(agree_mask)]
+                    if pruned_bits & allowed_bits == allowed_bits:
+                        break  # everything allowed is already pruned
             surviving = allowed_bits & ~pruned_bits & full_universe_bits
             if not surviving:
                 continue
             for mask in allowed:
                 if (surviving >> mask) & 1:
                     self.counters.traversed_constraints += 1
-                    facts.add_pair(constraint_for_record(record, mask), subspace)
+                    facts.add_pair(constraints[mask], subspace)
         return facts
 
     def reset(self) -> None:
         super().reset()
         self._size = 0
-        self._interners = [{} for _ in range(self.schema.n_dimensions)]
+        self._interner = ColumnInterner(self.schema.n_dimensions)

@@ -52,6 +52,22 @@ class Constraint:
         self._mask = mask
         self._hash = hash(self.values)
 
+    @classmethod
+    def from_values_mask(cls, values: Tuple[object, ...], mask: int) -> "Constraint":
+        """Fast constructor for callers that already know the bound mask.
+
+        Skips the per-position scan of ``__init__`` — the demotion-repair
+        and lattice-traversal hot paths build thousands of constraints
+        per arrival from (values, mask) pairs they derive bit-wise.
+        ``values`` must be a tuple whose non-``None`` positions are
+        exactly the bits of ``mask``.
+        """
+        self = object.__new__(cls)
+        self.values = values
+        self._mask = mask
+        self._hash = hash(values)
+        return self
+
     # ------------------------------------------------------------------
     # Identity
     # ------------------------------------------------------------------
@@ -201,11 +217,15 @@ def constraint_for_record(record: "Record", mask: int) -> Constraint:
     This is the bridge between the bitmask encoding used by the traversal
     algorithms and the value-tuple encoding used by the stores.
     """
+    dims = record.dims
     values = tuple(
-        record.dims[i] if mask & (1 << i) else UNBOUND
-        for i in range(len(record.dims))
+        dims[i] if mask & (1 << i) else UNBOUND for i in range(len(dims))
     )
-    return Constraint(values)
+    if UNBOUND in dims:
+        # Pathological: a dimension value equal to the unbound marker
+        # cannot be bound — rescan so bound_mask matches the values.
+        return Constraint(values)
+    return Constraint.from_values_mask(values, mask)
 
 
 def satisfied_constraints(record: "Record", max_bound: Optional[int] = None) -> Iterator[Constraint]:

@@ -17,7 +17,8 @@ decides dominance in *any* subspace with two bit-operations:
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Iterator, List, Sequence, Tuple
+from functools import lru_cache
+from typing import Iterator, Sequence, Tuple
 
 from .lattice import iter_submasks
 from .record import Record
@@ -70,20 +71,25 @@ def compare(t: Record, other: Record) -> ComparisonOutcome:
 def dominates(a: Record, b: Record, subspace: int) -> bool:
     """``a ≻_M b`` for bitmask subspace ``M`` (Def. 2).
 
-    Empty subspaces never yield dominance.
+    Empty subspaces never yield dominance.  Iterates set bits only
+    (``mask & -mask`` isolates the lowest one), so sparse subspaces —
+    the common case across the ``2^|M|`` lattice — cost exactly their
+    popcount, not ``|M|`` shifts.
     """
     strict = False
     mask = subspace
-    i = 0
+    av = a.values
+    bv = b.values
     while mask:
-        if mask & 1:
-            va, vb = a.values[i], b.values[i]
-            if va < vb:
-                return False
-            if va > vb:
-                strict = True
-        mask >>= 1
-        i += 1
+        bit = mask & -mask
+        i = bit.bit_length() - 1
+        va = av[i]
+        vb = bv[i]
+        if va < vb:
+            return False
+        if va > vb:
+            strict = True
+        mask ^= bit
     return strict
 
 
@@ -92,15 +98,24 @@ def dominated_by_any(t: Record, others: Sequence[Record], subspace: int) -> bool
     return any(dominates(o, t, subspace) for o in others)
 
 
+@lru_cache(maxsize=65536)
+def _cached_projection(values: Tuple[float, ...], subspace: int) -> Tuple[float, ...]:
+    """Projection of a measure tuple onto ``subspace`` (memoised).
+
+    Keyed on the value tuple itself, so identical measure vectors —
+    ubiquitous in bounded-domain streams — share one cached projection
+    across records and arrivals.
+    """
+    out = []
+    mask = subspace
+    while mask:
+        bit = mask & -mask
+        out.append(values[bit.bit_length() - 1])
+        mask ^= bit
+    return tuple(out)
+
+
 def measure_projection(record: Record, subspace: int) -> Tuple[float, ...]:
     """Normalised measure values of ``record`` restricted to ``subspace``,
     in ascending bit order."""
-    out: List[float] = []
-    i = 0
-    mask = subspace
-    while mask:
-        if mask & 1:
-            out.append(record.values[i])
-        mask >>= 1
-        i += 1
-    return tuple(out)
+    return _cached_projection(record.values, subspace)

@@ -102,6 +102,42 @@ class FactDiscoverer:
         """Process many tuples; one reportable-fact list per tuple."""
         return [self.observe(row) for row in rows]
 
+    # ------------------------------------------------------------------
+    # Batched streaming API
+    # ------------------------------------------------------------------
+    def observe_many(self, rows: Iterable[Row]) -> List[List[SituationalFact]]:
+        """Batched :meth:`observe`: one reportable-fact list per row.
+
+        Semantically identical to ``[self.observe(r) for r in rows]`` —
+        each tuple is still discovered and scored against the relation
+        as of *its own* arrival — but the batch size is announced to the
+        algorithm upfront (:meth:`DiscoveryAlgorithm.reserve`), so
+        vectorized algorithms amortise array growth and per-call
+        overhead across the block.
+        """
+        return [
+            select_reportable(facts, self.config)
+            for facts in self.facts_for_many(rows)
+        ]
+
+    def facts_for_many(self, rows: Iterable[Row]) -> List[FactSet]:
+        """Batched :meth:`facts_for`: one full (scored) ``S_t`` per row.
+
+        With scoring enabled, prominence for row ``i`` must be measured
+        against the relation state *at arrival ``i``*, so rows are still
+        processed one by one (after one upfront capacity reservation).
+        With ``score=False`` the whole block is handed to the
+        algorithm's :meth:`DiscoveryAlgorithm.process_many` fast path.
+        """
+        rows = list(rows)
+        if not self.score:
+            out = self.algorithm.process_many(rows)
+            for facts in out:
+                self.context_counter.register(facts.record)
+            return out
+        self.algorithm.reserve(len(rows))
+        return [self.facts_for(row) for row in rows]
+
     def delete(self, tid: int) -> Record:
         """Remove a previously observed tuple (§VIII deletion extension).
 

@@ -80,6 +80,7 @@ class FactSet:
     def __init__(self, record: Record) -> None:
         self.record = record
         self._facts: List[SituationalFact] = []
+        self._pending: List[Tuple[Constraint, int]] = []
         self._pair_cache: Optional[Set[Tuple[Constraint, int]]] = None
 
     def add(self, fact: SituationalFact) -> None:
@@ -94,15 +95,31 @@ class FactSet:
         self._pair_cache = None
 
     def add_pair(self, constraint: Constraint, subspace: int) -> None:
-        """Convenience: add a bare ``(C, M)`` pair without prominence."""
-        self._facts.append(SituationalFact(self.record, constraint, subspace))
+        """Convenience: add a bare ``(C, M)`` pair without prominence.
+
+        The :class:`SituationalFact` object is materialised lazily on
+        first read: discovery emits tens of pairs per arrival on hot
+        streams, and raw-``S_t`` consumers (benches, the equivalence
+        oracle, ``score=False`` engines reading only :attr:`pairs`)
+        never pay for objects they do not touch.
+        """
+        self._pending.append((constraint, subspace))
         self._pair_cache = None
 
+    def _materialise(self) -> List[SituationalFact]:
+        if self._pending:
+            record = self.record
+            self._facts.extend(
+                SituationalFact(record, c, m) for c, m in self._pending
+            )
+            self._pending.clear()
+        return self._facts
+
     def __len__(self) -> int:
-        return len(self._facts)
+        return len(self._facts) + len(self._pending)
 
     def __iter__(self) -> Iterator[SituationalFact]:
-        return iter(self._facts)
+        return iter(self._materialise())
 
     def __contains__(self, pair: Tuple[Constraint, int]) -> bool:
         return pair in self.pairs
@@ -112,6 +129,7 @@ class FactSet:
         """The set of raw ``(C, M)`` pairs (order-free comparison form)."""
         if self._pair_cache is None:
             self._pair_cache = {f.pair for f in self._facts}
+            self._pair_cache.update(self._pending)
         return self._pair_cache
 
     def ranked(self) -> List[SituationalFact]:
@@ -119,7 +137,7 @@ class FactSet:
         last, ties broken by more-general-constraint-first then smaller
         subspace."""
         return sorted(
-            self._facts,
+            self._materialise(),
             key=lambda f: (
                 -(f.prominence if f.prominence is not None else float("-inf")),
                 f.constraint.bound_count,
@@ -130,7 +148,7 @@ class FactSet:
     def prominent(self, tau: float) -> List[SituationalFact]:
         """The paper's *prominent facts*: those attaining the highest
         prominence in ``S_t``, provided it is ``≥ τ`` (ties all kept)."""
-        scored = [f for f in self._facts if f.prominence is not None]
+        scored = [f for f in self._materialise() if f.prominence is not None]
         if not scored:
             return []
         best = max(f.prominence for f in scored)  # type: ignore[arg-type, return-value]

@@ -22,9 +22,13 @@ from typing import Callable, Iterator, List, Mapping, Sequence, Tuple
 from .schema import SchemaError, TableSchema
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, slots=True)
 class Record:
     """One tuple of ``R(D; M)``.
+
+    ``slots=True`` drops the per-instance ``__dict__``: streams hold
+    millions of records and every algorithm's hot path walks them, so
+    the smaller footprint and faster attribute loads are measurable.
 
     Attributes
     ----------

@@ -4,6 +4,28 @@ Every algorithm and store accepts an optional :class:`OpCounters` sink;
 benches read it to report the number of tuple comparisons (Fig. 11a),
 traversed constraints (Fig. 11b), stored skyline tuples (Fig. 10b), and
 file I/O operations (§VI-C discussion).
+
+Counting convention (scalar *and* vectorized algorithms)
+--------------------------------------------------------
+``comparisons`` counts *logical* tuple-pair dominance resolutions, not
+Python-level calls, so the numbers stay comparable across the ladder:
+
+* scalar algorithms increment once per ``(t, t')`` dominance test at
+  each lattice site where the pair is examined (re-examining a stored
+  tuple at another constraint counts again, as in the paper's figures);
+* vectorized algorithms compute the same resolutions inside one NumPy
+  sweep; they credit the counter with the number of pairs the sweep
+  resolved *per consuming site* — ``baselinevec`` adds ``n`` per measure
+  subspace (mirroring BaselineSeq's per-subspace scan) and ``svec`` adds
+  the scanned ``µ`` bucket size at every visited constraint (mirroring
+  STopDown exactly).
+
+``traversed_constraints`` counts lattice nodes *visited* across all
+measure subspaces (one visit = one count, as in Fig. 11b).  Sharing
+algorithms do not count constraints they skip as pruned; the baselines
+count the surviving constraints they emit.  A de-vectorisation of the
+NumPy paths therefore shows up in wall-clock benches (see
+``benchmarks/bench_guard.py``), never as a counter discontinuity.
 """
 
 from __future__ import annotations

@@ -1,7 +1,9 @@
-"""Skyline stores: in-memory (§VI-B) and file-based (§VI-C) ``µ_{C,M}``."""
+"""Skyline stores: in-memory (§VI-B), file-based (§VI-C), and columnar
+(NumPy-backed, this repo's extension) ``µ_{C,M}``."""
 
 from .base import PairKey, SkylineStore
 from .codec import DimensionInterner, RecordCodec
+from .columnar_store import ColumnarSkylineStore, grow_2d
 from .file_store import FileSkylineStore
 from .memory_store import MemorySkylineStore
 
@@ -10,6 +12,8 @@ __all__ = [
     "SkylineStore",
     "MemorySkylineStore",
     "FileSkylineStore",
+    "ColumnarSkylineStore",
     "RecordCodec",
     "DimensionInterner",
+    "grow_2d",
 ]

@@ -69,6 +69,20 @@ class SkylineStore(abc.ABC):
     def clear(self) -> None:
         """Drop everything (bench teardown)."""
 
+    # -- optional fast paths --------------------------------------------------
+    def anchor_masks(self, tid: int, subspace: int):
+        """Bound masks of the constraints storing tuple ``tid`` in
+        ``subspace``, or ``None`` when the store keeps no such index.
+
+        Only meaningful for stores filled by the discovery algorithms,
+        where every tuple stored at ``(C, M)`` satisfies ``C`` — the
+        bound mask then identifies ``C`` uniquely given the tuple, and
+        demotion repair can test "is an ancestor anchored?" with integer
+        arithmetic instead of constructing candidate constraints.
+        Stores without the index return ``None`` (the generic path).
+        """
+        return None
+
     # -- shared conveniences -------------------------------------------------
     def replace(
         self,

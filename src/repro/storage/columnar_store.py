@@ -1,0 +1,365 @@
+"""Columnar skyline store — NumPy-backed ``µ_{C,M}`` spaces.
+
+:class:`MemorySkylineStore` keeps Python ``Record`` lists per pair, which
+forces every dominance check into tuple-at-a-time Python.  This module
+stores the *data* once, column-wise —
+
+* one interned ``int32`` column per dimension attribute,
+* one ``float64`` column per measure attribute,
+
+— and keeps per-``(C, M)`` membership as row-index sets.  Vectorized
+algorithms (:class:`~repro.algorithms.s_vectorized.SVectorized`) then
+answer "does anything stored at ``(C, M)`` dominate ``t``?" with one
+NumPy gather over the membership rows instead of a Python loop, while
+the full :class:`~repro.storage.base.SkylineStore` interface stays
+intact for the scalar algorithms, the retraction repair and the query
+engine (``get`` returns the original ``Record`` objects, which the store
+retains by reference alongside the columns).
+
+The column layout is inferred lazily from the first registered record,
+so ``ColumnarSkylineStore()`` is a drop-in replacement for
+``MemorySkylineStore()`` wherever one is constructed without a schema.
+
+Examples
+--------
+>>> from repro.core.constraint import Constraint
+>>> from repro.core.record import Record
+>>> store = ColumnarSkylineStore()
+>>> store.insert(Constraint(("a",)), 0b1, Record(0, ("a",), (1.0,), (1.0,)))
+>>> [r.tid for r in store.get(Constraint(("a",)), 0b1)]
+[0]
+>>> store.n_rows, store.stored_tuple_count()
+(1, 1)
+"""
+
+from __future__ import annotations
+
+import sys
+from typing import Dict, Iterator, List, Optional, Tuple
+
+import numpy as np
+
+from ..core.constraint import Constraint
+from ..core.record import Record
+from .base import PairKey, SkylineStore
+
+_INITIAL_CAPACITY = 256
+_POINTER_BYTES = 8
+
+#: Shared empty row-index array returned for pairs that hold nothing.
+_EMPTY_ROWS = np.empty(0, dtype=np.int64)
+
+
+def grow_2d(array: np.ndarray, size: int, min_rows: Optional[int] = None) -> np.ndarray:
+    """Grow a 2-D array geometrically to hold at least ``min_rows`` rows.
+
+    Returns ``array`` itself when it is already large enough; otherwise a
+    new array with doubled-until-sufficient capacity whose first ``size``
+    rows are copied over (the rest is uninitialised).  ``min_rows``
+    defaults to ``size + 1`` — "make room for one more append".
+
+    >>> a = np.zeros((2, 3))
+    >>> grow_2d(a, 2).shape
+    (4, 3)
+    >>> grow_2d(a, 2, min_rows=100).shape
+    (128, 3)
+    >>> grow_2d(a, 1) is a
+    True
+    """
+    needed = size + 1 if min_rows is None else min_rows
+    capacity = array.shape[0]
+    if capacity >= needed:
+        return array
+    new_capacity = max(capacity, 1)
+    while new_capacity < needed:
+        new_capacity *= 2
+    out = np.empty((new_capacity,) + array.shape[1:], dtype=array.dtype)
+    out[:size] = array[:size]
+    return out
+
+
+class ColumnInterner:
+    """Per-column ``value → int32`` id tables for dimension matrices.
+
+    The file codec's :class:`~repro.storage.codec.DimensionInterner` is
+    a single bidirectional catalog; columnar math wants one dense id
+    space *per column* (ids double as equality classes inside that
+    column) and no reverse lookup.  Shared by the columnar store and
+    the vectorized baseline.
+    """
+
+    __slots__ = ("_tables",)
+
+    def __init__(self, n_columns: int) -> None:
+        self._tables: List[Dict[object, int]] = [{} for _ in range(n_columns)]
+
+    def intern_row(self, values) -> np.ndarray:
+        """Interned ids for one row of column values (new values get
+        fresh ids in their column)."""
+        out = np.empty(len(self._tables), dtype=np.int32)
+        for i, value in enumerate(values):
+            table = self._tables[i]
+            vid = table.get(value)
+            if vid is None:
+                vid = len(table)
+                table[value] = vid
+            out[i] = vid
+        return out
+
+
+class ColumnarSkylineStore(SkylineStore):
+    """``µ_{C,M}`` with columnar record storage and row-index membership.
+
+    Every record the store ever sees is *registered* once: its dimension
+    values are interned to ``int32`` ids and its normalised measures are
+    appended to the column arrays, yielding a stable row index.  Pair
+    membership is a ``tid → row`` insertion-ordered dict, so the scalar
+    API (``get``/``insert``/``delete``/``contains``) stays O(1) per
+    operation while :meth:`rows` hands vectorized callers the membership
+    as an index array into :meth:`values_matrix` / :meth:`dims_matrix`.
+    """
+
+    def __init__(
+        self,
+        counters=None,
+        n_dimensions: Optional[int] = None,
+        n_measures: Optional[int] = None,
+        initial_capacity: int = _INITIAL_CAPACITY,
+    ) -> None:
+        super().__init__(counters)
+        self._initial_capacity = initial_capacity
+        self._n_dimensions = n_dimensions
+        self._n_measures = n_measures
+        self._values: Optional[np.ndarray] = None
+        self._dims: Optional[np.ndarray] = None
+        self._interner: Optional[ColumnInterner] = None
+        self._records: List[Record] = []
+        self._row_of: Dict[int, int] = {}
+        # Two-level membership: subspace → constraint → (tid → row).
+        # Lattice passes fetch the per-subspace map once and then pay a
+        # single cached-hash dict probe per visited constraint, instead
+        # of allocating and hashing a (constraint, subspace) tuple key.
+        self._spaces: Dict[int, Dict[Constraint, Dict[int, int]]] = {}
+        # Reverse index: (tid, subspace) → bound masks anchoring the
+        # tuple there (see SkylineStore.anchor_masks).
+        self._anchors: Dict[Tuple[int, int], set] = {}
+        self._total = 0
+        if n_dimensions is not None and n_measures is not None:
+            self._allocate(n_dimensions, n_measures)
+
+    # ------------------------------------------------------------------
+    # Columnar substrate
+    # ------------------------------------------------------------------
+    def _allocate(self, n_dimensions: int, n_measures: int) -> None:
+        self._n_dimensions = n_dimensions
+        self._n_measures = n_measures
+        cap = self._initial_capacity
+        self._values = np.empty((cap, n_measures), dtype=np.float64)
+        self._dims = np.empty((cap, n_dimensions), dtype=np.int32)
+        if self._interner is None:
+            self._interner = ColumnInterner(n_dimensions)
+
+    def _ensure_layout(self, record: Record) -> None:
+        if self._values is None:
+            self._allocate(len(record.dims), len(record.values))
+
+    @property
+    def n_rows(self) -> int:
+        """Number of registered records (rows in the column arrays)."""
+        return len(self._records)
+
+    def register(self, record: Record) -> int:
+        """Intern-and-append ``record`` into the columns; returns its row.
+
+        Idempotent per tid.  Algorithms that sweep the whole history
+        (``svec``) register every arrival; plain store users never need
+        to call this — :meth:`insert` registers on demand.
+        """
+        row = self._row_of.get(record.tid)
+        if row is not None:
+            return row
+        self._ensure_layout(record)
+        row = len(self._records)
+        self._values = grow_2d(self._values, row)
+        self._dims = grow_2d(self._dims, row)
+        self._values[row] = record.values
+        self._dims[row] = self._interner.intern_row(record.dims)
+        self._records.append(record)
+        self._row_of[record.tid] = row
+        return row
+
+    def unregister(self, tid: int) -> None:
+        """Drop a registered record's row from the columns (retraction).
+
+        The caller must already have removed the tuple from every pair
+        (retraction repair does).  Rows above the removed one slide down
+        one slot; bucket row references are remapped.  O(n + stored) —
+        retraction is the rare path, arrival sweeps stay dense.
+        """
+        row = self._row_of.pop(tid, None)
+        if row is None:
+            return
+        del self._records[row]
+        n = len(self._records)
+        self._values[row:n] = self._values[row + 1 : n + 1]
+        self._dims[row:n] = self._dims[row + 1 : n + 1]
+        for record in self._records[row:]:
+            self._row_of[record.tid] -= 1
+        for space in self._spaces.values():
+            for bucket in space.values():
+                for t, r in bucket.items():
+                    if r > row:
+                        bucket[t] = r - 1
+
+    def reserve(self, extra: int) -> None:
+        """Pre-grow the columns for ``extra`` imminent registrations."""
+        if self._values is None or extra <= 0:
+            return
+        size = len(self._records)
+        self._values = grow_2d(self._values, size, min_rows=size + extra)
+        self._dims = grow_2d(self._dims, size, min_rows=size + extra)
+
+    def intern_dims(self, dims: Tuple[object, ...]) -> np.ndarray:
+        """Interned ``int32`` ids for a probe's dimension values.
+
+        Unseen values receive fresh ids (they then equal no stored row,
+        which is exactly the agreement semantics a probe needs).
+        """
+        if self._interner is None:
+            self._interner = ColumnInterner(len(dims))
+        return self._interner.intern_row(dims)
+
+    def values_matrix(self) -> np.ndarray:
+        """``(n_rows, |M|)`` float64 view of the registered measures."""
+        if self._values is None:
+            return np.empty((0, 0), dtype=np.float64)
+        return self._values[: len(self._records)]
+
+    def dims_matrix(self) -> np.ndarray:
+        """``(n_rows, |D|)`` int32 view of the interned dimensions."""
+        if self._dims is None:
+            return np.empty((0, 0), dtype=np.int32)
+        return self._dims[: len(self._records)]
+
+    def record_at(self, row: int) -> Record:
+        """The registered record living at ``row``."""
+        return self._records[row]
+
+    def submap(self, subspace: int) -> Optional[Dict[Constraint, Dict[int, int]]]:
+        """The live ``constraint → (tid → row)`` map for ``subspace``
+        (``None`` when the subspace holds nothing).  Zero-copy fast path
+        for lattice sweeps; callers must treat it as read-only and
+        snapshot buckets before mutating the store."""
+        return self._spaces.get(subspace)
+
+    def bucket(self, constraint: Constraint, subspace: int) -> Optional[Dict[int, int]]:
+        """The live ``tid → row`` membership dict for a pair (``None``
+        when the pair holds nothing).  Read-only, like :meth:`submap`."""
+        space = self._spaces.get(subspace)
+        return space.get(constraint) if space else None
+
+    def rows(self, constraint: Constraint, subspace: int) -> np.ndarray:
+        """Membership of ``µ_{C,M}`` as a row-index array (insertion
+        order) into the column matrices.  Shared empty when the pair
+        holds nothing — callers must not mutate the result."""
+        bucket = self.bucket(constraint, subspace)
+        if not bucket:
+            return _EMPTY_ROWS
+        return np.fromiter(bucket.values(), dtype=np.int64, count=len(bucket))
+
+    # ------------------------------------------------------------------
+    # SkylineStore API
+    # ------------------------------------------------------------------
+    _EMPTY: tuple = ()
+
+    def get(self, constraint: Constraint, subspace: int) -> List[Record]:
+        bucket = self.bucket(constraint, subspace)
+        if not bucket:
+            return self._EMPTY  # type: ignore[return-value]
+        records = self._records
+        return [records[row] for row in bucket.values()]
+
+    def insert(self, constraint: Constraint, subspace: int, record: Record) -> None:
+        space = self._spaces.setdefault(subspace, {})
+        bucket = space.setdefault(constraint, {})
+        if record.tid not in bucket:
+            bucket[record.tid] = self.register(record)
+            self._total += 1
+            self.counters.stored_tuples = self._total
+            self._anchors.setdefault((record.tid, subspace), set()).add(
+                constraint.bound_mask
+            )
+
+    def delete(self, constraint: Constraint, subspace: int, record: Record) -> None:
+        space = self._spaces.get(subspace)
+        bucket = space.get(constraint) if space else None
+        if bucket and record.tid in bucket:
+            del bucket[record.tid]
+            self._total -= 1
+            self.counters.stored_tuples = self._total
+            if not bucket:
+                del space[constraint]
+                if not space:
+                    del self._spaces[subspace]
+            key = (record.tid, subspace)
+            masks = self._anchors.get(key)
+            if masks is not None:
+                masks.discard(constraint.bound_mask)
+                if not masks:
+                    del self._anchors[key]
+
+    _NO_ANCHORS: frozenset = frozenset()
+
+    def anchor_masks(self, tid: int, subspace: int):
+        """Live set of bound masks anchoring ``tid`` in ``subspace``
+        (an empty set when none — never ``None``: this store always
+        maintains the index).  Valid under the discovery-algorithm
+        invariant that stored tuples satisfy their constraint; callers
+        must treat the set as read-only."""
+        return self._anchors.get((tid, subspace), self._NO_ANCHORS)
+
+    def contains(self, constraint: Constraint, subspace: int, record: Record) -> bool:
+        bucket = self.bucket(constraint, subspace)
+        return bool(bucket) and record.tid in bucket
+
+    def iter_pairs(self) -> Iterator[Tuple[PairKey, List[Record]]]:
+        records = self._records
+        for subspace, space in self._spaces.items():
+            for constraint, bucket in space.items():
+                yield (constraint, subspace), [
+                    records[row] for row in bucket.values()
+                ]
+
+    def stored_tuple_count(self) -> int:
+        return self._total
+
+    def approx_bytes(self) -> int:
+        """Columns (used rows) plus one pointer per membership reference.
+
+        Unlike the record-deep accounting of the dict store, the payload
+        here *is* the column arrays; records are charged as references
+        only (they are shared with the table)."""
+        total = 0
+        n = len(self._records)
+        if self._values is not None:
+            total += self._values[:n].nbytes + self._dims[:n].nbytes
+        total += n * _POINTER_BYTES  # the row → Record references
+        for space in self._spaces.values():
+            for constraint, bucket in space.items():
+                total += sys.getsizeof(constraint) + _POINTER_BYTES * (
+                    len(bucket) + 1
+                )
+        return total
+
+    def clear(self) -> None:
+        self._values = None
+        self._dims = None
+        self._interner = None
+        self._records = []
+        self._row_of = {}
+        self._spaces = {}
+        self._anchors = {}
+        self._total = 0
+        self.counters.stored_tuples = 0
+        if self._n_dimensions is not None and self._n_measures is not None:
+            self._allocate(self._n_dimensions, self._n_measures)

@@ -17,10 +17,11 @@ MEMORY_ALGORITHMS = [
     "topdown",
     "sbottomup",
     "stopdown",
+    "svec",
 ]
 
 #: The incremental algorithms (maintain µ stores).
-STORE_ALGORITHMS = ["bottomup", "topdown", "sbottomup", "stopdown"]
+STORE_ALGORITHMS = ["bottomup", "topdown", "sbottomup", "stopdown", "svec"]
 
 
 @pytest.fixture

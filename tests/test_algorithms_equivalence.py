@@ -189,7 +189,8 @@ class TestThreeDimThreeMeasure:
             for a, b, c, x, y, z in tuples
         ]
         outs = {}
-        for name in ["bruteforce", "bottomup", "topdown", "sbottomup", "stopdown"]:
+        for name in ["bruteforce", "bottomup", "topdown", "sbottomup", "stopdown",
+                     "svec"]:
             algo = make_algorithm(name, schema)
             outs[name] = [fs.pairs for fs in algo.process_stream(rows)]
         ref = outs["bruteforce"]

@@ -41,6 +41,24 @@ class TestDiscover:
         err = capsys.readouterr().err
         assert "facts from 40 tuples" in err
 
+    def test_discover_batched_matches_row_at_a_time(self, nba_csv, capsys):
+        rc = main(
+            ["discover", nba_csv, "-d", DIMS, "-m", MEAS,
+             "--dhat", "2", "--mhat", "2", "--tau", "3",
+             "--algorithm", "svec"]
+        )
+        assert rc == 0
+        unbatched = capsys.readouterr()
+        rc = main(
+            ["discover", nba_csv, "-d", DIMS, "-m", MEAS,
+             "--dhat", "2", "--mhat", "2", "--tau", "3",
+             "--algorithm", "svec", "--batch", "16"]
+        )
+        assert rc == 0
+        batched = capsys.readouterr()
+        assert batched.out == unbatched.out
+        assert "facts from 40 tuples" in batched.err
+
     def test_discover_json(self, nba_csv, capsys):
         import json
 

@@ -16,6 +16,7 @@ import repro.core.record
 import repro.core.schema
 import repro.index.kdtree
 import repro.query.parser
+import repro.storage.columnar_store
 
 MODULES = [
     repro.core.schema,
@@ -25,6 +26,7 @@ MODULES = [
     repro.core.engine,
     repro.index.kdtree,
     repro.query.parser,
+    repro.storage.columnar_store,
 ]
 
 

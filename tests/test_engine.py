@@ -101,12 +101,57 @@ class TestObserve:
         assert "stopdown" in repr(engine)
 
 
+class TestObserveMany:
+    """observe_many / facts_for_many must equal a loop of observe."""
+
+    @pytest.mark.parametrize("name", ["stopdown", "svec", "baselinevec"])
+    def test_observe_many_matches_observe_loop(self, name):
+        batch = FactDiscoverer(SCHEMA, algorithm=name)
+        loop = FactDiscoverer(SCHEMA, algorithm=name)
+        batched = batch.observe_many(ROWS)
+        looped = [loop.observe(row) for row in ROWS]
+        assert len(batched) == len(looped) == len(ROWS)
+        for got, want in zip(batched, looped):
+            assert [(f.pair, f.context_size, f.skyline_size) for f in got] == [
+                (f.pair, f.context_size, f.skyline_size) for f in want
+            ]
+
+    @pytest.mark.parametrize("name", ["stopdown", "svec"])
+    def test_facts_for_many_unscored_matches_loop(self, name):
+        batch = FactDiscoverer(SCHEMA, algorithm=name, score=False)
+        loop = FactDiscoverer(SCHEMA, algorithm=name, score=False)
+        batched = batch.facts_for_many(ROWS)
+        looped = [loop.facts_for(row) for row in ROWS]
+        assert [fs.pairs for fs in batched] == [fs.pairs for fs in looped]
+        assert len(batch) == len(loop) == len(ROWS)
+
+    def test_observe_many_scoring_uses_per_arrival_state(self):
+        """Prominence for row i must reflect the relation at arrival i,
+        not the end of the batch."""
+        engine = FactDiscoverer(SCHEMA, algorithm="svec")
+        first = engine.observe_many(ROWS)[0]
+        assert all(f.prominence == 1.0 for f in first)
+
+    def test_observe_many_empty_batch(self):
+        engine = FactDiscoverer(SCHEMA, algorithm="svec")
+        assert engine.observe_many([]) == []
+
+    def test_process_many_matches_process_stream(self):
+        from repro import make_algorithm
+
+        batch = make_algorithm("svec", SCHEMA)
+        loop = make_algorithm("svec", SCHEMA)
+        got = [fs.pairs for fs in batch.process_many(ROWS)]
+        want = [fs.pairs for fs in loop.process_stream(ROWS)]
+        assert got == want
+
+
 class TestScoringConsistencyAcrossAlgorithms:
     """Prominence must not depend on which algorithm produced S_t."""
 
     @pytest.mark.parametrize(
         "name", ["bruteforce", "baselineseq", "ccsc", "bottomup", "topdown",
-                 "sbottomup", "stopdown"]
+                 "sbottomup", "stopdown", "svec"]
     )
     def test_scores_match_bottomup_reference(self, name, gamelog_schema, gamelog_rows):
         ref_engine = FactDiscoverer(gamelog_schema, algorithm="bottomup")

@@ -86,7 +86,7 @@ class TestInvariant1:
 class TestInvariant2:
     @settings(max_examples=20, deadline=None)
     @given(st.lists(row_strategy, min_size=1, max_size=14))
-    @pytest.mark.parametrize("name", ["topdown", "stopdown"])
+    @pytest.mark.parametrize("name", ["topdown", "stopdown", "svec"])
     def test_store_holds_exactly_maximal_constraints(self, name, rows):
         algo = make_algorithm(name, SCHEMA)
         algo.process_stream(rows)
@@ -136,7 +136,11 @@ class TestStorageAsymmetry:
         """TopDown and STopDown use the same materialisation scheme
         (§VI-B), as do BottomUp and SBottomUp — when m̂ = m (the full
         space is maintained by both)."""
-        for base, shared in (("bottomup", "sbottomup"), ("topdown", "stopdown")):
+        for base, shared in (
+            ("bottomup", "sbottomup"),
+            ("topdown", "stopdown"),
+            ("topdown", "svec"),
+        ):
             a = make_algorithm(base, gamelog_schema)
             b = make_algorithm(shared, gamelog_schema)
             a.process_stream(gamelog_rows)

@@ -25,7 +25,7 @@ row_strategy = st.fixed_dictionaries(
     }
 )
 
-STORE_ALGOS = ["bottomup", "topdown", "sbottomup", "stopdown"]
+STORE_ALGOS = ["bottomup", "topdown", "sbottomup", "stopdown", "svec"]
 ALL_ALGOS = STORE_ALGOS + ["bruteforce", "baselineseq", "baselineidx", "ccsc"]
 
 

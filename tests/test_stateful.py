@@ -66,7 +66,9 @@ def apply_commands(engine, cmds):
     return [row for _tid, row in live]
 
 
-@pytest.mark.parametrize("name", ["bottomup", "topdown", "sbottomup", "stopdown"])
+@pytest.mark.parametrize(
+    "name", ["bottomup", "topdown", "sbottomup", "stopdown", "svec"]
+)
 @settings(max_examples=20, deadline=None)
 @given(cmds=commands)
 def test_interleaved_mutations_match_replay(name, cmds):

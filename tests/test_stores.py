@@ -11,6 +11,7 @@ from repro.core.constraint import Constraint
 from repro.core.record import Record
 from repro.metrics.counters import OpCounters
 from repro.storage import (
+    ColumnarSkylineStore,
     DimensionInterner,
     FileSkylineStore,
     MemorySkylineStore,
@@ -30,10 +31,12 @@ C1 = Constraint(("a", None))
 C2 = Constraint((None, "b"))
 
 
-@pytest.fixture(params=["memory", "file"])
+@pytest.fixture(params=["memory", "file", "columnar"])
 def store(request, tmp_path):
     if request.param == "memory":
         yield MemorySkylineStore()
+    elif request.param == "columnar":
+        yield ColumnarSkylineStore()
     else:
         s = FileSkylineStore(SCHEMA, directory=str(tmp_path / "mu"))
         yield s
