@@ -26,6 +26,7 @@ from .core import (
     MAX,
     MIN,
     ComparisonOutcome,
+    ColumnarContextCounter,
     Constraint,
     ContextCounter,
     DiscoveryConfig,
@@ -51,6 +52,7 @@ __all__ = [
     "MAX",
     "MIN",
     "ComparisonOutcome",
+    "ColumnarContextCounter",
     "Constraint",
     "ContextCounter",
     "DiscoveryConfig",

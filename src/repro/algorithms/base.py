@@ -67,11 +67,9 @@ class DiscoveryAlgorithm(abc.ABC):
         )
         #: Universe mask over dimension-attribute positions.
         self.dim_universe = (1 << schema.n_dimensions) - 1
-        cap = schema.n_dimensions
-        if self.config.max_bound_dims is not None:
-            cap = min(cap, self.config.max_bound_dims)
         #: Max bound attributes actually allowed (``min(d̂, n)``).
-        self.bound_cap = cap
+        self.bound_cap = self.config.effective_bound_cap(schema.n_dimensions)
+        cap = self.bound_cap
         levels = masks_by_level(schema.n_dimensions)
         #: Allowed constraint masks, most general first (``⊤`` → level d̂).
         self.masks_top_down: Tuple[int, ...] = tuple(
@@ -202,6 +200,18 @@ class DiscoveryAlgorithm(abc.ABC):
     # ------------------------------------------------------------------
     # Prominence support
     # ------------------------------------------------------------------
+    def make_context_counter(self, max_bound_dims: Optional[int] = None):
+        """The ``|σ_C(R)|`` counter best matched to this algorithm.
+
+        The engine calls this once at construction.  Default: the scalar
+        :class:`~repro.core.prominence.ContextCounter`; vectorized
+        algorithms override it with the interned-key columnar counter so
+        scored batch ingestion stays off the per-constraint object path.
+        """
+        from ..core.prominence import ContextCounter
+
+        return ContextCounter(max_bound_dims)
+
     def skyline_size(self, constraint: Constraint, subspace: int) -> int:
         """``|λ_M(σ_C(R))|`` after the newest append.
 

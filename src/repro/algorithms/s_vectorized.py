@@ -16,10 +16,20 @@ materialised stores and output semantics:
   agreement masks only (at most ``2^n`` of them, however long the
   history);
 * the lattice passes then run on integer bitsets exactly like scalar
-  STopDown — same facts, same store mutations, same demotion repair
-  (which stays scalar: demotions are rare) — so ``svec`` is
-  output-equivalent to ``stopdown`` *including* the Invariant-2 store
-  contents and the operation counters.
+  STopDown — same facts, same store mutations — with demotion repair
+  batched per pass (candidate children and ancestor-anchored checks
+  answered from the sweep's agreement bitmasks and the anchor-mask
+  reverse index), so ``svec`` is output-equivalent to ``stopdown``
+  *including* the Invariant-2 store contents and the operation
+  counters — except on streams whose dimension values equal the
+  unbound marker, where scalar topdown/stopdown carry a known
+  level-order pruning gap and ``svec``'s exact sweep sides with
+  ``bruteforce``/``bottomup`` instead (see ROADMAP open items);
+* prominence scoring rides the store's incremental skyline-cardinality
+  index (see :meth:`ColumnarSkylineStore.scoring_index`), so scored
+  batch ingestion — the engine's default — keeps columnar speed:
+  ``skyline_sizes`` is one dict probe per fact, whatever the history
+  size.
 
 Why precomputing the pruned matrix is sound: STopDown's node passes
 already rely on the root-pass bits being *exact* — a constraint survives
@@ -32,11 +42,12 @@ history, so per-mask decisions come out identical.
 
 from __future__ import annotations
 
-from typing import Dict, Optional
+from typing import Dict, Optional, Tuple
 
 import numpy as np
 
 from ..core.config import DiscoveryConfig
+from ..core.constraint import UNBOUND, Constraint
 from ..core.facts import FactSet
 from ..core.record import Record
 from ..core.schema import TableSchema
@@ -88,6 +99,12 @@ class SVectorized(STopDown):
         #: a narrow matrix; beyond that fall back to per-key sets.
         self._use_one_hot = (1 << schema.n_dimensions) <= 256
         self._arange = np.arange(0, dtype=np.int64)
+        #: Lazily-built ancestor tables for batched demotion repair:
+        #: ``_anc_tbl[child][j]`` is the bitset of masks that are proper
+        #: ancestors of ``child`` binding attribute ``j`` — "is the
+        #: demoted tuple already anchored above this candidate child?"
+        #: becomes one AND against the anchor-mask bitset.
+        self._anc_tbl: Dict[int, Tuple[int, ...]] = {}
 
     # ------------------------------------------------------------------
     # Streaming hooks
@@ -122,7 +139,7 @@ class SVectorized(STopDown):
         keys = self._subspace_keys
         pruned: Dict[int, int] = dict.fromkeys(keys, 0)
         has_demote = dict.fromkeys(keys, False)
-        lt_list = gt_list = None
+        lt_list = gt_list = agree_list = None
 
         if n:
             # --- One batched sweep: partition bitmasks vs the whole
@@ -177,15 +194,23 @@ class SVectorized(STopDown):
                 pruned[subspace] = bits
             # Plain-int views for the O(1) per-bucket-row demotion test
             # in the lattice passes (scalar indexing into numpy arrays
-            # is an order of magnitude slower).
+            # is an order of magnitude slower).  The agreement view
+            # feeds the batched demotion repair (candidate children are
+            # exactly the free disagreeing positions).
             lt_list = lt.tolist()
             gt_list = gt.tolist()
+            agree_list = agree.tolist()
 
         # C^t as a flat sequence, zipped against masks in every pass.
         cons_seq = tuple(constraints[m] for m in self.masks_top_down)
 
         # --- Full-space pass (STopDownRoot), then per-subspace passes
-        # (STopDownNode) that skip pruned constraints.
+        # (STopDownNode) that skip pruned constraints.  A dimension
+        # value equal to the unbound marker collapses distinct C^t masks
+        # onto one constraint, whose bucket is then scanned twice per
+        # pass — only then must repairs run inline (scalar order) so the
+        # second scan sees the first repair's deletions.
+        defer_repairs = UNBOUND not in record.dims
         for subspace in keys:
             self._lattice_pass(
                 record,
@@ -195,8 +220,10 @@ class SVectorized(STopDown):
                 cons_seq,
                 lt_list,
                 gt_list,
+                agree_list,
                 has_demote[subspace],
                 is_root=subspace == full,
+                defer_repairs=defer_repairs,
             )
         return facts
 
@@ -209,8 +236,10 @@ class SVectorized(STopDown):
         cons_seq,
         lt_list,
         gt_list,
+        agree_list,
         has_demote: bool,
         is_root: bool,
+        defer_repairs: bool = True,
     ) -> None:
         """One top-down sweep of ``C^t`` in ``subspace``.
 
@@ -219,11 +248,16 @@ class SVectorized(STopDown):
         demoted iff the new tuple dominates it there — ``gt`` hits the
         subspace, ``lt`` misses it.  ``has_demote`` is the sweep's
         verdict on whether *any* row qualifies, letting demote-free
-        arrivals (the common case) skip every bucket scan.  The root
-        pass visits every constraint (counting and demoting like
-        STopDownRoot); node passes skip pruned ones.  Counter
-        conventions match scalar STopDown exactly — see
-        :mod:`repro.metrics.counters`.
+        arrivals (the common case) skip every bucket scan.  Demotions
+        are collected and repaired in one batch after the sweep (see
+        :meth:`_flush_repairs`) — safe because a repair only deletes
+        from the just-visited bucket and re-anchors at children outside
+        ``C^t``, neither of which a later visit of this pass reads —
+        unless ``defer_repairs`` is off (degenerate ``C^t`` with
+        duplicate constraints).  The root pass visits every constraint
+        (counting and demoting like STopDownRoot); node passes skip
+        pruned ones.  Counter conventions match scalar STopDown exactly
+        — see :mod:`repro.metrics.counters`.
         """
         store = self.store
         counters = self.counters
@@ -236,6 +270,7 @@ class SVectorized(STopDown):
         add_pair = facts.add_pair
         comparisons = 0
         traversed = 0
+        repairs = []
         # Rows at or beyond the sweep length are this very arrival
         # (met again only when two C^t masks yield *equal* constraints,
         # e.g. a None dimension value): a self-comparison, never a
@@ -259,15 +294,19 @@ class SVectorized(STopDown):
                         and gt_list[r] & subspace
                         and not lt_list[r] & subspace
                     ]
-                    for row in demoted:
-                        repair_demoted_tuple(
-                            store,
-                            record,
-                            record_at(row),
-                            constraint,
-                            subspace,
-                            allowed_mask,
-                        )
+                    if defer_repairs:
+                        for row in demoted:
+                            repairs.append((row, constraint))
+                    else:
+                        for row in demoted:
+                            repair_demoted_tuple(
+                                store,
+                                record,
+                                record_at(row),
+                                constraint,
+                                subspace,
+                                allowed_mask,
+                            )
             if not shifted & 1:
                 if report:
                     add_pair(constraint, subspace)
@@ -278,5 +317,119 @@ class SVectorized(STopDown):
                         insert(constraint, subspace, record)
                 elif not mask:
                     insert(constraint, subspace, record)
+        if repairs:
+            self._flush_repairs(record, subspace, repairs, agree_list)
         counters.comparisons += comparisons
         counters.traversed_constraints += traversed
+
+    def _make_anc_row(self, child: int) -> Tuple[int, ...]:
+        closure = self._closure
+        row = tuple(
+            ((closure[child] & ~closure[child & ~(1 << j)]) & ~(1 << child))
+            if child & (1 << j)
+            else 0
+            for j in range(self.schema.n_dimensions)
+        )
+        self._anc_tbl[child] = row
+        return row
+
+    def _flush_repairs(self, record, subspace, repairs, agree_list) -> None:
+        """Procedure *Dominates* (Alg. 5) for a whole pass's demotions.
+
+        Batched counterpart of :func:`repair_demoted_tuple`: the sweep's
+        agreement bitmask already answers the per-attribute "do the two
+        tuples disagree here?" probes, so the candidate children of each
+        ``(row, constraint)`` pair are the set bits of one integer, and
+        "ancestor already anchored?" is one AND of the row's anchor-mask
+        bitset against a memoised ancestor table.  Processing stays in
+        collection order with live anchor updates, so the resulting
+        store state is identical to the inline scalar repairs.
+        """
+        store = self.store
+        allowed = self.allowed_mask
+        universe = self.dim_universe
+        anc_tbl = self._anc_tbl
+        record_at = store.record_at
+        anchor_masks = store.anchor_masks
+        for row, constraint in repairs:
+            demoted = record_at(row)
+            store.delete(constraint, subspace, demoted)
+            mask = constraint.bound_mask
+            cand = ~mask & ~agree_list[row] & universe
+            if not cand:
+                continue
+            ab = 0
+            for a in anchor_masks(demoted.tid, subspace):
+                ab |= 1 << a
+            dims = demoted.dims
+            cvalues = constraint.values
+            while cand:
+                bit = cand & -cand
+                cand ^= bit
+                child = mask | bit
+                if not allowed(child):
+                    continue
+                j = bit.bit_length() - 1
+                if dims[j] is UNBOUND:
+                    # A value equal to the unbound marker cannot be
+                    # bound — there is no child on this attribute.
+                    continue
+                tbl = anc_tbl.get(child)
+                if tbl is None:
+                    tbl = self._make_anc_row(child)
+                if ab & tbl[j]:
+                    continue
+                child_values = list(cvalues)
+                child_values[j] = dims[j]
+                store.insert(
+                    Constraint.from_values_mask(tuple(child_values), child),
+                    subspace,
+                    demoted,
+                )
+                ab |= 1 << child
+
+    # ------------------------------------------------------------------
+    # Prominence: columnar skyline_sizes
+    # ------------------------------------------------------------------
+    def make_context_counter(self, max_bound_dims: Optional[int] = None):
+        """Interned-key counter — keeps scored ingestion columnar."""
+        from ..core.prominence import ColumnarContextCounter
+
+        return ColumnarContextCounter(self.schema.n_dimensions, max_bound_dims)
+
+    def skyline_sizes(self, facts: FactSet) -> Dict[Tuple[Constraint, int], int]:
+        """``|λ_M(σ_C(R))|`` for all of ``S_t`` from the scoring index.
+
+        The columnar store maintains (lazily at first, incrementally
+        thereafter) per ``(subspace, fact mask)`` the skyline
+        cardinality of every value combination, keyed by the anchored
+        tuples' dimension values — anchor-bitset flips on insert/delete
+        keep it exact.  Scoring an arrival is then one dict probe per
+        fact, independent of history size, instead of the scalar
+        per-(tuple, anchor, supermask) sweep.
+        """
+        index = self.store.scoring_index()
+        if index is None:  # dimensionality beyond the mask-lattice cap
+            return super().skyline_sizes(facts)
+        dims = facts.record.dims
+        mask_keys = self.store.mask_keys
+        sizes: Dict[Tuple[Constraint, int], int] = {}
+        key_cache: Dict[int, tuple] = {}
+        for fact in facts:
+            constraint = fact.constraint
+            subspace = fact.subspace
+            space = index.get(subspace)
+            if not space:
+                sizes[(constraint, subspace)] = 0
+                continue
+            fact_mask = constraint.bound_mask
+            table = space.get(fact_mask)
+            if not table:
+                sizes[(constraint, subspace)] = 0
+                continue
+            key = key_cache.get(fact_mask)
+            if key is None:
+                key = mask_keys[fact_mask](dims)
+                key_cache[fact_mask] = key
+            sizes[(constraint, subspace)] = table.get(key, 0)
+        return sizes

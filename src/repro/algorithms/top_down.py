@@ -187,25 +187,69 @@ class TopDown(DiscoveryAlgorithm):
     # ------------------------------------------------------------------
     # Prominence / accounting
     # ------------------------------------------------------------------
+    def _skyline_sizes_bulk(
+        self,
+        dims: Tuple[object, ...],
+        constraint_of,
+        masks_by_subspace: Dict[int, Set[int]],
+    ) -> Dict[Tuple[Constraint, int], int]:
+        """Shared Invariant-2 size resolver, one sweep per subspace.
+
+        ``constraint_of(mask)`` must return the constraint binding
+        ``dims`` at exactly ``mask``'s positions.  A stored tuple ``u``
+        is in ``λ_M(σ_C)`` for every fact mask between its anchor and
+        its agreement mask with ``dims`` (it satisfies those contexts,
+        and skyline-ness is down-closed below a maximal constraint).
+        Both the bulk per-arrival path and the single-pair query path
+        wrap this, so the two cannot drift.
+        """
+        store = self.store
+        allowed = self.allowed_mask
+        sizes: Dict[Tuple[Constraint, int], int] = {}
+        agree_cache: Dict[int, int] = {}
+        for subspace, fact_masks in masks_by_subspace.items():
+            union = 0
+            for fm in fact_masks:
+                union |= fm
+            tids_by_mask: Dict[int, Set[int]] = {m: set() for m in fact_masks}
+            # Anchors above the d̂ cap store nothing; skip the probes.
+            for anchor in iter_submasks(union):
+                if not allowed(anchor):
+                    continue
+                for u in store.get(constraint_of(anchor), subspace):
+                    agree = agree_cache.get(u.tid)
+                    if agree is None:
+                        agree = agreement_mask(u.dims, dims)
+                        agree_cache[u.tid] = agree
+                    for fm in iter_supermasks(anchor, agree & union):
+                        bucket = tids_by_mask.get(fm)
+                        if bucket is not None:
+                            bucket.add(u.tid)
+            for fm in fact_masks:
+                sizes[(constraint_of(fm), subspace)] = len(tids_by_mask[fm])
+        return sizes
+
     def skyline_size(self, constraint: Constraint, subspace: int) -> int:
         """Invariant 2: the skyline of ``(C, M)`` is the set of tuples
         anchored at ``C`` or any ancestor of ``C`` that also satisfy
         ``C`` (every skyline tuple's maximal constraint lies on or above
-        ``C``)."""
-        seen: Set[int] = set()
-        mask = constraint.bound_mask
+        ``C``).  Thin wrapper over :meth:`_skyline_sizes_bulk`."""
+        values = constraint.values
         n = constraint.arity
-        for sub in iter_submasks(mask):
-            anc = Constraint(
+
+        def constraint_of(mask: int) -> Constraint:
+            if mask == constraint.bound_mask:
+                return constraint
+            return Constraint(
                 tuple(
-                    constraint.values[i] if sub & (1 << i) else UNBOUND
-                    for i in range(n)
+                    values[i] if mask & (1 << i) else UNBOUND for i in range(n)
                 )
             )
-            for rec in self.store.get(anc, subspace):
-                if rec.tid not in seen and constraint.satisfied_by(rec):
-                    seen.add(rec.tid)
-        return len(seen)
+
+        sizes = self._skyline_sizes_bulk(
+            values, constraint_of, {subspace: {constraint.bound_mask}}
+        )
+        return sizes[(constraint, subspace)]
 
     def skyline_sizes(self, facts: FactSet) -> Dict[Tuple[Constraint, int], int]:
         """One sweep per subspace: every tuple anchored at a constraint
@@ -218,28 +262,9 @@ class TopDown(DiscoveryAlgorithm):
             masks_by_subspace.setdefault(fact.subspace, set()).add(
                 fact.constraint.bound_mask
             )
-        sizes: Dict[Tuple[Constraint, int], int] = {}
-        agree_cache: Dict[int, int] = {}
-        for subspace, fact_masks in masks_by_subspace.items():
-            tids_by_mask: Dict[int, Set[int]] = {m: set() for m in fact_masks}
-            for anchor in self.masks_top_down:
-                stored = self.store.get(constraints[anchor], subspace)
-                for u in stored:
-                    agree = agree_cache.get(u.tid)
-                    if agree is None:
-                        agree = agreement_mask(u.dims, record.dims)
-                        agree_cache[u.tid] = agree
-                    # u is in λ_M(σ_C) for every C^t mask between its
-                    # anchor and its agreement with t (it satisfies those
-                    # contexts, and skyline-ness is down-closed below a
-                    # maximal constraint).
-                    for fm in iter_supermasks(anchor, agree):
-                        bucket = tids_by_mask.get(fm)
-                        if bucket is not None:
-                            bucket.add(u.tid)
-            for fm in fact_masks:
-                sizes[(constraints[fm], subspace)] = len(tids_by_mask[fm])
-        return sizes
+        return self._skyline_sizes_bulk(
+            record.dims, constraints.__getitem__, masks_by_subspace
+        )
 
     def _repair_after_retract(self, removed: Record) -> None:
         from .retraction import retract_top_down

@@ -101,9 +101,17 @@ def cmd_discover(args) -> int:
     from .reporting.narrate import narrate
 
     schema = _schema_from_args(args)
-    engine = FactDiscoverer(
-        schema, algorithm=args.algorithm, config=_config_from_args(args)
-    )
+    try:
+        engine = FactDiscoverer(
+            schema,
+            algorithm=args.algorithm,
+            config=_config_from_args(args),
+            score=not args.no_score,
+        )
+    except ValueError as exc:
+        # --no-score with --tau/--top-k: reporting needs prominence.
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
 
     def emit(index, facts):
         count = 0
@@ -203,6 +211,13 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--batch", type=int, default=1,
                    help="ingest rows in blocks of this size "
                         "(same output, amortised overhead)")
+    p.add_argument("--no-score", action="store_true",
+                   help="skip prominence scoring and stream raw facts at "
+                        "maximum speed; facts carry no context/skyline "
+                        "sizes, and combining this with --tau or --top-k "
+                        "is an error (those reporting policies need "
+                        "prominence scores and would silently report "
+                        "nothing)")
     p.set_defaults(fn=cmd_discover)
 
     p = sub.add_parser("query", help="forward contextual-skyline query")

@@ -6,7 +6,12 @@ from .constraint import Constraint, constraint_for_record, satisfied_constraints
 from .dominance import ComparisonOutcome, compare, dominates
 from .engine import FactDiscoverer
 from .facts import FactSet, SituationalFact
-from .prominence import ContextCounter, score_facts, select_reportable
+from .prominence import (
+    ColumnarContextCounter,
+    ContextCounter,
+    score_facts,
+    select_reportable,
+)
 from .record import Record, Table
 from .schema import MAX, MIN, SchemaError, TableSchema
 from .skyline import contextual_skyline, is_contextual_skyline_tuple, skyline_bnl
@@ -22,6 +27,7 @@ __all__ = [
     "FactDiscoverer",
     "FactSet",
     "SituationalFact",
+    "ColumnarContextCounter",
     "ContextCounter",
     "score_facts",
     "select_reportable",

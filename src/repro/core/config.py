@@ -12,6 +12,19 @@ from dataclasses import dataclass
 from typing import Optional
 
 
+def effective_bound_cap(n_dimensions: int, max_bound_dims: Optional[int]) -> int:
+    """``min(d̂, n)`` — the bound-attribute count actually reachable.
+
+    The single definition behind every ``C^t`` skeleton: the algorithms'
+    ``masks_top_down``, ``satisfied_constraints``, the context counters,
+    and the engine's constraint-sharing guard all derive their lattice
+    truncation from this, so the caps cannot drift apart.
+    """
+    if max_bound_dims is None:
+        return n_dimensions
+    return min(n_dimensions, max_bound_dims)
+
+
 @dataclass(frozen=True)
 class DiscoveryConfig:
     """Tunable parameters shared by every discovery algorithm.
@@ -47,6 +60,11 @@ class DiscoveryConfig:
             raise ValueError("tau is a cardinality ratio; it must be >= 1")
         if self.top_k is not None and self.top_k < 1:
             raise ValueError("top_k must be >= 1")
+
+    def effective_bound_cap(self, n_dimensions: int) -> int:
+        """``min(d̂, n)`` for an ``n``-dimensional schema (see
+        :func:`effective_bound_cap`)."""
+        return effective_bound_cap(n_dimensions, self.max_bound_dims)
 
     def allows_constraint_mask(self, mask: int) -> bool:
         """True iff a constraint with bound-position ``mask`` respects

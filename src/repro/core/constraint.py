@@ -236,11 +236,12 @@ def satisfied_constraints(record: "Record", max_bound: Optional[int] = None) -> 
     Generation order matches Alg. 1: level by level from ``⊤`` downward
     (breadth-first), never generating a constraint twice.
     """
+    from .config import effective_bound_cap
     from .lattice import masks_by_level
 
     n = len(record.dims)
     levels = masks_by_level(n)
-    cap = n if max_bound is None else min(n, max_bound)
+    cap = effective_bound_cap(n, max_bound)
     for level in levels[: cap + 1]:
         for mask in level:
             yield constraint_for_record(record, mask)

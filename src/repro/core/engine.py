@@ -23,7 +23,7 @@ if TYPE_CHECKING:  # pragma: no cover - typing only
     from ..algorithms import DiscoveryAlgorithm
 from .config import DiscoveryConfig
 from .facts import FactSet, SituationalFact
-from .prominence import ContextCounter, score_facts, select_reportable
+from .prominence import score_facts, select_reportable
 from .record import Record
 from .schema import TableSchema
 
@@ -68,7 +68,16 @@ class FactDiscoverer:
             self.algorithm = make_algorithm(
                 algorithm, schema, self.config, **algorithm_kwargs
             )
-        self.context_counter = ContextCounter(self.config.max_bound_dims)
+        self.context_counter = self.algorithm.make_context_counter(
+            self.config.max_bound_dims
+        )
+        # The algorithm memoises C^t per dims tuple; when its d̂ cap
+        # matches the counter's, registration reuses those constraints
+        # instead of rebuilding 2^d̂ objects per arrival.
+        self._share_constraints = (
+            self.algorithm.bound_cap
+            == self.config.effective_bound_cap(schema.n_dimensions)
+        )
         if not score and (self.config.tau is not None or self.config.top_k is not None):
             raise ValueError(
                 "tau/top_k reporting needs prominence scores; "
@@ -92,11 +101,20 @@ class FactDiscoverer:
     def facts_for(self, row: Row) -> FactSet:
         """Process one tuple and return the full (scored) ``S_t``."""
         facts = self.algorithm.process(row)
-        self.context_counter.register(facts.record)
+        self.context_counter.register(
+            facts.record, self._constraints_of(facts.record)
+        )
         if self.score:
             sizes = self.algorithm.skyline_sizes(facts)
             facts = score_facts(facts, self.context_counter, sizes)
         return facts
+
+    def _constraints_of(self, record: Record):
+        """The algorithm's memoised ``C^t`` for counter registration, or
+        ``None`` when the caps differ and sharing would miscount."""
+        if not self._share_constraints:
+            return None
+        return self.algorithm.constraint_cache(record).values()
 
     def observe_all(self, rows: Iterable[Row]) -> List[List[SituationalFact]]:
         """Process many tuples; one reportable-fact list per tuple."""
@@ -125,15 +143,19 @@ class FactDiscoverer:
 
         With scoring enabled, prominence for row ``i`` must be measured
         against the relation state *at arrival ``i``*, so rows are still
-        processed one by one (after one upfront capacity reservation).
-        With ``score=False`` the whole block is handed to the
-        algorithm's :meth:`DiscoveryAlgorithm.process_many` fast path.
+        processed one by one (after one upfront capacity reservation) —
+        but every per-arrival step stays on the algorithm's columnar
+        machinery (vectorized discovery, the store's incremental
+        skyline-cardinality index, the interned-key context counter), so
+        scored blocks ingest at columnar speed.  With ``score=False``
+        the whole block is handed to the algorithm's
+        :meth:`DiscoveryAlgorithm.process_many` fast path and the
+        context counter's batched registration.
         """
         rows = list(rows)
         if not self.score:
             out = self.algorithm.process_many(rows)
-            for facts in out:
-                self.context_counter.register(facts.record)
+            self.context_counter.register_many([f.record for f in out])
             return out
         self.algorithm.reserve(len(rows))
         return [self.facts_for(row) for row in rows]
@@ -147,7 +169,7 @@ class FactDiscoverer:
         record.
         """
         removed = self.algorithm.retract(tid)
-        self.context_counter.unregister(removed)
+        self.context_counter.unregister(removed, self._constraints_of(removed))
         return removed
 
     def update(self, tid: int, row: Mapping[str, object]) -> List[SituationalFact]:

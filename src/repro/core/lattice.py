@@ -123,6 +123,32 @@ def submask_closure_table(n_bits: int) -> Tuple[int, ...]:
     return tuple(table)
 
 
+@lru_cache(maxsize=32)
+def supermask_closure_table(n_bits: int) -> Tuple[int, ...]:
+    """``table[mask]`` = bitset (over the ``2^n`` constraint masks) of all
+    supermasks of ``mask`` within the full universe.
+
+    Dual of :func:`submask_closure_table`: ``(table[a] >> m) & 1`` iff
+    ``a ⊆ m``.  The columnar anchor index ORs these per anchored
+    constraint, so "is the tuple anchored at an ancestor of ``C``?"
+    becomes one integer AND (prominence scoring, demotion repair).
+    Built by the mirrored DP: closure(mask) = {mask} ∪ closure(mask + bit).
+    """
+    size = 1 << n_bits
+    universe = size - 1
+    table = [0] * size
+    table[universe] = 1 << universe  # closure of ⊥ is {⊥}
+    for mask in range(universe - 1, -1, -1):
+        acc = 1 << mask
+        free = universe & ~mask
+        while free:
+            bit = free & -free
+            acc |= table[mask | bit]
+            free ^= bit
+        table[mask] = acc
+    return tuple(table)
+
+
 def agreement_mask(dims_a: Sequence[object], dims_b: Sequence[object]) -> int:
     """Bitmask of positions where two dimension tuples agree.
 

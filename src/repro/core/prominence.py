@@ -14,11 +14,12 @@ algorithm's skyline store (or a from-scratch oracle fallback).
 from __future__ import annotations
 
 from collections import defaultdict
-from typing import Dict, List, Mapping, Optional
+from typing import Dict, Iterable, List, Mapping, Optional, Tuple
 
-from .config import DiscoveryConfig
-from .constraint import Constraint, satisfied_constraints
+from .config import DiscoveryConfig, effective_bound_cap
+from .constraint import UNBOUND, Constraint, satisfied_constraints
 from .facts import FactSet, SituationalFact
+from .lattice import masks_by_level
 from .record import Record
 
 
@@ -34,23 +35,186 @@ class ContextCounter:
         self._counts: Dict[Constraint, int] = defaultdict(int)
         self._max_bound = max_bound_dims
 
-    def register(self, record: Record) -> None:
-        """Account for one appended tuple: bump every ``C ∈ C^t``."""
-        for constraint in satisfied_constraints(record, self._max_bound):
-            self._counts[constraint] += 1
+    def register(
+        self, record: Record, constraints: Optional[Iterable[Constraint]] = None
+    ) -> None:
+        """Account for one appended tuple: bump every ``C ∈ C^t``.
 
-    def unregister(self, record: Record) -> None:
+        ``constraints`` lets callers that already hold ``C^t`` (the
+        discovery algorithms memoise it per dims tuple — see
+        ``DiscoveryAlgorithm.constraint_cache``) share it instead of
+        re-deriving the same ``2^d̂`` objects here.
+        """
+        counts = self._counts
+        if constraints is None:
+            constraints = satisfied_constraints(record, self._max_bound)
+        for constraint in constraints:
+            counts[constraint] += 1
+
+    def register_many(self, records: Iterable[Record]) -> None:
+        """Batched :meth:`register` (no per-record result is needed, so
+        callers ingesting blocks skip the per-call dispatch)."""
+        for record in records:
+            self.register(record)
+
+    def unregister(
+        self, record: Record, constraints: Optional[Iterable[Constraint]] = None
+    ) -> None:
         """Reverse :meth:`register` (deletion extension, §VIII)."""
-        for constraint in satisfied_constraints(record, self._max_bound):
-            remaining = self._counts[constraint] - 1
+        counts = self._counts
+        if constraints is None:
+            constraints = satisfied_constraints(record, self._max_bound)
+        for constraint in constraints:
+            remaining = counts[constraint] - 1
             if remaining <= 0:
-                del self._counts[constraint]
+                del counts[constraint]
             else:
-                self._counts[constraint] = remaining
+                counts[constraint] = remaining
 
     def count(self, constraint: Constraint) -> int:
         """Current ``|σ_C(R)|``."""
         return self._counts.get(constraint, 0)
+
+    def __len__(self) -> int:
+        return len(self._counts)
+
+
+class ColumnarContextCounter:
+    """``|σ_C(R)|`` with interned integer keys and batched registration.
+
+    Drop-in replacement for :class:`ContextCounter` used by the
+    vectorized engine: dimension values are interned to per-column
+    integer ids once, and each constraint of ``C^t`` is counted under
+    the key ``(bound_mask, ids-at-bound-positions)`` instead of a
+    materialised :class:`Constraint` — no tuple-of-values hashing, no
+    constraint objects per ``(row, mask)``.  :meth:`register_many`
+    ingests whole blocks with one grouped ``np.unique`` per mask, so
+    unscored batch ingestion touches the count table once per distinct
+    key rather than once per row.
+
+    A dimension *value* equal to the unbound marker (``None``) cannot be
+    bound, so masks covering such positions collapse onto the constraint
+    that leaves them free — exactly like the scalar counter, which
+    counts the collapsed constraint once per covering mask.
+    """
+
+    def __init__(
+        self, n_dimensions: int, max_bound_dims: Optional[int] = None
+    ) -> None:
+        self._n = n_dimensions
+        self._max_bound = max_bound_dims
+        cap = effective_bound_cap(n_dimensions, max_bound_dims)
+        levels = masks_by_level(n_dimensions)
+        #: Allowed bound masks (the ``C^t`` skeleton under ``d̂``).
+        self._masks: Tuple[int, ...] = tuple(
+            m for level in levels[: cap + 1] for m in level
+        )
+        self._positions: Dict[int, Tuple[int, ...]] = {
+            mask: tuple(i for i in range(n_dimensions) if (mask >> i) & 1)
+            for mask in self._masks
+        }
+        self._tables: List[Dict[object, int]] = [
+            {} for _ in range(n_dimensions)
+        ]
+        self._counts: Dict[Tuple[int, Tuple[int, ...]], int] = defaultdict(int)
+
+    # ------------------------------------------------------------------
+    # Key derivation
+    # ------------------------------------------------------------------
+    def _intern(self, dims: Tuple[object, ...]) -> List[int]:
+        ids = []
+        for i, value in enumerate(dims):
+            table = self._tables[i]
+            vid = table.get(value)
+            if vid is None:
+                vid = len(table)
+                table[value] = vid
+            ids.append(vid)
+        return ids
+
+    def _keys(self, dims: Tuple[object, ...]) -> List[Tuple[int, Tuple[int, ...]]]:
+        """One count key per allowed mask (multiset — masks covering an
+        unbindable ``None`` value collapse, preserving multiplicity)."""
+        ids = self._intern(dims)
+        positions = self._positions
+        if UNBOUND in dims:
+            keys = []
+            for mask in self._masks:
+                eff_mask = 0
+                eff_ids = []
+                for i in positions[mask]:
+                    if dims[i] is not UNBOUND:
+                        eff_mask |= 1 << i
+                        eff_ids.append(ids[i])
+                keys.append((eff_mask, tuple(eff_ids)))
+            return keys
+        return [
+            (mask, tuple(ids[i] for i in positions[mask]))
+            for mask in self._masks
+        ]
+
+    # ------------------------------------------------------------------
+    # ContextCounter API
+    # ------------------------------------------------------------------
+    def register(
+        self, record: Record, constraints: Optional[Iterable[Constraint]] = None
+    ) -> None:
+        """Account for one appended tuple (``constraints`` is accepted
+        for interface parity and ignored — keys come from the ids)."""
+        counts = self._counts
+        for key in self._keys(record.dims):
+            counts[key] += 1
+
+    def register_many(self, records: Iterable[Record]) -> None:
+        """Batched registration: group the block's rows per mask with
+        ``np.unique`` and bump each distinct key once."""
+        records = list(records)
+        if len(records) < 16 or any(UNBOUND in r.dims for r in records):
+            for record in records:
+                self.register(record)
+            return
+        import numpy as np
+
+        ids = np.asarray(
+            [self._intern(r.dims) for r in records], dtype=np.int64
+        )
+        counts = self._counts
+        block = len(records)
+        for mask in self._masks:
+            positions = self._positions[mask]
+            if not positions:
+                counts[(0, ())] += block
+                continue
+            uniq, per_key = np.unique(
+                ids[:, positions], axis=0, return_counts=True
+            )
+            for key_ids, bump in zip(uniq.tolist(), per_key.tolist()):
+                counts[(mask, tuple(key_ids))] += bump
+
+    def unregister(
+        self, record: Record, constraints: Optional[Iterable[Constraint]] = None
+    ) -> None:
+        """Reverse :meth:`register` (deletion extension, §VIII)."""
+        counts = self._counts
+        for key in self._keys(record.dims):
+            remaining = counts[key] - 1
+            if remaining <= 0:
+                del counts[key]
+            else:
+                counts[key] = remaining
+
+    def count(self, constraint: Constraint) -> int:
+        """Current ``|σ_C(R)|`` (0 for never-seen values or masks beyond
+        ``d̂`` — same contract as the scalar counter)."""
+        ids = []
+        for i, value in enumerate(constraint.values):
+            if value is UNBOUND:
+                continue
+            vid = self._tables[i].get(value)
+            if vid is None:
+                return 0
+            ids.append(vid)
+        return self._counts.get((constraint.bound_mask, tuple(ids)), 0)
 
     def __len__(self) -> int:
         return len(self._counts)

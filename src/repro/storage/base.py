@@ -83,6 +83,20 @@ class SkylineStore(abc.ABC):
         """
         return None
 
+    def scoring_index(self):
+        """Incremental skyline-cardinality index for prominence scoring,
+        or ``None`` when the store keeps none (the generic path).
+
+        When maintained (see the columnar store), ``index[M][m][key]``
+        is ``|λ_M(σ_C)|`` for the constraint binding dimension values
+        ``key`` at bound mask ``m`` — resolved by one dict lookup per
+        fact instead of an Invariant-2 store sweep.  Like
+        :meth:`anchor_masks`, it is only meaningful for stores filled by
+        the discovery algorithms (stored tuples satisfy their
+        constraints).  Callers must treat the index as read-only.
+        """
+        return None
+
     # -- shared conveniences -------------------------------------------------
     def replace(
         self,

@@ -35,19 +35,43 @@ Examples
 from __future__ import annotations
 
 import sys
+from collections import defaultdict
+from operator import itemgetter
 from typing import Dict, Iterator, List, Optional, Tuple
 
 import numpy as np
 
 from ..core.constraint import Constraint
+from ..core.lattice import supermask_closure_table
 from ..core.record import Record
 from .base import PairKey, SkylineStore
 
 _INITIAL_CAPACITY = 256
 _POINTER_BYTES = 8
 
+#: The scoring index works the 2^n constraint-mask lattice: every
+#: insert/delete flips up to 2^n masks per subspace, and the index can
+#: hold one entry per (subspace, mask, value-combination).  Discovery
+#: itself already scales with 2^n per arrival, so the index is never
+#: the *first* bottleneck, but its memory footprint grows faster on
+#: high-cardinality dimensions — cap the dimensionality and fall back
+#: to the scalar Invariant-2 sweep for wider schemas.
+_MAX_INDEXED_DIMENSIONS = 8
+
 #: Shared empty row-index array returned for pairs that hold nothing.
 _EMPTY_ROWS = np.empty(0, dtype=np.int64)
+
+_EMPTY_KEY: tuple = ()
+
+
+def _key_builder(positions: Tuple[int, ...]):
+    """``dims → tuple(dims at positions)`` at C speed (itemgetter)."""
+    if not positions:
+        return lambda dims: _EMPTY_KEY
+    if len(positions) == 1:
+        j = positions[0]
+        return lambda dims: (dims[j],)
+    return itemgetter(*positions)
 
 
 def grow_2d(array: np.ndarray, size: int, min_rows: Optional[int] = None) -> np.ndarray:
@@ -143,6 +167,21 @@ class ColumnarSkylineStore(SkylineStore):
         # Reverse index: (tid, subspace) → bound masks anchoring the
         # tuple there (see SkylineStore.anchor_masks).
         self._anchors: Dict[Tuple[int, int], set] = {}
+        # Scoring index: subspace → fact mask → (dimension values at the
+        # mask's positions → count).  Entry ``(M, m, key)`` counts the
+        # distinct tuples anchored in ``M`` at ``m`` or an ancestor of
+        # ``m`` whose dimension values at ``m``'s positions equal
+        # ``key`` — by Invariant 2 exactly ``|λ_M(σ_C)|`` for the
+        # constraint binding ``key`` at ``m``.  Built lazily on first
+        # use, then maintained by anchor-bitset flips on every
+        # insert/delete, so prominence scoring is O(1) per fact
+        # regardless of history size.
+        self._score_index: Optional[Dict[int, Dict[int, Dict[tuple, int]]]] = None
+        self._up_table: Optional[Tuple[int, ...]] = None
+        self._mask_keys: Optional[Tuple] = None
+        # Memo: flipped-bitset → tuple of fact-mask ids (flip patterns
+        # repeat constantly; bounded FIFO caps adversarial streams).
+        self._flip_masks: Dict[int, Tuple[int, ...]] = {}
         self._total = 0
         if n_dimensions is not None and n_measures is not None:
             self._allocate(n_dimensions, n_measures)
@@ -156,6 +195,14 @@ class ColumnarSkylineStore(SkylineStore):
         cap = self._initial_capacity
         self._values = np.empty((cap, n_measures), dtype=np.float64)
         self._dims = np.empty((cap, n_dimensions), dtype=np.int32)
+        if n_dimensions <= _MAX_INDEXED_DIMENSIONS:
+            self._up_table = supermask_closure_table(n_dimensions)
+            self._mask_keys = tuple(
+                _key_builder(
+                    tuple(j for j in range(n_dimensions) if (mask >> j) & 1)
+                )
+                for mask in range(1 << n_dimensions)
+            )
         if self._interner is None:
             self._interner = ColumnInterner(n_dimensions)
 
@@ -245,6 +292,10 @@ class ColumnarSkylineStore(SkylineStore):
         """The registered record living at ``row``."""
         return self._records[row]
 
+    def row_of(self, tid: int) -> Optional[int]:
+        """The column row of a registered tid (``None`` if unknown)."""
+        return self._row_of.get(tid)
+
     def submap(self, subspace: int) -> Optional[Dict[Constraint, Dict[int, int]]]:
         """The live ``constraint → (tid → row)`` map for ``subspace``
         (``None`` when the subspace holds nothing).  Zero-copy fast path
@@ -286,9 +337,16 @@ class ColumnarSkylineStore(SkylineStore):
             bucket[record.tid] = self.register(record)
             self._total += 1
             self.counters.stored_tuples = self._total
-            self._anchors.setdefault((record.tid, subspace), set()).add(
-                constraint.bound_mask
-            )
+            anchors = self._anchors.setdefault((record.tid, subspace), set())
+            if self._score_index is not None and self._up_table is not None:
+                up_table = self._up_table
+                old_up = 0
+                for mask in anchors:
+                    old_up |= up_table[mask]
+                flipped = up_table[constraint.bound_mask] & ~old_up
+                if flipped:
+                    self._score_bump(subspace, record.dims, flipped, 1)
+            anchors.add(constraint.bound_mask)
 
     def delete(self, constraint: Constraint, subspace: int, record: Record) -> None:
         space = self._spaces.get(subspace)
@@ -305,8 +363,93 @@ class ColumnarSkylineStore(SkylineStore):
             masks = self._anchors.get(key)
             if masks is not None:
                 masks.discard(constraint.bound_mask)
+                if self._score_index is not None and self._up_table is not None:
+                    up_table = self._up_table
+                    new_up = 0
+                    for mask in masks:
+                        new_up |= up_table[mask]
+                    flipped = up_table[constraint.bound_mask] & ~new_up
+                    if flipped:
+                        self._score_bump(subspace, record.dims, flipped, -1)
                 if not masks:
                     del self._anchors[key]
+
+    def _flipped_masks(self, flipped: int) -> Tuple[int, ...]:
+        masks = self._flip_masks.get(flipped)
+        if masks is None:
+            out = []
+            bits = flipped
+            while bits:
+                bit = bits & -bits
+                bits ^= bit
+                out.append(bit.bit_length() - 1)
+            masks = tuple(out)
+            if len(self._flip_masks) >= 16384:
+                self._flip_masks.pop(next(iter(self._flip_masks)))
+            self._flip_masks[flipped] = masks
+        return masks
+
+    def _score_bump(
+        self, subspace: int, dims: Tuple[object, ...], flipped: int, delta: int
+    ) -> None:
+        """Apply an anchor-bitset flip to the scoring index: each set bit
+        of ``flipped`` is a fact mask whose ``|λ_M(σ_C)|`` gains or
+        loses this tuple."""
+        space = self._score_index.setdefault(subspace, {})
+        keys = self._mask_keys
+        if delta > 0:
+            for fact_mask in self._flipped_masks(flipped):
+                table = space.get(fact_mask)
+                if table is None:
+                    table = space[fact_mask] = defaultdict(int)
+                table[keys[fact_mask](dims)] += delta
+            return
+        for fact_mask in self._flipped_masks(flipped):
+            table = space.get(fact_mask)
+            if table is None:
+                table = space[fact_mask] = defaultdict(int)
+            key = keys[fact_mask](dims)
+            count = table[key] + delta
+            if count <= 0:
+                table.pop(key, None)
+            else:
+                table[key] = count
+
+    def scoring_index(self):
+        """The live skyline-cardinality index, building it on first use.
+
+        ``index[M][m][key]`` is ``|λ_M(σ_C)|`` for the constraint
+        binding dimension values ``key`` at mask ``m``'s positions —
+        the count of distinct tuples anchored in ``M`` at ``m`` or an
+        ancestor whose dims match ``key`` (Invariant 2).  ``None`` when
+        the store cannot maintain it (dimensionality beyond the mask
+        -lattice cap).  Unscored ingestion never pays for it: the build
+        happens on the first scoring call, after which every
+        insert/delete keeps it current via bitset flips.  Read-only.
+        """
+        if self._n_dimensions is not None and self._up_table is None:
+            return None
+        index = self._score_index
+        if index is None:
+            index = self._score_index = {}
+            up_table = self._up_table
+            if up_table is not None:
+                row_of = self._row_of
+                records = self._records
+                for (tid, subspace), masks in self._anchors.items():
+                    up = 0
+                    for mask in masks:
+                        up |= up_table[mask]
+                    self._score_bump(
+                        subspace, records[row_of[tid]].dims, up, 1
+                    )
+        return index
+
+    @property
+    def mask_keys(self) -> Optional[Tuple]:
+        """``mask → (dims → key-tuple)`` builders for the scoring-index
+        keys (``None`` before the layout is known)."""
+        return self._mask_keys
 
     _NO_ANCHORS: frozenset = frozenset()
 
@@ -359,6 +502,10 @@ class ColumnarSkylineStore(SkylineStore):
         self._row_of = {}
         self._spaces = {}
         self._anchors = {}
+        self._score_index = None
+        self._up_table = None
+        self._mask_keys = None
+        self._flip_masks = {}
         self._total = 0
         self.counters.stored_tuples = 0
         if self._n_dimensions is not None and self._n_measures is not None:

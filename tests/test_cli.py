@@ -59,6 +59,27 @@ class TestDiscover:
         assert batched.out == unbatched.out
         assert "facts from 40 tuples" in batched.err
 
+    def test_discover_no_score_streams_unscored_facts(self, nba_csv, capsys):
+        rc = main(
+            ["discover", nba_csv, "-d", DIMS, "-m", MEAS,
+             "--dhat", "2", "--mhat", "2", "--no-score",
+             "--algorithm", "svec", "--batch", "16"]
+        )
+        assert rc == 0
+        captured = capsys.readouterr()
+        assert "facts from 40 tuples" in captured.err
+        # Unscored facts carry no prominence annotation.
+        assert "prominence=" not in captured.out
+
+    def test_discover_no_score_rejects_tau_and_top_k(self, nba_csv, capsys):
+        for extra in (["--tau", "3"], ["--top-k", "2"]):
+            rc = main(
+                ["discover", nba_csv, "-d", DIMS, "-m", MEAS,
+                 "--no-score", *extra]
+            )
+            assert rc == 2
+            assert "prominence" in capsys.readouterr().err
+
     def test_discover_json(self, nba_csv, capsys):
         import json
 
