@@ -1,0 +1,45 @@
+"""Machine-readable bench results — the ``BENCH_PR3.json`` sink.
+
+Each vectorization bench merges its per-stage marginal latencies into
+one JSON file so the perf trajectory is tracked across PRs as data, not
+only prose.  The file is read-modify-written so the benches can run in
+any order or subset; CI uploads it as an artifact.
+
+Layout::
+
+    {
+      "meta":    {"n": 3000, "d": 4, "m": 4, "distribution": "..."},
+      "lattice": {"walker_ms": ..., "pr2_pass_ms": ..., ...},
+      "scoring": {"columnar_ms": ..., "pr2_ms": ..., "pr1_scalar_ms": ...},
+      "guard":   {"svec_ms": ..., "baselinevec_ms": ..., ...}
+    }
+"""
+
+import json
+import os
+from pathlib import Path
+
+#: Default sink next to the repo root; override with REPRO_BENCH_RESULTS.
+_DEFAULT = Path(__file__).resolve().parent.parent / "BENCH_PR3.json"
+
+
+def results_path() -> Path:
+    return Path(os.environ.get("REPRO_BENCH_RESULTS", str(_DEFAULT)))
+
+
+def update_results(section: str, payload: dict) -> Path:
+    """Merge ``payload`` under ``section`` in the results file."""
+    path = results_path()
+    data = {}
+    if path.exists():
+        try:
+            data = json.loads(path.read_text())
+        except (OSError, ValueError):
+            data = {}
+    existing = data.get(section)
+    if isinstance(existing, dict):
+        existing.update(payload)
+    else:
+        data[section] = payload
+    path.write_text(json.dumps(data, indent=2, sort_keys=True) + "\n")
+    return path

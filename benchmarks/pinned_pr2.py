@@ -1,0 +1,136 @@
+"""The PR-2 engine, pinned — the bitset-walker benches' slow contender.
+
+PR 3 replaced three stages of per-arrival processing for ``svec``: the
+per-(constraint, subspace) Python visit loop (now the bitset-matrix
+walker), the per-fact object-annotating score path (now bulk column
+annotation), and scalar retraction repair (now columnar).  To keep the
+"how much faster is PR 3?" question answerable after the fast paths
+became the default, :class:`PinnedPR2SVec` replays the PR-2 code for
+all three stages on the shared store infrastructure:
+
+* discovery takes the scalar per-visit passes
+  (``use_bitset_walker = False``) with PR-2's ``_flush_repairs``
+  (one ``delete`` plus per-child ``insert`` per demotion, the ancestor
+  bitset folded from the set-based reverse index);
+* scoring replays PR-2's sequence — a sizes dict keyed by fact pair
+  from the scoring index, then a per-fact object annotation loop over
+  the materialised ``SituationalFact`` objects — with PR-2's
+  memo-less context-counter key derivation;
+* retraction takes the scalar full-table repair
+  (``use_columnar_retraction = False``).
+
+Everything else (columnar store, dominance sweep, engine) is shared,
+so the measured gap is exactly what PR 3's walker machinery buys.
+"""
+
+from repro.algorithms.s_vectorized import SVectorized
+from repro.core.constraint import UNBOUND, Constraint
+from repro.core.prominence import ColumnarContextCounter
+
+
+class PR2ContextCounter(ColumnarContextCounter):
+    """PR-2's interned-key counter: keys re-derived every registration
+    (the dims-tuple memo postdates it)."""
+
+    def _keys(self, dims):
+        ids = self._intern(dims)
+        positions = self._positions
+        if UNBOUND in dims:
+            keys = []
+            for mask in self._masks:
+                eff_mask = 0
+                eff_ids = []
+                for i in positions[mask]:
+                    if dims[i] is not UNBOUND:
+                        eff_mask |= 1 << i
+                        eff_ids.append(ids[i])
+                keys.append((eff_mask, tuple(eff_ids)))
+            return keys
+        return [
+            (mask, tuple(ids[i] for i in positions[mask]))
+            for mask in self._masks
+        ]
+
+
+class PinnedPR2SVec(SVectorized):
+    """``svec`` as it shipped in PR 2 (see module docstring)."""
+
+    name = "svec-pr2"
+    use_bitset_walker = False
+    use_columnar_retraction = False
+
+    def make_context_counter(self, max_bound_dims=None):
+        return PR2ContextCounter(self.schema.n_dimensions, max_bound_dims)
+
+    def _flush_repairs(self, record, subspace, repairs, agree_list):
+        store = self.store
+        allowed = self.allowed_mask
+        universe = self.dim_universe
+        anc_tbl = self._anc_tbl
+        record_at = store.record_at
+        anchor_masks = store.anchor_masks
+        for row, constraint in repairs:
+            demoted = record_at(row)
+            store.delete(constraint, subspace, demoted)
+            mask = constraint.bound_mask
+            cand = ~mask & ~int(agree_list[row]) & universe
+            if not cand:
+                continue
+            ab = 0
+            for anchor in anchor_masks(demoted.tid, subspace):
+                ab |= 1 << anchor
+            dims = demoted.dims
+            cvalues = constraint.values
+            while cand:
+                bit = cand & -cand
+                cand ^= bit
+                child = mask | bit
+                if not allowed(child):
+                    continue
+                j = bit.bit_length() - 1
+                if dims[j] is UNBOUND:
+                    continue
+                tbl = anc_tbl.get(child)
+                if tbl is None:
+                    tbl = self._make_anc_row(child)
+                if ab & tbl[j]:
+                    continue
+                child_values = list(cvalues)
+                child_values[j] = dims[j]
+                store.insert(
+                    Constraint.from_values_mask(tuple(child_values), child),
+                    subspace,
+                    demoted,
+                )
+                ab |= 1 << child
+
+    def score_facts_inplace(self, facts, counter):
+        sizes = {}
+        index = self.store.scoring_index()
+        if index is None:
+            return False
+        dims = facts.record.dims
+        mask_keys = self.store.mask_keys
+        key_cache = {}
+        for fact in facts:
+            constraint, subspace = fact.constraint, fact.subspace
+            space = index.get(subspace)
+            table = space.get(constraint.bound_mask) if space else None
+            if not table:
+                sizes[(constraint, subspace)] = 0
+                continue
+            key = key_cache.get(constraint.bound_mask)
+            if key is None:
+                key = mask_keys[constraint.bound_mask](dims)
+                key_cache[constraint.bound_mask] = key
+            sizes[(constraint, subspace)] = table.get(key, 0)
+        count_cache = {}
+        for fact in facts:
+            constraint = fact.constraint
+            size = count_cache.get(constraint)
+            if size is None:
+                size = counter.count(constraint)
+                count_cache[constraint] = size
+            fact.context_size = size
+            fact.skyline_size = sizes[(constraint, fact.subspace)]
+        return True

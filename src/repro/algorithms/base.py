@@ -229,9 +229,20 @@ class DiscoveryAlgorithm(abc.ABC):
         performance-critical for prominence scoring).
         """
         return {
-            fact.pair: self.skyline_size(fact.constraint, fact.subspace)
-            for fact in facts
+            (constraint, subspace): self.skyline_size(constraint, subspace)
+            for constraint, subspace in facts.iter_pairs()
         }
+
+    def score_facts_inplace(self, facts: FactSet, counter) -> bool:
+        """Algorithm-specific bulk scoring fast path.
+
+        Returns True when the algorithm annotated ``facts`` with context
+        and skyline cardinalities itself (columns attached via
+        :meth:`FactSet.set_scores`); False when the engine must run the
+        generic :meth:`skyline_sizes` + :func:`score_facts` path.  The
+        default has no fast path.
+        """
+        return False
 
     # ------------------------------------------------------------------
     # Accounting

@@ -107,8 +107,8 @@ class BottomUp(DiscoveryAlgorithm):
 
     def skyline_sizes(self, facts: FactSet) -> Dict[Tuple[Constraint, int], int]:
         return {
-            fact.pair: len(self.store.get(fact.constraint, fact.subspace))
-            for fact in facts
+            (constraint, subspace): len(self.store.get(constraint, subspace))
+            for constraint, subspace in facts.iter_pairs()
         }
 
     def _repair_after_retract(self, removed: Record) -> None:

@@ -19,9 +19,17 @@ from __future__ import annotations
 
 from typing import Iterable, Sequence, Set
 
+import numpy as np
+
 from ..core.constraint import UNBOUND, Constraint, constraint_for_record
 from ..core.dominance import dominates
-from ..core.lattice import iter_submasks, iter_supermasks, popcount
+from ..core.lattice import (
+    iter_submasks,
+    iter_supermasks,
+    popcount,
+    submask_closure_table,
+    supermask_closure_table,
+)
 from ..core.record import Record
 from ..core.skyline import contextual_skyline
 from ..storage.base import SkylineStore
@@ -102,6 +110,132 @@ def retract_top_down(
                 if not dominates(removed, record, subspace):
                     continue  # was in the skyline already; anchors fine
                 _anchor_if_maximal(store, record, constraint, mask, subspace)
+
+
+def retract_top_down_columnar(
+    store,
+    removed: Record,
+    constraint_masks: Sequence[int],
+    subspaces: Sequence[int],
+) -> bool:
+    """Columnar :func:`retract_top_down` over a ``ColumnarSkylineStore``.
+
+    Same repair, answered from the columns instead of full-table
+    rescans: the removed tuple's anchors come straight off the per-row
+    anchor bitsets, candidate re-entrants are the rows the removed
+    tuple dominated (one dominance sweep over the measure columns,
+    shared by every subspace), and per affected mask the "is the
+    candidate back in the skyline?" check runs as a batched comparison
+    against the context rows only.  Re-anchoring replays
+    :func:`_anchor_if_maximal` with bitset arithmetic — "ancestor
+    already anchored?" / "which descendant anchors are shadowed?" are
+    single ANDs against the submask / supermask closure tables.
+
+    Returns False — leaving the store untouched — when the store cannot
+    support the columnar path (no anchor bitsets, or the removed tuple
+    carries an unbindable dimension value, which collapses its anchor
+    masks); the caller then falls back to the scalar repair.
+    """
+    if UNBOUND in removed.dims:
+        return False
+    anchor_bits = getattr(store, "anchor_bits", None)
+    if anchor_bits is None or not getattr(store, "anchor_bits_supported", False):
+        return False
+    row_u = store.row_of(removed.tid)
+    if row_u is None:
+        return False
+    n = store.n_rows
+    n_dims = len(removed.dims)
+    closure = submask_closure_table(n_dims)
+    up = supermask_closure_table(n_dims)
+    values = store.values_matrix()
+    n_measures = values.shape[1]
+    # Orientation as in the arrival sweep: lt[r] bits where row r beats
+    # the removed tuple, gt[r] bits where the removed tuple beats row r.
+    lt, gt, agree = store.partition_bitmasks(removed)
+    alive = np.ones(n, dtype=bool)
+    alive[row_u] = False
+    record_at = store.record_at
+    for subspace in subspaces:
+        bits = anchor_bits(subspace, n)
+        ab_u = int(bits[row_u]) if bits is not None else 0
+        if not ab_u:
+            continue
+        # Remove the tuple from its anchors first (scalar order).
+        remaining = ab_u
+        while remaining:
+            bit = remaining & -remaining
+            remaining ^= bit
+            store.delete(
+                constraint_for_record(removed, bit.bit_length() - 1),
+                subspace,
+                removed,
+            )
+        # Only tuples the removed one dominated there can re-enter.
+        dominated_by_u = ((gt & subspace) != 0) & ((lt & subspace) == 0) & alive
+        if not bool(dominated_by_u.any()):
+            continue
+        # Up-set of the anchors: every affected (more specific) mask.
+        affected = 0
+        remaining = ab_u
+        while remaining:
+            bit = remaining & -remaining
+            remaining ^= bit
+            affected |= up[bit.bit_length() - 1]
+        positions = [i for i in range(n_measures) if (subspace >> i) & 1]
+        # constraint_masks is popcount-ascending (and d̂-filtered), so
+        # maximality checks see already-repaired ancestors, exactly like
+        # the scalar most-general-first walk.
+        for mask in constraint_masks:
+            if not (affected >> mask) & 1:
+                continue
+            in_context = ((agree & mask) == mask) & alive
+            candidates = np.nonzero(in_context & dominated_by_u)[0]
+            if candidates.size == 0:
+                continue
+            context_values = values[np.nonzero(in_context)[0]][:, positions]
+            constraint = constraint_for_record(removed, mask)
+            for r in candidates.tolist():
+                candidate_values = values[r, positions]
+                ge_all = (context_values >= candidate_values).all(axis=1)
+                gt_any = (context_values > candidate_values).any(axis=1)
+                if bool((ge_all & gt_any).any()):
+                    continue  # still dominated in this context
+                _reanchor_if_maximal_bits(
+                    store, record_at(r), r, constraint, mask, subspace,
+                    closure, up,
+                )
+    return True
+
+
+def _reanchor_if_maximal_bits(
+    store,
+    record: Record,
+    row: int,
+    constraint: Constraint,
+    mask: int,
+    subspace: int,
+    closure: Sequence[int],
+    up: Sequence[int],
+) -> None:
+    """Bitset replay of :func:`_anchor_if_maximal`: the record's anchor
+    bitset answers both the ancestor-cover check and the shadowed
+    -descendant sweep in one AND each."""
+    bits = store.anchor_bits(subspace, row + 1)
+    anchored = int(bits[row]) if bits is not None else 0
+    self_bit = 1 << mask
+    if anchored & closure[mask] & ~self_bit:
+        return  # a more general anchor covers this constraint
+    shadowed = anchored & up[mask] & ~self_bit
+    while shadowed:
+        bit = shadowed & -shadowed
+        shadowed ^= bit
+        store.delete(
+            constraint_for_record(record, bit.bit_length() - 1),
+            subspace,
+            record,
+        )
+    store.insert(constraint, subspace, record)
 
 
 def _anchor_if_maximal(

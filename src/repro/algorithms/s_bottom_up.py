@@ -26,7 +26,7 @@ from __future__ import annotations
 from typing import Dict, Optional, Set
 
 from ..core.config import DiscoveryConfig
-from ..core.constraint import Constraint
+from ..core.constraint import Constraint, bindable_positions
 from ..core.dominance import ComparisonOutcome, compare, dominates
 from ..core.facts import FactSet
 from ..core.lattice import agreement_mask, submask_closure_table
@@ -96,6 +96,10 @@ class SBottomUp(BottomUp):
         report_full = self.config.allows_subspace(full)
         outcomes: Dict[int, ComparisonOutcome] = {}
         subspace_keys = list(pruned_matrix)
+        # Prune/test on the collapsed canonical mask: raw masks covering
+        # an unbindable (None) dimension value collapse onto one
+        # constraint and must share its pruning state (see TopDown).
+        bindable = bindable_positions(record.dims)
         for mask in self.masks_bottom_up:
             constraint = constraints[mask]
             counters.traversed_constraints += 1
@@ -113,7 +117,7 @@ class SBottomUp(BottomUp):
                             pruned_matrix[sub] |= agree_closure
                 if outcome.dominates_in(full):
                     store.delete(constraint, full, other)
-            if not (pruned_matrix[full] >> mask) & 1:
+            if not (pruned_matrix[full] >> (mask & bindable)) & 1:
                 if report_full:
                     facts.add_pair(constraint, full)
                 store.insert(constraint, full, record)
@@ -130,8 +134,9 @@ class SBottomUp(BottomUp):
         frontier; only skyline constraints are visited."""
         store = self.store
         counters = self.counters
+        bindable = bindable_positions(record.dims)
         for mask in self.masks_bottom_up:
-            if (pruned_bits >> mask) & 1:
+            if (pruned_bits >> (mask & bindable)) & 1:
                 continue
             constraint = constraints[mask]
             counters.traversed_constraints += 1

@@ -26,7 +26,7 @@ from __future__ import annotations
 from typing import Dict, Optional, Set
 
 from ..core.config import DiscoveryConfig
-from ..core.constraint import Constraint
+from ..core.constraint import Constraint, bindable_positions
 from ..core.dominance import ComparisonOutcome, compare, dominates
 from ..core.facts import FactSet
 from ..core.lattice import agreement_mask, submask_closure_table
@@ -95,10 +95,15 @@ class STopDown(TopDown):
         report_full = self.config.allows_subspace(full)
         outcomes: Dict[int, ComparisonOutcome] = {}
         subspace_keys = list(pruned_matrix)
+        # Prune/test on the collapsed canonical mask: raw masks covering
+        # an unbindable (None) dimension value collapse onto one
+        # constraint and must share its pruning state (see TopDown).
+        bindable = bindable_positions(record.dims)
         full_pruned_bits = 0
         for mask in self.masks_top_down:
             constraint = constraints[mask]
             counters.traversed_constraints += 1
+            canonical = mask & bindable
             for other in store.get(constraint, full):
                 counters.comparisons += 1
                 outcome = outcomes.get(other.tid)
@@ -118,10 +123,13 @@ class STopDown(TopDown):
                         store, record, other, constraint, full, self.allowed_mask
                     )
             full_pruned_bits = pruned_matrix[full]
-            if not (full_pruned_bits >> mask) & 1:
+            if not (full_pruned_bits >> canonical) & 1:
                 if report_full:
                     facts.add_pair(constraint, full)
-                if all((full_pruned_bits >> p) & 1 for p in parents[mask]):
+                if all(
+                    (full_pruned_bits >> (p & bindable)) & 1
+                    for p in parents[mask]
+                ):
                     store.insert(constraint, full, record)
 
     # ------------------------------------------------------------------
@@ -138,8 +146,9 @@ class STopDown(TopDown):
         store = self.store
         counters = self.counters
         parents = self._parents
+        bindable = bindable_positions(record.dims)
         for mask in self.masks_top_down:
-            if (pruned_bits >> mask) & 1:
+            if (pruned_bits >> (mask & bindable)) & 1:
                 # Pruned constraints are skipped outright — the point of
                 # sharing (Fig. 11b counts them as not traversed).
                 continue
@@ -152,5 +161,5 @@ class STopDown(TopDown):
                     repair_demoted_tuple(
                         store, record, other, constraint, subspace, self.allowed_mask
                     )
-            if all((pruned_bits >> p) & 1 for p in parents[mask]):
+            if all((pruned_bits >> (p & bindable)) & 1 for p in parents[mask]):
                 store.insert(constraint, subspace, record)

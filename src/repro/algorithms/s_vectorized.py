@@ -11,25 +11,35 @@ materialised stores and output semantics:
   :class:`~repro.storage.columnar_store.ColumnarSkylineStore`, so the
   per-arrival ``(M<, M>, agreement)`` partition against **every**
   historical tuple is three NumPy matrix expressions;
-* the Prop. 4 pruned matrix is assembled per subspace from the
-  vectorized dominator set, OR-ing submask closures over the *distinct*
-  agreement masks only (at most ``2^n`` of them, however long the
-  history);
-* the lattice passes then run on integer bitsets exactly like scalar
-  STopDown — same facts, same store mutations — with demotion repair
-  batched per pass (candidate children and ancestor-anchored checks
-  answered from the sweep's agreement bitmasks and the anchor-mask
-  reverse index), so ``svec`` is output-equivalent to ``stopdown``
-  *including* the Invariant-2 store contents and the operation
-  counters — except on streams whose dimension values equal the
-  unbound marker, where scalar topdown/stopdown carry a known
-  level-order pruning gap and ``svec``'s exact sweep sides with
-  ``bruteforce``/``bottomup`` instead (see ROADMAP open items);
+* the Prop. 4 pruned matrix is assembled for every subspace at once
+  from the vectorized dominator set, OR-ing submask closures over the
+  *distinct* agreement masks only (at most ``2^n`` of them, however
+  long the history);
+* the lattice passes themselves run as one **bitset-matrix walk**: the
+  per-subspace pruned bitsets form a ``(subspaces × constraints)``
+  visit/survive matrix, fact emission and maximal-constraint promotion
+  are batched matrix reductions, ``µ`` bucket occupancy along ``C^t``
+  is answered per stored row with one AND of its anchor bitset against
+  the agreement submask closure (so the comparison counters and the
+  demotion candidates come out of popcounts, not bucket loops), and
+  store mutations go through grouped
+  :meth:`ColumnarSkylineStore.insert_new_many` / batched demotion
+  repair.  The walk is output-equivalent to scalar ``stopdown`` —
+  facts, Invariant-2 store contents, *and* operation counters.
+  Arrivals carrying an unbindable (None) dimension value, and schemas
+  beyond the anchor-bitset dimensionality cap, take the scalar
+  per-visit pass instead (same outputs, Python speed);
 * prominence scoring rides the store's incremental skyline-cardinality
-  index (see :meth:`ColumnarSkylineStore.scoring_index`), so scored
-  batch ingestion — the engine's default — keeps columnar speed:
-  ``skyline_sizes`` is one dict probe per fact, whatever the history
-  size.
+  index (see :meth:`ColumnarSkylineStore.scoring_index`) and annotates
+  the fact set's score *columns* in one bulk pass
+  (:meth:`score_facts_inplace`), so scored batch ingestion — the
+  engine's default — keeps columnar speed without materialising a
+  single fact object;
+* retraction repair is columnar too (see
+  :func:`~repro.algorithms.retraction.retract_top_down_columnar`):
+  re-anchor candidates come from the anchor-bitset reverse index and
+  one dominance sweep over the columns, instead of per-mask skyline
+  recomputation from the full table.
 
 Why precomputing the pruned matrix is sound: STopDown's node passes
 already rely on the root-pass bits being *exact* — a constraint survives
@@ -38,21 +48,30 @@ any dominator in a context is covered by a full-space skyline tuple
 anchored at an ancestor, which the root pass meets in level order).  The
 vectorized sweep computes those exact bits directly from the full
 history, so per-mask decisions come out identical.
+
+Why the walker's bucket arithmetic is exact: a stored row ``r`` sits in
+the walk's bucket at ``(C^t_m, M)`` iff ``r`` is anchored in ``M`` at a
+constraint with bound mask ``m`` *and* ``r`` agrees with the arrival on
+every position of ``m`` (the anchor's values then coincide with
+``C^t_m``'s).  With per-row anchor bitsets that membership is
+``anchor_bits[r] & closure[agree[r]]`` — one gather and one AND for the
+whole history.
 """
 
 from __future__ import annotations
 
-from typing import Dict, Optional, Tuple
+from typing import Dict, List, Optional, Tuple
 
 import numpy as np
 
 from ..core.config import DiscoveryConfig
-from ..core.constraint import UNBOUND, Constraint
+from ..core.constraint import UNBOUND, Constraint, bindable_positions
 from ..core.facts import FactSet
+from ..core.lattice import popcount_array
 from ..core.record import Record
 from ..core.schema import TableSchema
 from ..metrics.counters import OpCounters
-from ..storage.columnar_store import ColumnarSkylineStore
+from ..storage.columnar_store import ColumnarSkylineStore, lattice_bitset_dtype
 from .s_top_down import STopDown
 from .top_down import repair_demoted_tuple
 
@@ -61,6 +80,12 @@ class SVectorized(STopDown):
     """STopDown with the tuple axis vectorized over columnar storage."""
 
     name = "svec"
+
+    #: Toggles for the pinned-baseline benches and the equivalence
+    #: tests: turning either off replays the pre-walker (PR-2) code
+    #: path / the scalar retraction path with identical outputs.
+    use_bitset_walker = True
+    use_columnar_retraction = True
 
     def __init__(
         self,
@@ -81,9 +106,10 @@ class SVectorized(STopDown):
                 n_dimensions=schema.n_dimensions,
                 n_measures=schema.n_measures,
             )
-        #: Bit weights turning boolean comparison columns into bitmasks.
-        self._measure_bits = (1 << np.arange(schema.n_measures)).astype(np.int64)
-        self._dim_bits = (1 << np.arange(schema.n_dimensions)).astype(np.int64)
+        # The raw dominance sweep lives on the store
+        # (ColumnarSkylineStore.partition_bitmasks); the algorithm only
+        # keeps the subspace-key column used to broadcast Prop. 4.
+        measure_dtype = np.int32 if schema.n_measures <= 30 else np.int64
         allowed_bits = 0
         for mask in self.masks_top_down:
             allowed_bits |= 1 << mask
@@ -94,7 +120,9 @@ class SVectorized(STopDown):
             s for s in self.subspaces if s != self.full_space
         ]
         #: Column vector of the keys, for one broadcast Prop. 4 test.
-        self._keys_column = np.asarray(self._subspace_keys, dtype=np.int64)[:, None]
+        self._keys_column = np.asarray(self._subspace_keys, dtype=measure_dtype)[
+            :, None
+        ]
         #: One-hot agreement histogram is worth it only while 2^n stays
         #: a narrow matrix; beyond that fall back to per-key sets.
         self._use_one_hot = (1 << schema.n_dimensions) <= 256
@@ -105,6 +133,32 @@ class SVectorized(STopDown):
         #: demoted tuple already anchored above this candidate child?"
         #: becomes one AND against the anchor-mask bitset.
         self._anc_tbl: Dict[int, Tuple[int, ...]] = {}
+        #: Bitset-matrix walker tables (anchor bitsets need 2^n ≤ 64;
+        #: same dtype rule as the store's anchor-bit columns).
+        bitset_dtype = lattice_bitset_dtype(schema.n_dimensions)
+        self._walker_ok = bitset_dtype is not None
+        if self._walker_ok:
+            self._masks_arr = np.asarray(self.masks_top_down, dtype=bitset_dtype)
+            #: parent_bits[i]: bitset of the parent masks of masks_arr[i]
+            #: — "all parents pruned" is one AND+compare per cell.
+            self._parent_bits = np.asarray(
+                [
+                    sum(1 << p for p in self._parents[m])
+                    for m in self.masks_top_down
+                ],
+                dtype=bitset_dtype,
+            )
+            self._closure_arr = np.asarray(self._closure, dtype=bitset_dtype)
+            #: mask → position in masks_top_down (repair ordering).
+            order = np.full(1 << schema.n_dimensions, -1, dtype=np.int64)
+            order[self._masks_arr] = np.arange(
+                len(self.masks_top_down), dtype=np.int64
+            )
+            self._mask_order = order
+            self._bitset_dtype = bitset_dtype
+            report = np.ones((len(self._subspace_keys), 1), dtype=bool)
+            report[0, 0] = self.config.allows_subspace(self.full_space)
+            self._report_col = report
 
     # ------------------------------------------------------------------
     # Streaming hooks
@@ -118,15 +172,183 @@ class SVectorized(STopDown):
         self.store.reserve(extra)
 
     def _repair_after_retract(self, record: Record) -> None:
-        # Standard Invariant-2 repair first, then drop the row from the
-        # columns — the sweep must no longer see the retracted tuple.
-        super()._repair_after_retract(record)
+        # Invariant-2 repair first (columnar when the store supports it,
+        # scalar otherwise), then drop the row from the columns — the
+        # sweep must no longer see the retracted tuple.
+        from .retraction import retract_top_down, retract_top_down_columnar
+
+        repaired = self.use_columnar_retraction and retract_top_down_columnar(
+            self.store,
+            record,
+            self.masks_top_down,
+            self.maintained_subspaces(),
+        )
+        if not repaired:
+            retract_top_down(
+                self.store,
+                self.table,
+                record,
+                self.masks_top_down,
+                self.maintained_subspaces(),
+                self.allowed_mask,
+                self.dim_universe,
+            )
         self.store.unregister(record.tid)
 
     # ------------------------------------------------------------------
-    # Discovery
+    # Discovery — bitset-matrix walker
     # ------------------------------------------------------------------
     def _discover(self, record: Record) -> FactSet:
+        store = self.store
+        if (
+            not self._walker_ok
+            or not self.use_bitset_walker
+            or UNBOUND in record.dims
+            or (store.n_rows and not store.anchor_bits_supported)
+        ):
+            return self._discover_scalar_passes(record)
+        facts = FactSet(record)
+        constraints = self.constraint_cache(record)
+        n = store.n_rows
+        keys = self._subspace_keys
+        n_keys = len(keys)
+        cons_seq = tuple(constraints[m] for m in self.masks_top_down)
+
+        demote_mat = closure_of_agree = None
+        if n:
+            # --- One batched sweep: partition bitmasks vs the whole
+            # history (see ColumnarSkylineStore.partition_bitmasks for
+            # the orientation contract).
+            lt, gt, agree = store.partition_bitmasks(record)
+            # Prop. 4 broadcast over every maintained subspace at once:
+            # row r dominates the probe in key k iff lt[r] hits the
+            # subspace and gt[r] misses it (and vice versa for rows the
+            # probe dominates — the demotion candidates).
+            keys_col = self._keys_column
+            lt_hit = (lt & keys_col) != 0
+            gt_hit = (gt & keys_col) != 0
+            dominated = lt_hit & ~gt_hit
+            demote_mat = gt_hit & ~lt_hit
+            # pruned[M] = ⋃ closure(C^{t,t'}) over t' dominating t in M.
+            # The submask closures live in an int64 array, so the union
+            # is one masked bitwise-or reduction over the dominator
+            # rows; the per-row closure gather is shared with the µ
+            # -occupancy arithmetic below.
+            closure_of_agree = self._closure_arr[agree]
+            # (closure · dominated) zeroes non-dominator cells, so one
+            # plain bitwise-or reduction yields every subspace's pruned
+            # bitset (masked reductions are an order of magnitude
+            # slower than this multiply).
+            pruned_vec = np.bitwise_or.reduce(
+                closure_of_agree * dominated, axis=1
+            )
+        else:
+            pruned_vec = np.zeros(n_keys, dtype=self._bitset_dtype)
+
+        masks_arr = self._masks_arr
+        pruned_bit = ((pruned_vec[:, None] >> masks_arr[None, :]) & 1) != 0
+        survive = ~pruned_bit
+        # The root pass visits every constraint; node passes skip pruned
+        # ones outright (Fig. 11b counts them as not traversed).
+        self.counters.traversed_constraints += int(
+            masks_arr.shape[0] + survive[1:].sum()
+        )
+
+        # Fact emission: surviving cells, subspace-major / level-minor —
+        # np.nonzero's row-major order reproduces the scalar pass order.
+        emit = survive & self._report_col
+        ks, cs = np.nonzero(emit)
+        if ks.size:
+            facts.add_pairs(
+                [cons_seq[i] for i in cs.tolist()],
+                [keys[k] for k in ks.tolist()],
+            )
+
+        # Demotions and the comparison counter come from the anchor
+        # bitsets: row r occupies the walk's bucket at mask m iff bit m
+        # of its anchor bitset is set and m ⊆ agree[r].  All subspaces
+        # are answered by one stacked matrix, snapshotted *before* this
+        # arrival's own store mutations.
+        repairs_by_key: List[Optional[List[Tuple[int, int]]]] = [None] * n_keys
+        if n:
+            anchor_bits = store.anchor_bits
+            met_mat = np.zeros((n_keys, n), dtype=self._bitset_dtype)
+            occupied = False
+            for k in range(n_keys):
+                bits = anchor_bits(keys[k], n)
+                if bits is not None:
+                    met_mat[k] = bits[:n]
+                    occupied = True
+            if occupied:
+                met_mat &= closure_of_agree[None, :]
+                # Node passes skip pruned masks outright; the root pass
+                # scans every bucket along C^t.
+                visited = ~pruned_vec
+                visited[0] = -1
+                met_mat &= visited[:, None]
+                self.counters.comparisons += int(
+                    popcount_array(met_mat).sum()
+                )
+                # Demotion candidates: cells whose bucket bitset meets a
+                # row the arrival dominates there.  Both masks are dense
+                # on their own; only their conjunction is sparse — one
+                # flat boolean AND + flatnonzero (an order of magnitude
+                # faster than 2-D nonzero) finds the handful of hits.
+                met_flat = met_mat.reshape(-1)
+                hits = np.flatnonzero(
+                    (met_flat != 0) & demote_mat.reshape(-1)
+                )
+                if hits.size:
+                    order = self._mask_order
+                    for index in hits.tolist():
+                        k, r = divmod(index, n)
+                        remaining = int(met_flat[index])
+                        pairs = repairs_by_key[k]
+                        if pairs is None:
+                            pairs = repairs_by_key[k] = []
+                        while remaining:
+                            bit = remaining & -remaining
+                            remaining ^= bit
+                            pairs.append(
+                                (int(order[bit.bit_length() - 1]), r)
+                            )
+
+        # Maximal-constraint promotion (Invariant 2): insert where the
+        # constraint survives and every parent is pruned — with no
+        # pruning at all only ⊤ qualifies (parent_bits 0).
+        maximal = survive & (
+            (pruned_vec[:, None] & self._parent_bits[None, :])
+            == self._parent_bits[None, :]
+        )
+        mk, mc = np.nonzero(maximal)
+        if mk.size:
+            store.insert_new_many(
+                record,
+                [
+                    (cons_seq[i], keys[k])
+                    for k, i in zip(mk.tolist(), mc.tolist())
+                ],
+            )
+
+        # Demotion repair, batched per subspace in pass order (identical
+        # final state to the scalar inline repairs — see _flush_repairs;
+        # sorted level-major to mirror the scalar collection order).
+        for k, pairs in enumerate(repairs_by_key):
+            if pairs:
+                pairs.sort()
+                self._flush_repairs(
+                    record,
+                    keys[k],
+                    [(r, cons_seq[oi]) for oi, r in pairs],
+                    agree,
+                )
+        return facts
+
+    # ------------------------------------------------------------------
+    # Discovery — scalar per-visit passes (fallback: unbindable arrival
+    # dimension values, or schemas beyond the anchor-bitset cap)
+    # ------------------------------------------------------------------
+    def _discover_scalar_passes(self, record: Record) -> FactSet:
         facts = FactSet(record)
         store = self.store
         full = self.full_space
@@ -142,21 +364,7 @@ class SVectorized(STopDown):
         lt_list = gt_list = agree_list = None
 
         if n:
-            # --- One batched sweep: partition bitmasks vs the whole
-            # history.  lt/gt follow core.dominance.compare's orientation
-            # for compare(record, other): bit i of lt[r] set iff row r
-            # beats the probe on measure i.
-            probe_values = np.asarray(record.values, dtype=np.float64)
-            probe_dims = store.intern_dims(record.dims)
-            values = store.values_matrix()
-            dims = store.dims_matrix()
-            lt = (values > probe_values) @ self._measure_bits
-            gt = (values < probe_values) @ self._measure_bits
-            agree = (dims == probe_dims) @ self._dim_bits
-            # Prop. 4 broadcast over every maintained subspace at once:
-            # row r dominates the probe in key k iff lt[r] hits the
-            # subspace and gt[r] misses it (and vice versa for rows the
-            # probe dominates — the demotion candidates).
+            lt, gt, agree = store.partition_bitmasks(record)
             keys_col = self._keys_column
             lt_hit = (lt & keys_col) != 0
             gt_hit = (gt & keys_col) != 0
@@ -256,8 +464,11 @@ class SVectorized(STopDown):
         unless ``defer_repairs`` is off (degenerate ``C^t`` with
         duplicate constraints).  The root pass visits every constraint
         (counting and demoting like STopDownRoot); node passes skip
-        pruned ones.  Counter conventions match scalar STopDown exactly
-        — see :mod:`repro.metrics.counters`.
+        pruned ones.  Pruning is tested on the *collapsed canonical
+        mask* (``mask & bindable``) so duplicate raw masks share their
+        constraint's pruning state (the unbindable-value fix shared
+        with scalar topdown/stopdown).  Counter conventions match
+        scalar STopDown exactly — see :mod:`repro.metrics.counters`.
         """
         store = self.store
         counters = self.counters
@@ -268,6 +479,7 @@ class SVectorized(STopDown):
         submap = store.submap(subspace)
         insert = store.insert
         add_pair = facts.add_pair
+        bindable = bindable_positions(record.dims)
         comparisons = 0
         traversed = 0
         repairs = []
@@ -277,11 +489,25 @@ class SVectorized(STopDown):
         # demotion — exactly like the scalar pass.
         swept = len(lt_list) if lt_list is not None else 0
         for mask, constraint in zip(self.masks_top_down, cons_seq):
-            shifted = pruned_bits >> mask
+            shifted = pruned_bits >> (mask & bindable)
             if not is_root and shifted & 1:
                 continue
             traversed += 1
+            if submap is None:
+                # The subspace may gain its first bucket mid-pass (this
+                # very arrival's ⊤ insert); re-probe until it exists so
+                # collapsed duplicate masks meet the arrival exactly
+                # like scalar stopdown's per-visit store.get does.
+                submap = store.submap(subspace)
             bucket = submap.get(constraint) if submap else None
+            if not bucket and not defer_repairs:
+                # Inline repairs may delete a pass-start bucket empty —
+                # the store then drops it (and possibly the whole space
+                # dict), so a later insert recreates fresh objects the
+                # snapshot cannot see.  Re-fetch to match the scalar
+                # per-visit store.get semantics.
+                submap = store.submap(subspace)
+                bucket = submap.get(constraint) if submap else None
             if bucket:
                 comparisons += len(bucket)
                 if has_demote:
@@ -311,9 +537,15 @@ class SVectorized(STopDown):
                 if report:
                     add_pair(constraint, subspace)
                 # Maximal (all parents pruned): with no pruning at all,
-                # only ⊤ qualifies — skip the per-parent scan.
+                # only ⊤ qualifies — skip the per-parent scan.  Parents
+                # are read at their canonical masks; a raw duplicate has
+                # a parent collapsing onto the (surviving) constraint
+                # itself, so only the canonical visit anchors.
                 if pruned_bits:
-                    if all((pruned_bits >> p) & 1 for p in parents[mask]):
+                    if all(
+                        (pruned_bits >> (p & bindable)) & 1
+                        for p in parents[mask]
+                    ):
                         insert(constraint, subspace, record)
                 elif not mask:
                     insert(constraint, subspace, record)
@@ -346,56 +578,120 @@ class SVectorized(STopDown):
         store state is identical to the inline scalar repairs.
         """
         store = self.store
-        allowed = self.allowed_mask
+        allowed_bits = self._allowed_bits
         universe = self.dim_universe
         anc_tbl = self._anc_tbl
         record_at = store.record_at
         anchor_masks = store.anchor_masks
+        reanchor = store.reanchor_demoted
+        bits = store.anchor_bits(subspace, store.n_rows)
         for row, constraint in repairs:
             demoted = record_at(row)
-            store.delete(constraint, subspace, demoted)
             mask = constraint.bound_mask
-            cand = ~mask & ~agree_list[row] & universe
-            if not cand:
-                continue
-            ab = 0
-            for a in anchor_masks(demoted.tid, subspace):
-                ab |= 1 << a
-            dims = demoted.dims
-            cvalues = constraint.values
-            while cand:
-                bit = cand & -cand
-                cand ^= bit
-                child = mask | bit
-                if not allowed(child):
-                    continue
-                j = bit.bit_length() - 1
-                if dims[j] is UNBOUND:
-                    # A value equal to the unbound marker cannot be
-                    # bound — there is no child on this attribute.
-                    continue
-                tbl = anc_tbl.get(child)
-                if tbl is None:
-                    tbl = self._make_anc_row(child)
-                if ab & tbl[j]:
-                    continue
-                child_values = list(cvalues)
-                child_values[j] = dims[j]
-                store.insert(
-                    Constraint.from_values_mask(tuple(child_values), child),
-                    subspace,
-                    demoted,
-                )
-                ab |= 1 << child
+            cand = ~mask & ~int(agree_list[row]) & universe
+            children = []
+            if cand:
+                if bits is not None:
+                    ab = int(bits[row]) & ~(1 << mask)
+                else:
+                    ab = 0
+                    for a in anchor_masks(demoted.tid, subspace):
+                        if a != mask:
+                            ab |= 1 << a
+                dims = demoted.dims
+                cvalues = constraint.values
+                while cand:
+                    bit = cand & -cand
+                    cand ^= bit
+                    child = mask | bit
+                    if not (allowed_bits >> child) & 1:
+                        continue
+                    j = bit.bit_length() - 1
+                    if dims[j] is UNBOUND:
+                        # A value equal to the unbound marker cannot be
+                        # bound — there is no child on this attribute.
+                        continue
+                    tbl = anc_tbl.get(child)
+                    if tbl is None:
+                        tbl = self._make_anc_row(child)
+                    if ab & tbl[j]:
+                        continue
+                    child_values = list(cvalues)
+                    child_values[j] = dims[j]
+                    children.append(
+                        Constraint.from_values_mask(tuple(child_values), child)
+                    )
+                    ab |= 1 << child
+            reanchor(subspace, demoted, row, constraint, children)
 
     # ------------------------------------------------------------------
-    # Prominence: columnar skyline_sizes
+    # Prominence: columnar skyline_sizes and bulk score annotation
     # ------------------------------------------------------------------
     def make_context_counter(self, max_bound_dims: Optional[int] = None):
         """Interned-key counter — keeps scored ingestion columnar."""
         from ..core.prominence import ColumnarContextCounter
 
         return ColumnarContextCounter(self.schema.n_dimensions, max_bound_dims)
+
+    def score_facts_inplace(self, facts: FactSet, counter) -> bool:
+        """Annotate the whole fact set's score columns in one pass.
+
+        Context cardinalities come from the interned-key counter's bulk
+        :meth:`ColumnarContextCounter.counts_for_dims` probe (one per
+        mask of ``C^t``, not one per fact), skyline cardinalities from
+        the store's incremental index — and both land directly in the
+        :class:`FactSet` columns, so no fact objects are materialised.
+        Falls back (returns False) for foreign counters, schemas beyond
+        the index cap, and unbindable dimension values.
+        """
+        from ..core.prominence import ColumnarContextCounter
+
+        if not isinstance(counter, ColumnarContextCounter):
+            return False
+        record = facts.record
+        if UNBOUND in record.dims:
+            return False
+        index = self.store.scoring_index()
+        if index is None:  # dimensionality beyond the mask-lattice cap
+            return False
+        dims = record.dims
+        ctx_by_mask = counter.counts_for_dims(dims)
+        mask_keys = self.store.mask_keys
+        context_col: List[int] = []
+        skyline_col: List[int] = []
+        ctx_append = context_col.append
+        sky_append = skyline_col.append
+        key_cache: Dict[int, tuple] = {}
+        # Facts arrive subspace-major, so one space lookup per run of
+        # equal subspaces (and one table lookup per mask within it)
+        # covers the whole fact set.
+        last_subspace: Optional[int] = None
+        space: Optional[dict] = None
+        tables: Dict[int, Optional[dict]] = {}
+        for constraint, subspace in facts.iter_pairs():
+            fact_mask = constraint._mask
+            ctx_append(ctx_by_mask.get(fact_mask, 0))
+            if subspace != last_subspace:
+                last_subspace = subspace
+                space = index.get(subspace)
+                tables = {}
+            if not space:
+                sky_append(0)
+                continue
+            if fact_mask in tables:
+                table = tables[fact_mask]
+            else:
+                table = tables[fact_mask] = space.get(fact_mask)
+            if not table:
+                sky_append(0)
+                continue
+            key = key_cache.get(fact_mask)
+            if key is None:
+                key = mask_keys[fact_mask](dims)
+                key_cache[fact_mask] = key
+            sky_append(table.get(key, 0))
+        facts.set_scores(context_col, skyline_col)
+        return True
 
     def skyline_sizes(self, facts: FactSet) -> Dict[Tuple[Constraint, int], int]:
         """``|λ_M(σ_C(R))|`` for all of ``S_t`` from the scoring index.
@@ -415,9 +711,7 @@ class SVectorized(STopDown):
         mask_keys = self.store.mask_keys
         sizes: Dict[Tuple[Constraint, int], int] = {}
         key_cache: Dict[int, tuple] = {}
-        for fact in facts:
-            constraint = fact.constraint
-            subspace = fact.subspace
+        for constraint, subspace in facts.iter_pairs():
             space = index.get(subspace)
             if not space:
                 sizes[(constraint, subspace)] = 0

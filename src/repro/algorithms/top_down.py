@@ -28,7 +28,7 @@ from __future__ import annotations
 from typing import Dict, List, Optional, Set, Tuple
 
 from ..core.config import DiscoveryConfig
-from ..core.constraint import UNBOUND, Constraint
+from ..core.constraint import UNBOUND, Constraint, bindable_positions
 from ..core.dominance import dominates
 from ..core.facts import FactSet
 from ..core.lattice import agreement_mask, iter_submasks, iter_supermasks
@@ -158,9 +158,18 @@ class TopDown(DiscoveryAlgorithm):
         counters = self.counters
         pruned = bytearray(1 << self.schema.n_dimensions)
         parents = self._parents
+        # Distinct constraints of C^t form the boolean lattice over the
+        # *bindable* positions: a dimension value equal to the unbound
+        # marker collapses every covering mask onto the constraint that
+        # leaves it free.  Pruning state must therefore be read at the
+        # collapsed canonical mask, or a duplicate raw mask re-reports a
+        # constraint its canonical visit saw pruned (the historical
+        # over-reporting bug on unbindable values).
+        bindable = bindable_positions(record.dims)
         for mask in self.masks_top_down:
             constraint = constraints[mask]
             counters.traversed_constraints += 1
+            canonical = mask & bindable
             # The µ scan runs even at already-pruned constraints: tuples
             # anchored here may prune constraints outside the already
             # marked C^{t,t'} families, and those are only discoverable
@@ -176,12 +185,15 @@ class TopDown(DiscoveryAlgorithm):
                     repair_demoted_tuple(
                         store, record, other, constraint, subspace, self.allowed_mask
                     )
-            if not pruned[mask]:
+            if not pruned[canonical]:
                 facts.add_pair(constraint, subspace)
                 # t is stored at an ancestor iff some parent is a skyline
                 # constraint (then t sits at that parent or higher); this
-                # is C maximal iff every parent is pruned.
-                if all(pruned[p] for p in parents[mask]):
+                # is C maximal iff every parent is pruned.  Parents are
+                # read at their canonical masks too: a raw duplicate has
+                # a parent collapsing onto the constraint itself (still
+                # unpruned here), so only the canonical visit anchors.
+                if all(pruned[p & bindable] for p in parents[mask]):
                     store.insert(constraint, subspace, record)
 
     # ------------------------------------------------------------------
@@ -258,9 +270,9 @@ class TopDown(DiscoveryAlgorithm):
         record = facts.record
         constraints = self.constraint_cache(record)
         masks_by_subspace: Dict[int, Set[int]] = {}
-        for fact in facts:
-            masks_by_subspace.setdefault(fact.subspace, set()).add(
-                fact.constraint.bound_mask
+        for constraint, subspace in facts.iter_pairs():
+            masks_by_subspace.setdefault(subspace, set()).add(
+                constraint.bound_mask
             )
         return self._skyline_sizes_bulk(
             record.dims, constraints.__getitem__, masks_by_subspace

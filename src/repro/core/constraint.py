@@ -211,6 +211,24 @@ class Constraint:
         return " ∧ ".join(parts)
 
 
+def bindable_positions(dims: Sequence[object]) -> int:
+    """Bitmask of positions whose value can actually be bound.
+
+    A dimension value equal to the unbound marker collapses every mask
+    covering it onto the constraint that leaves the position free, so
+    the lattice of *distinct* constraints in ``C^t`` is the boolean
+    lattice over this mask.  The traversal algorithms prune and test on
+    ``mask & bindable_positions`` — the collapsed canonical mask — so
+    duplicate raw masks share one pruning state (see the unbindable
+    dimension-value fix discussed in ROADMAP).
+    """
+    mask = 0
+    for i, v in enumerate(dims):
+        if v is not UNBOUND:
+            mask |= 1 << i
+    return mask
+
+
 def constraint_for_record(record: "Record", mask: int) -> Constraint:
     """The unique constraint in ``C^t`` with bound-position bitmask ``mask``.
 

@@ -105,8 +105,14 @@ class FactDiscoverer:
             facts.record, self._constraints_of(facts.record)
         )
         if self.score:
-            sizes = self.algorithm.skyline_sizes(facts)
-            facts = score_facts(facts, self.context_counter, sizes)
+            # Vectorized algorithms annotate the fact columns in one
+            # bulk pass; everyone else goes through the generic
+            # skyline_sizes + score_facts pair.
+            if not self.algorithm.score_facts_inplace(
+                facts, self.context_counter
+            ):
+                sizes = self.algorithm.skyline_sizes(facts)
+                facts = score_facts(facts, self.context_counter, sizes)
         return facts
 
     def _constraints_of(self, record: Record):

@@ -75,48 +75,131 @@ class FactSet:
     Iterates in insertion order; :meth:`ranked` orders by descending
     prominence (§VII).  Supports membership tests on ``(C, M)`` pairs so
     algorithm-equivalence tests can compare outputs cheaply.
+
+    Internally the set is *columnar*: parallel constraint / subspace /
+    context-size / skyline-size columns, with the
+    :class:`SituationalFact` objects materialised lazily on first
+    object-level read.  Discovery emits tens of pairs per arrival on hot
+    streams, and both raw-``S_t`` consumers (benches, the equivalence
+    oracle, ``score=False`` engines reading only :attr:`pairs`) and the
+    vectorized scoring pipeline (which annotates whole columns via
+    :meth:`set_scores`) never pay for objects they do not touch.
     """
+
+    __slots__ = (
+        "record",
+        "_constraints",
+        "_subspaces",
+        "_context",
+        "_skyline",
+        "_facts",
+        "_pair_cache",
+    )
 
     def __init__(self, record: Record) -> None:
         self.record = record
-        self._facts: List[SituationalFact] = []
-        self._pending: List[Tuple[Constraint, int]] = []
+        self._constraints: List[Constraint] = []
+        self._subspaces: List[int] = []
+        self._context: Optional[List[Optional[int]]] = None
+        self._skyline: Optional[List[Optional[int]]] = None
+        self._facts: Optional[List[SituationalFact]] = None
         self._pair_cache: Optional[Set[Tuple[Constraint, int]]] = None
 
     def add(self, fact: SituationalFact) -> None:
-        """Add a fact.
+        """Add an already-built fact (object identity is preserved).
 
         Callers (the discovery algorithms) visit each ``(C, M)`` pair at
         most once per arrival, so no duplicate check is performed here;
         ``S_t`` can hold thousands of facts and the hash-set guard was a
         measurable cost.  :attr:`pairs` deduplicates defensively.
         """
-        self._facts.append(fact)
+        facts = self._materialise()
+        self._constraints.append(fact.constraint)
+        self._subspaces.append(fact.subspace)
+        if self._context is not None:
+            self._context.append(fact.context_size)
+            self._skyline.append(fact.skyline_size)
+        facts.append(fact)
         self._pair_cache = None
 
     def add_pair(self, constraint: Constraint, subspace: int) -> None:
-        """Convenience: add a bare ``(C, M)`` pair without prominence.
-
-        The :class:`SituationalFact` object is materialised lazily on
-        first read: discovery emits tens of pairs per arrival on hot
-        streams, and raw-``S_t`` consumers (benches, the equivalence
-        oracle, ``score=False`` engines reading only :attr:`pairs`)
-        never pay for objects they do not touch.
-        """
-        self._pending.append((constraint, subspace))
+        """Convenience: add a bare ``(C, M)`` pair without prominence."""
+        self._constraints.append(constraint)
+        self._subspaces.append(subspace)
+        if self._context is not None:
+            # Keep score columns parallel when pairs arrive after a
+            # scoring pass (the late fact materialises unscored).
+            self._context.append(None)
+            self._skyline.append(None)
         self._pair_cache = None
 
+    def add_pairs(self, constraints, subspaces) -> None:
+        """Bulk :meth:`add_pair`: extend both columns in one call (the
+        bitset lattice walker emits a whole arrival's pairs at once)."""
+        self._constraints.extend(constraints)
+        self._subspaces.extend(subspaces)
+        if self._context is not None:
+            added = len(self._constraints) - len(self._context)
+            self._context.extend([None] * added)
+            self._skyline.extend([None] * added)
+        self._pair_cache = None
+
+    def iter_pairs(self) -> Iterator[Tuple[Constraint, int]]:
+        """The ``(C, M)`` pairs in insertion order, *without*
+        materialising fact objects (the scoring pipelines iterate the
+        columns directly)."""
+        return zip(self._constraints, self._subspaces)
+
+    def set_scores(self, context_sizes, skyline_sizes) -> None:
+        """Attach whole score columns (parallel to insertion order).
+
+        The vectorized scoring path computes both cardinality columns in
+        bulk; fact objects, if any were already materialised, are kept
+        consistent in place.
+        """
+        if len(context_sizes) != len(self._constraints) or len(
+            skyline_sizes
+        ) != len(self._constraints):
+            raise ValueError("score columns must cover every fact")
+        self._context = list(context_sizes)
+        self._skyline = list(skyline_sizes)
+        if self._facts:
+            for fact, ctx, sky in zip(self._facts, self._context, self._skyline):
+                fact.context_size = ctx
+                fact.skyline_size = sky
+
     def _materialise(self) -> List[SituationalFact]:
-        if self._pending:
+        facts = self._facts
+        if facts is None:
+            facts = self._facts = []
+        start = len(facts)
+        total = len(self._constraints)
+        if start < total:
             record = self.record
-            self._facts.extend(
-                SituationalFact(record, c, m) for c, m in self._pending
-            )
-            self._pending.clear()
-        return self._facts
+            constraints = self._constraints
+            subspaces = self._subspaces
+            context = self._context
+            skyline = self._skyline
+            if context is None:
+                facts.extend(
+                    SituationalFact(record, constraints[i], subspaces[i])
+                    for i in range(start, total)
+                )
+            else:
+                facts.extend(
+                    SituationalFact(
+                        record,
+                        constraints[i],
+                        subspaces[i],
+                        context[i],
+                        skyline[i],
+                    )
+                    for i in range(start, total)
+                )
+        return facts
 
     def __len__(self) -> int:
-        return len(self._facts) + len(self._pending)
+        return len(self._constraints)
 
     def __iter__(self) -> Iterator[SituationalFact]:
         return iter(self._materialise())
@@ -128,8 +211,7 @@ class FactSet:
     def pairs(self) -> Set[Tuple[Constraint, int]]:
         """The set of raw ``(C, M)`` pairs (order-free comparison form)."""
         if self._pair_cache is None:
-            self._pair_cache = {f.pair for f in self._facts}
-            self._pair_cache.update(self._pending)
+            self._pair_cache = set(zip(self._constraints, self._subspaces))
         return self._pair_cache
 
     def ranked(self) -> List[SituationalFact]:

@@ -27,6 +27,27 @@ def popcount(mask: int) -> int:
     return bin(mask).count("1")
 
 
+def popcount_array(array):
+    """Element-wise popcount of a non-negative integer NumPy array.
+
+    The bitset lattice walker counts ``µ`` bucket sizes as popcounts over
+    per-row anchor bitsets; NumPy grew a native ``bitwise_count`` only in
+    2.0, so older installs take the SWAR ladder below.  Values must stay
+    below ``2^62`` (constraint-mask bitsets are at most ``2^32`` wide),
+    which keeps every intermediate, including the final multiply-gather,
+    inside the positive ``int64`` range.
+    """
+    import numpy as np
+
+    if hasattr(np, "bitwise_count"):
+        return np.bitwise_count(array)
+    x = array.astype(np.int64, copy=True)
+    x -= (x >> 1) & 0x5555555555555555
+    x = (x & 0x3333333333333333) + ((x >> 2) & 0x3333333333333333)
+    x = (x + (x >> 4)) & 0x0F0F0F0F0F0F0F0F
+    return (x * 0x0101010101010101) >> 56
+
+
 def iter_submasks(mask: int) -> Iterator[int]:
     """All submasks of ``mask``, including ``0`` and ``mask`` itself.
 

@@ -117,6 +117,12 @@ class ColumnarContextCounter:
             {} for _ in range(n_dimensions)
         ]
         self._counts: Dict[Tuple[int, Tuple[int, ...]], int] = defaultdict(int)
+        #: Memo of :meth:`_keys` by dims tuple — bounded-domain streams
+        #: repeat dimension combinations constantly, and the engine
+        #: derives the keys twice per arrival (count registration and
+        #: the bulk scoring probe).  FIFO-capped like the algorithms'
+        #: constraint cache.
+        self._keys_memo: Dict[Tuple[object, ...], List[Tuple[int, Tuple[int, ...]]]] = {}
 
     # ------------------------------------------------------------------
     # Key derivation
@@ -134,7 +140,12 @@ class ColumnarContextCounter:
 
     def _keys(self, dims: Tuple[object, ...]) -> List[Tuple[int, Tuple[int, ...]]]:
         """One count key per allowed mask (multiset — masks covering an
-        unbindable ``None`` value collapse, preserving multiplicity)."""
+        unbindable ``None`` value collapse, preserving multiplicity).
+        Memoised per dims tuple."""
+        memo = self._keys_memo
+        keys = memo.get(dims)
+        if keys is not None:
+            return keys
         ids = self._intern(dims)
         positions = self._positions
         if UNBOUND in dims:
@@ -147,11 +158,15 @@ class ColumnarContextCounter:
                         eff_mask |= 1 << i
                         eff_ids.append(ids[i])
                 keys.append((eff_mask, tuple(eff_ids)))
-            return keys
-        return [
-            (mask, tuple(ids[i] for i in positions[mask]))
-            for mask in self._masks
-        ]
+        else:
+            keys = [
+                (mask, tuple(ids[i] for i in positions[mask]))
+                for mask in self._masks
+            ]
+        if len(memo) >= 16384:
+            memo.pop(next(iter(memo)))
+        memo[dims] = keys
+        return keys
 
     # ------------------------------------------------------------------
     # ContextCounter API
@@ -216,6 +231,22 @@ class ColumnarContextCounter:
             ids.append(vid)
         return self._counts.get((constraint.bound_mask, tuple(ids)), 0)
 
+    def counts_for_dims(self, dims: Tuple[object, ...]) -> Dict[int, int]:
+        """``{mask: |σ_C|}`` for every allowed constraint of ``C^t``.
+
+        One interning sweep plus one dict probe per mask — the columnar
+        scoring path reads a whole arrival's context cardinalities here
+        instead of calling :meth:`count` once per fact constraint.
+        Masks collapsing onto one constraint (unbindable values) map to
+        that constraint's count, exactly like :meth:`count` on the
+        collapsed constraint.
+        """
+        counts = self._counts
+        return {
+            mask: counts.get(key, 0)
+            for mask, key in zip(self._masks, self._keys(dims))
+        }
+
     def __len__(self) -> int:
         return len(self._counts)
 
@@ -230,17 +261,22 @@ def score_facts(
     ``sizes_by_pair[(C, M)]`` must be ``|λ_M(σ_C(R))|`` *after* the new
     tuple has been incorporated (algorithms produce it in bulk via
     :meth:`~repro.algorithms.base.DiscoveryAlgorithm.skyline_sizes`).
-    Facts are annotated in place; the same :class:`FactSet` is returned.
+    Whole score columns are attached in one pass over the fact set's
+    ``(C, M)`` columns — no fact objects are materialised here, and any
+    already-materialised objects are annotated in place by
+    :meth:`FactSet.set_scores`.  The same :class:`FactSet` is returned.
     """
     count_cache: Dict[Constraint, int] = {}
-    for fact in facts:
-        constraint = fact.constraint
+    context_sizes: List[int] = []
+    skyline_sizes: List[int] = []
+    for constraint, subspace in facts.iter_pairs():
         size = count_cache.get(constraint)
         if size is None:
             size = counter.count(constraint)
             count_cache[constraint] = size
-        fact.context_size = size
-        fact.skyline_size = sizes_by_pair[fact.pair]
+        context_sizes.append(size)
+        skyline_sizes.append(sizes_by_pair[(constraint, subspace)])
+    facts.set_scores(context_sizes, skyline_sizes)
     return facts
 
 

@@ -58,6 +58,24 @@ _POINTER_BYTES = 8
 #: to the scalar Invariant-2 sweep for wider schemas.
 _MAX_INDEXED_DIMENSIONS = 8
 
+#: The per-row anchor *bitsets* (one element per (row, subspace), bit m
+#: set iff the row is anchored at constraint mask ``m`` there) need the
+#: whole 2^n mask lattice to fit a non-negative integer element, so
+#: they are maintained only up to 5 dimension attributes (2^5 = 32
+#: bits).  Up to 4 dimensions the 16-bit lattice fits ``int32`` — half
+#: the sweep bandwidth; 5 dimensions take ``int64``.  Wider schemas
+#: keep the set-based reverse index; the bitset lattice walker falls
+#: back to the scalar pass.
+_MAX_BITSET_DIMENSIONS = 5
+
+
+def lattice_bitset_dtype(n_dimensions: int):
+    """Smallest safe NumPy dtype for bitsets over the ``2^n`` constraint
+    -mask lattice (``None`` beyond the maintained cap)."""
+    if n_dimensions > _MAX_BITSET_DIMENSIONS:
+        return None
+    return np.int32 if n_dimensions <= 4 else np.int64
+
 #: Shared empty row-index array returned for pairs that hold nothing.
 _EMPTY_ROWS = np.empty(0, dtype=np.int64)
 
@@ -72,6 +90,30 @@ def _key_builder(positions: Tuple[int, ...]):
         j = positions[0]
         return lambda dims: (dims[j],)
     return itemgetter(*positions)
+
+
+def grow_zeroed_1d(array: np.ndarray, min_rows: int) -> np.ndarray:
+    """Grow a 1-D array geometrically, zero-filling the new region.
+
+    Anchor-bitset columns need their unused tail zeroed (a row with no
+    anchors must read as the empty bitset), unlike the measure columns
+    where every row is written before it is read.
+
+    >>> grow_zeroed_1d(np.ones(2, dtype=np.int64), 5).tolist()
+    [1, 1, 0, 0, 0, 0, 0, 0]
+    >>> a = np.ones(4, dtype=np.int64)
+    >>> grow_zeroed_1d(a, 3) is a
+    True
+    """
+    capacity = array.shape[0]
+    if capacity >= min_rows:
+        return array
+    new_capacity = max(capacity, 1)
+    while new_capacity < min_rows:
+        new_capacity *= 2
+    out = np.zeros(new_capacity, dtype=array.dtype)
+    out[:capacity] = array
+    return out
 
 
 def grow_2d(array: np.ndarray, size: int, min_rows: Optional[int] = None) -> np.ndarray:
@@ -167,6 +209,14 @@ class ColumnarSkylineStore(SkylineStore):
         # Reverse index: (tid, subspace) → bound masks anchoring the
         # tuple there (see SkylineStore.anchor_masks).
         self._anchors: Dict[Tuple[int, int], set] = {}
+        # Columnar mirror of the reverse index: subspace → int64 array
+        # over rows, element r the bitset of masks anchoring row r there.
+        # Feeds the bitset lattice walker ("which µ buckets along C^t
+        # hold row r?" is one AND per row) and columnar retraction.
+        self._anchor_bits: Dict[int, np.ndarray] = {}
+        self._bits_ok = False
+        self._bits_dtype = None
+        self._bit_weights = None
         # Scoring index: subspace → fact mask → (dimension values at the
         # mask's positions → count).  Entry ``(M, m, key)`` counts the
         # distinct tuples anchored in ``M`` at ``m`` or an ancestor of
@@ -195,6 +245,8 @@ class ColumnarSkylineStore(SkylineStore):
         cap = self._initial_capacity
         self._values = np.empty((cap, n_measures), dtype=np.float64)
         self._dims = np.empty((cap, n_dimensions), dtype=np.int32)
+        self._bits_dtype = lattice_bitset_dtype(n_dimensions)
+        self._bits_ok = self._bits_dtype is not None
         if n_dimensions <= _MAX_INDEXED_DIMENSIONS:
             self._up_table = supermask_closure_table(n_dimensions)
             self._mask_keys = tuple(
@@ -257,6 +309,10 @@ class ColumnarSkylineStore(SkylineStore):
                 for t, r in bucket.items():
                     if r > row:
                         bucket[t] = r - 1
+        for bits in self._anchor_bits.values():
+            if bits.shape[0] > row:
+                bits[row:-1] = bits[row + 1 :]
+                bits[-1] = 0
 
     def reserve(self, extra: int) -> None:
         """Pre-grow the columns for ``extra`` imminent registrations."""
@@ -287,6 +343,47 @@ class ColumnarSkylineStore(SkylineStore):
         if self._dims is None:
             return np.empty((0, 0), dtype=np.int32)
         return self._dims[: len(self._records)]
+
+    def partition_bitmasks(self, record: Record):
+        """One dominance-partition sweep of ``record`` vs every row.
+
+        Returns ``(lt, gt, agree)`` bitmask columns over the registered
+        rows, following :func:`repro.core.dominance.compare`'s
+        orientation for ``compare(record, other)``: bit ``i`` of
+        ``lt[r]`` is set iff row ``r`` beats the probe on measure ``i``
+        (``gt`` the converse), and bit ``j`` of ``agree[r]`` iff the
+        interned dimension values match at position ``j``.  This is the
+        single shared implementation behind the arrival sweep, its
+        scalar fallback, and columnar retraction — orientation fixes
+        land everywhere at once.
+        """
+        values = self.values_matrix()
+        dims = self.dims_matrix()
+        probe_values = np.asarray(record.values, dtype=np.float64)
+        probe_dims = self.intern_dims(record.dims)
+        measure_bits, dim_bits = self._sweep_bit_weights()
+        lt = (values > probe_values) @ measure_bits
+        gt = (values < probe_values) @ measure_bits
+        agree = (dims == probe_dims) @ dim_bits
+        return lt, gt, agree
+
+    def _sweep_bit_weights(self):
+        """Per-axis bit weights for :meth:`partition_bitmasks`, int32
+        whenever the masks fit (half the sweep bandwidth), built once
+        after the layout is known."""
+        weights = self._bit_weights
+        if weights is None:
+            measure_dtype = np.int32 if self._n_measures <= 30 else np.int64
+            dim_dtype = np.int32 if self._n_dimensions <= 30 else np.int64
+            weights = self._bit_weights = (
+                (1 << np.arange(self._n_measures, dtype=np.int64)).astype(
+                    measure_dtype
+                ),
+                (1 << np.arange(self._n_dimensions, dtype=np.int64)).astype(
+                    dim_dtype
+                ),
+            )
+        return weights
 
     def record_at(self, row: int) -> Record:
         """The registered record living at ``row``."""
@@ -334,7 +431,7 @@ class ColumnarSkylineStore(SkylineStore):
         space = self._spaces.setdefault(subspace, {})
         bucket = space.setdefault(constraint, {})
         if record.tid not in bucket:
-            bucket[record.tid] = self.register(record)
+            row = bucket[record.tid] = self.register(record)
             self._total += 1
             self.counters.stored_tuples = self._total
             anchors = self._anchors.setdefault((record.tid, subspace), set())
@@ -347,12 +444,21 @@ class ColumnarSkylineStore(SkylineStore):
                 if flipped:
                     self._score_bump(subspace, record.dims, flipped, 1)
             anchors.add(constraint.bound_mask)
+            if self._bits_ok:
+                self._bits_column(subspace, row)[row] |= (
+                    1 << constraint.bound_mask
+                )
 
     def delete(self, constraint: Constraint, subspace: int, record: Record) -> None:
         space = self._spaces.get(subspace)
         bucket = space.get(constraint) if space else None
         if bucket and record.tid in bucket:
+            row = bucket[record.tid]
             del bucket[record.tid]
+            if self._bits_ok:
+                bits = self._anchor_bits.get(subspace)
+                if bits is not None and bits.shape[0] > row:
+                    bits[row] &= ~(1 << constraint.bound_mask)
             self._total -= 1
             self.counters.stored_tuples = self._total
             if not bucket:
@@ -405,11 +511,15 @@ class ColumnarSkylineStore(SkylineStore):
                 table[keys[fact_mask](dims)] += delta
             return
         for fact_mask in self._flipped_masks(flipped):
+            # Decrements always target an existing entry (the tuple was
+            # counted when its anchor covered this mask); skip instead
+            # of materialising empty tables if the invariant is ever
+            # violated.
             table = space.get(fact_mask)
             if table is None:
-                table = space[fact_mask] = defaultdict(int)
+                continue
             key = keys[fact_mask](dims)
-            count = table[key] + delta
+            count = table.get(key, 0) + delta
             if count <= 0:
                 table.pop(key, None)
             else:
@@ -461,6 +571,197 @@ class ColumnarSkylineStore(SkylineStore):
         must treat the set as read-only."""
         return self._anchors.get((tid, subspace), self._NO_ANCHORS)
 
+    # ------------------------------------------------------------------
+    # Anchor bitsets (the walker's columnar reverse index)
+    # ------------------------------------------------------------------
+    @property
+    def anchor_bits_supported(self) -> bool:
+        """True when the per-row anchor bitsets are maintained (the 2^n
+        constraint-mask lattice fits an int64 element)."""
+        return self._bits_ok
+
+    def _bits_column(self, subspace: int, row: int) -> np.ndarray:
+        """The (allocating, growing) bitset column for ``subspace``,
+        guaranteed to cover ``row``."""
+        bits = self._anchor_bits.get(subspace)
+        if bits is None:
+            bits = self._anchor_bits[subspace] = np.zeros(
+                max(self._initial_capacity, row + 1), dtype=self._bits_dtype
+            )
+        elif bits.shape[0] <= row:
+            bits = self._anchor_bits[subspace] = grow_zeroed_1d(bits, row + 1)
+        return bits
+
+    def anchor_bits(self, subspace: int, min_rows: int = 0) -> Optional[np.ndarray]:
+        """Per-row anchor bitsets for ``subspace``: element ``r`` has bit
+        ``m`` set iff row ``r`` is anchored there at the constraint with
+        bound mask ``m``.  ``None`` when the subspace holds nothing or
+        the store is beyond the bitset dimensionality cap.  Grown (zero
+        -filled) to at least ``min_rows`` elements so sweeps can slice
+        ``[:n_rows]`` directly; callers must treat the array as
+        read-only.
+        """
+        if not self._bits_ok:
+            return None
+        bits = self._anchor_bits.get(subspace)
+        if bits is None:
+            return None
+        if bits.shape[0] < min_rows:
+            bits = self._anchor_bits[subspace] = grow_zeroed_1d(bits, min_rows)
+        return bits
+
+    def insert_new_many(self, record: Record, pairs) -> None:
+        """Anchor a new arrival at many ``(constraint, subspace)`` pairs.
+
+        Grouped equivalent of one :meth:`insert` per pair for a record
+        whose tid is not stored anywhere yet (the discovery hot path:
+        the arrival is promoted at its maximal skyline constraints
+        across every subspace in one call).  ``pairs`` should arrive
+        subspace-grouped for best effect; registration, both anchor
+        indexes, the scoring-index flips and the stored-tuple gauge end
+        up exactly as the per-call sequence would leave them.
+        """
+        if not pairs:
+            return
+        row = self.register(record)
+        tid = record.tid
+        dims = record.dims
+        spaces = self._spaces
+        anchors_map = self._anchors
+        bits_ok = self._bits_ok
+        score = self._score_index is not None and self._up_table is not None
+        up_table = self._up_table
+        added = 0
+        last_subspace: Optional[int] = None
+        anchors: Optional[set] = None
+        bits: Optional[np.ndarray] = None
+        old_up = 0
+        pending_flips = 0
+        pending_bits = 0
+        for constraint, subspace in pairs:
+            space = spaces.get(subspace)
+            if space is None:
+                space = spaces[subspace] = {}
+            bucket = space.get(constraint)
+            if bucket is None:
+                bucket = space[constraint] = {}
+            if tid in bucket:
+                continue
+            bucket[tid] = row
+            added += 1
+            if subspace != last_subspace:
+                # Flips within one subspace are disjoint across the
+                # grouped inserts, so one merged bump (and one merged
+                # bitset write) per subspace lands the same state.
+                if pending_flips:
+                    self._score_bump(last_subspace, dims, pending_flips, 1)
+                    pending_flips = 0
+                if pending_bits:
+                    bits[row] |= pending_bits
+                    pending_bits = 0
+                last_subspace = subspace
+                key = (tid, subspace)
+                anchors = anchors_map.get(key)
+                if anchors is None:
+                    anchors = anchors_map[key] = set()
+                if score:
+                    old_up = 0
+                    for mask in anchors:
+                        old_up |= up_table[mask]
+                if bits_ok:
+                    bits = self._bits_column(subspace, row)
+            mask = constraint._mask
+            if score:
+                flipped = up_table[mask] & ~old_up
+                if flipped:
+                    pending_flips |= flipped
+                    old_up |= up_table[mask]
+            anchors.add(mask)
+            if bits_ok:
+                pending_bits |= 1 << mask
+        if pending_flips:
+            self._score_bump(last_subspace, dims, pending_flips, 1)
+        if pending_bits:
+            bits[row] |= pending_bits
+        if added:
+            self._total += added
+            self.counters.stored_tuples = self._total
+
+    def reanchor_demoted(
+        self,
+        subspace: int,
+        record: Record,
+        row: int,
+        constraint: Constraint,
+        children,
+    ) -> None:
+        """Demotion-repair primitive: move ``record``'s anchor from
+        ``constraint`` down to ``children`` in one step.
+
+        Equivalent to ``delete(constraint, …)`` followed by one
+        ``insert(child, …)`` per child, but the scoring-index flips are
+        *netted* first — a demotion typically re-anchors within the
+        removed mask's up-closure, so most of the delete's decrements
+        cancel against the inserts' increments and never touch the
+        count tables.  Final bucket / anchor / bitset / gauge state is
+        identical to the call sequence.
+        """
+        tid = record.tid
+        spaces = self._spaces
+        space = spaces.get(subspace)
+        bucket = space.get(constraint) if space else None
+        if not bucket or tid not in bucket:
+            return
+        del bucket[tid]
+        if not bucket:
+            del space[constraint]
+            if not space:
+                del spaces[subspace]
+        removed_mask = constraint._mask
+        key = (tid, subspace)
+        anchors = self._anchors.get(key)
+        if anchors is None:
+            anchors = self._anchors[key] = set()
+        score = self._score_index is not None and self._up_table is not None
+        up_table = self._up_table
+        old_up = 0
+        if score:
+            for mask in anchors:
+                old_up |= up_table[mask]
+        anchors.discard(removed_mask)
+        added = 0
+        for child in children:
+            space = spaces.get(subspace)
+            if space is None:
+                space = spaces[subspace] = {}
+            child_bucket = space.get(child)
+            if child_bucket is None:
+                child_bucket = space[child] = {}
+            if tid not in child_bucket:
+                child_bucket[tid] = row
+                anchors.add(child._mask)
+                added += 1
+        if score:
+            new_up = 0
+            for mask in anchors:
+                new_up |= up_table[mask]
+            gained = new_up & ~old_up
+            if gained:
+                self._score_bump(subspace, record.dims, gained, 1)
+            lost = old_up & ~new_up
+            if lost:
+                self._score_bump(subspace, record.dims, lost, -1)
+        if self._bits_ok:
+            bits = self._bits_column(subspace, row)
+            bitset = int(bits[row]) & ~(1 << removed_mask)
+            for child in children:
+                bitset |= 1 << child._mask
+            bits[row] = bitset
+        if not anchors:
+            del self._anchors[key]
+        self._total += added - 1
+        self.counters.stored_tuples = self._total
+
     def contains(self, constraint: Constraint, subspace: int, record: Record) -> bool:
         bucket = self.bucket(constraint, subspace)
         return bool(bucket) and record.tid in bucket
@@ -487,6 +788,8 @@ class ColumnarSkylineStore(SkylineStore):
         if self._values is not None:
             total += self._values[:n].nbytes + self._dims[:n].nbytes
         total += n * _POINTER_BYTES  # the row → Record references
+        for bits in self._anchor_bits.values():
+            total += bits[: min(n, bits.shape[0])].nbytes
         for space in self._spaces.values():
             for constraint, bucket in space.items():
                 total += sys.getsizeof(constraint) + _POINTER_BYTES * (
@@ -502,6 +805,10 @@ class ColumnarSkylineStore(SkylineStore):
         self._row_of = {}
         self._spaces = {}
         self._anchors = {}
+        self._anchor_bits = {}
+        self._bits_ok = False
+        self._bits_dtype = None
+        self._bit_weights = None
         self._score_index = None
         self._up_table = None
         self._mask_keys = None

@@ -272,3 +272,104 @@ class TestSVecInternals:
         assert [fs.pairs for fs in vec.process_stream(rows)] == [
             fs.pairs for fs in ref.process_stream(rows)
         ]
+
+
+class TestAnchorBitsets:
+    """The per-row anchor bitset columns mirror the set-based reverse
+    index exactly, through inserts, deletes, grouped inserts, netted
+    re-anchoring, and retraction row shifts."""
+
+    @staticmethod
+    def _assert_bits_match_anchors(store):
+        n = store.n_rows
+        subspaces = {sub for (_, sub) in store._anchors}
+        for subspace in subspaces:
+            bits = store.anchor_bits(subspace, n)
+            assert bits is not None
+            for row in range(n):
+                record = store.record_at(row)
+                expected = 0
+                for mask in store.anchor_masks(record.tid, subspace):
+                    expected |= 1 << mask
+                assert int(bits[row]) == expected, (subspace, row)
+
+    @settings(max_examples=15, deadline=None)
+    @given(
+        rows=st.lists(
+            st.fixed_dictionaries(
+                {
+                    "d0": st.sampled_from(["a", "b", None]),
+                    "d1": st.sampled_from(["x", "y"]),
+                    "m0": st.integers(min_value=0, max_value=3),
+                    "m1": st.integers(min_value=0, max_value=3),
+                }
+            ),
+            min_size=1,
+            max_size=16,
+        ),
+        n_deletes=st.integers(min_value=0, max_value=3),
+    )
+    def test_bits_track_anchor_sets(self, rows, n_deletes):
+        vec = make_algorithm("svec", SCHEMA)
+        vec.process_many(rows)
+        self._assert_bits_match_anchors(vec.store)
+        for tid in range(min(n_deletes, len(rows))):
+            vec.retract(tid)
+        self._assert_bits_match_anchors(vec.store)
+
+    def test_insert_new_many_equals_insert_sequence(self):
+        record = rec(0)
+        pairs = [
+            (Constraint(("a", None)), 0b11),
+            (Constraint((None, "x")), 0b11),
+            (Constraint(("a", None)), 0b01),
+        ]
+        grouped = ColumnarSkylineStore()
+        grouped.insert_new_many(record, pairs)
+        sequential = ColumnarSkylineStore()
+        for constraint, subspace in pairs:
+            sequential.insert(constraint, subspace, record)
+        assert {
+            key: {r.tid for r in records}
+            for key, records in grouped.iter_pairs()
+        } == {
+            key: {r.tid for r in records}
+            for key, records in sequential.iter_pairs()
+        }
+        assert grouped.stored_tuple_count() == sequential.stored_tuple_count()
+        for subspace in (0b11, 0b01):
+            assert grouped.anchor_masks(0, subspace) == sequential.anchor_masks(
+                0, subspace
+            )
+            gbits = grouped.anchor_bits(subspace, 1)
+            sbits = sequential.anchor_bits(subspace, 1)
+            assert int(gbits[0]) == int(sbits[0])
+
+    def test_reanchor_demoted_equals_delete_plus_inserts(self):
+        top = Constraint((None, None))
+        children = [Constraint(("a", None)), Constraint((None, "x"))]
+        record = rec(7)
+
+        def build():
+            store = ColumnarSkylineStore()
+            store.insert(top, 0b11, record)
+            store.scoring_index()  # activate flip maintenance
+            return store
+
+        netted = build()
+        row = netted.row_of(7)
+        netted.reanchor_demoted(0b11, record, row, top, children)
+        sequential = build()
+        sequential.delete(top, 0b11, record)
+        for child in children:
+            sequential.insert(child, 0b11, record)
+        assert {
+            key: {r.tid for r in records}
+            for key, records in netted.iter_pairs()
+        } == {
+            key: {r.tid for r in records}
+            for key, records in sequential.iter_pairs()
+        }
+        assert netted.anchor_masks(7, 0b11) == sequential.anchor_masks(7, 0b11)
+        assert netted._score_index == sequential._score_index
+        assert netted.stored_tuple_count() == sequential.stored_tuple_count()

@@ -151,3 +151,52 @@ class TestScoreAndSelect:
         fs.add(SituationalFact(rec(0), Constraint(("a", "b")), 0b1, 2, 1))
         out = select_reportable(fs, DiscoveryConfig())
         assert len(out) == 2
+
+
+class TestFactSetColumns:
+    """The columnar FactSet internals: bulk pair/score columns with
+    lazy object materialisation."""
+
+    def test_add_pairs_and_iter_pairs_stay_lazy(self):
+        fs = FactSet(rec(0))
+        pairs = [(Constraint(("a", None)), 0b01), (Constraint((None, "b")), 0b11)]
+        fs.add_pairs([c for c, _ in pairs], [m for _, m in pairs])
+        assert list(fs.iter_pairs()) == pairs
+        assert len(fs) == 2
+        assert fs.pairs == set(pairs)
+        assert fs._facts is None  # nothing materialised yet
+
+    def test_set_scores_before_materialisation(self):
+        fs = FactSet(rec(0))
+        fs.add_pair(Constraint(("a", None)), 0b01)
+        fs.add_pair(Constraint((None, "b")), 0b11)
+        fs.set_scores([10, 20], [2, 4])
+        facts = list(fs)
+        assert [f.context_size for f in facts] == [10, 20]
+        assert [f.skyline_size for f in facts] == [2, 4]
+        assert [f.prominence for f in facts] == [5.0, 5.0]
+
+    def test_set_scores_after_materialisation_updates_objects(self):
+        fs = FactSet(rec(0))
+        fs.add_pair(Constraint(("a", None)), 0b01)
+        first = list(fs)[0]
+        fs.set_scores([7], [1])
+        assert first.context_size == 7 and first.skyline_size == 1
+        assert list(fs)[0] is first  # identity preserved
+
+    def test_set_scores_rejects_short_columns(self):
+        fs = FactSet(rec(0))
+        fs.add_pair(Constraint(("a", None)), 0b01)
+        fs.add_pair(Constraint((None, "b")), 0b10)
+        with pytest.raises(ValueError):
+            fs.set_scores([1], [1])
+
+    def test_add_object_after_pairs_keeps_order_and_scores(self):
+        fs = FactSet(rec(0))
+        fs.add_pair(Constraint(("a", None)), 0b01)
+        pre_scored = SituationalFact(rec(0), Constraint(("a", "b")), 0b01, 4, 2)
+        fs.add(pre_scored)
+        facts = list(fs)
+        assert facts[1] is pre_scored
+        assert facts[1].prominence == 2.0
+        assert len(fs) == 2

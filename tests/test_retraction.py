@@ -121,6 +121,128 @@ class TestStoreRepair:
         assert got == expected, name
 
 
+class TestColumnarRetraction:
+    """PR-3 columnar retraction repair ≡ the scalar repair path.
+
+    ``svec`` repairs Invariant-2 stores after a deletion from the
+    anchor-bitset reverse index and one columnar dominance sweep
+    (:func:`repro.algorithms.retraction.retract_top_down_columnar`);
+    the scalar path recomputes contextual skylines from the table.
+    Both must leave identical stores, identical op counters, and
+    identical (scored) facts for every subsequent arrival — including
+    streams carrying unbindable (None) dimension values, which take the
+    scalar fallback for the removed tuple but still repair around
+    None-valued surviving rows columnarly.
+    """
+
+    SCHEMA3 = TableSchema(("d0", "d1", "d2"), ("m0", "m1"))
+
+    wide_row_strategy = st.fixed_dictionaries(
+        {
+            "d0": st.sampled_from(["a", "b", "c"]),
+            "d1": st.sampled_from(["x", "y"]),
+            "d2": st.sampled_from(["p", "q", None]),
+            "m0": st.integers(min_value=0, max_value=4),
+            "m1": st.integers(min_value=0, max_value=4),
+        }
+    )
+
+    @staticmethod
+    def _scalar_retract_svec(schema):
+        from repro.algorithms.s_vectorized import SVectorized
+
+        class ScalarRetractSVec(SVectorized):
+            use_columnar_retraction = False
+
+        return ScalarRetractSVec(schema)
+
+    @settings(max_examples=25, deadline=None)
+    @given(
+        rows=st.lists(wide_row_strategy, min_size=4, max_size=14),
+        data=st.data(),
+    )
+    def test_columnar_equals_scalar_retraction(self, rows, data):
+        columnar = FactDiscoverer(self.SCHEMA3, algorithm="svec")
+        scalar = FactDiscoverer(
+            self.SCHEMA3, algorithm=self._scalar_retract_svec(self.SCHEMA3)
+        )
+        expected = [scalar.facts_for(row) for row in rows]
+        got = [columnar.facts_for(row) for row in rows]
+        victims = data.draw(
+            st.lists(
+                st.sampled_from(range(len(rows))),
+                min_size=1,
+                max_size=min(4, len(rows)),
+                unique=True,
+            )
+        )
+        for tid in victims:
+            scalar.delete(tid)
+            columnar.delete(tid)
+        assert store_snapshot(columnar.algorithm) == store_snapshot(
+            scalar.algorithm
+        )
+        survivors = [i for i in range(len(rows)) if i not in victims]
+        # Deletions must also reverse the scoring/anchor indexes
+        # identically: every subsequent arrival discovers and scores
+        # the same facts on both paths, and the op counters stay in
+        # lockstep (post-deletion comparisons read the repaired µ).
+        more = rows[: min(4, len(rows))]
+        expected_after = [scalar.facts_for(row) for row in more]
+        got_after = [columnar.facts_for(row) for row in more]
+        key = lambda fact: (
+            fact.constraint.values,
+            fact.subspace,
+            fact.context_size,
+            fact.skyline_size,
+        )
+        for want, have in zip(expected + expected_after, got + got_after):
+            assert sorted(map(key, have), key=repr) == sorted(
+                map(key, want), key=repr
+            )
+        assert (
+            columnar.counters.snapshot() == scalar.counters.snapshot()
+        ), survivors
+
+    @settings(max_examples=12, deadline=None)
+    @given(
+        rows=st.lists(wide_row_strategy, min_size=4, max_size=12),
+        seed=st.integers(min_value=0, max_value=999),
+    )
+    def test_algorithms_agree_across_deletions(self, rows, seed):
+        """svec's columnar repair keeps it in scored-output lockstep
+        with stopdown (scalar Invariant-2 repair) and bottomup
+        (Invariant-1 repair) across deletion-interleaved streams."""
+        import random
+
+        rng = random.Random(seed)
+        cut = len(rows) // 2
+        engines = {
+            name: FactDiscoverer(self.SCHEMA3, algorithm=name)
+            for name in ("svec", "stopdown", "bottomup")
+        }
+        outputs = {name: [] for name in engines}
+        for name, engine in engines.items():
+            outputs[name] += [engine.facts_for(row) for row in rows[:cut]]
+        victims = rng.sample(range(cut), k=min(cut, rng.randint(1, 3)))
+        for tid in victims:
+            for engine in engines.values():
+                engine.delete(tid)
+        for name, engine in engines.items():
+            outputs[name] += [engine.facts_for(row) for row in rows[cut:]]
+        key = lambda fact: (
+            fact.constraint.values,
+            fact.subspace,
+            fact.context_size,
+            fact.skyline_size,
+        )
+        snapshots = {
+            name: [sorted(map(key, facts), key=repr) for facts in out]
+            for name, out in outputs.items()
+        }
+        assert snapshots["svec"] == snapshots["stopdown"] == snapshots["bottomup"]
+
+
 class TestEngineDelete:
     def test_delete_reverses_context_counts(self):
         engine = FactDiscoverer(SCHEMA, algorithm="bottomup")

@@ -154,13 +154,17 @@ class TestDeletionInterleaved:
 
 class TestUnbindableDimValues:
     """Dimension values equal to the unbound marker collapse distinct
-    ``C^t`` masks onto one constraint.  ``svec``'s arrival sweep computes
-    the pruned bits exactly and stays correct; scalar topdown/stopdown
-    have a known level-order pruning gap on such streams (a dominator
-    re-anchored below ``⊤`` is met too late for the collapsed duplicate
-    masks — see ROADMAP open items), so the equivalence oracle here is
-    ``bruteforce``, not ``stopdown``."""
+    ``C^t`` masks onto one constraint, so pruning state must be read at
+    the collapsed *canonical* mask (``mask & bindable_positions``).
+    Historically topdown/stopdown (and, on streams whose dominators
+    bind a value at the arrival's None position, svec's scalar pass
+    too) tested the raw mask and over-reported; since the canonical
+    -mask fix **every** algorithm agrees with the ``bruteforce`` oracle
+    on such streams."""
 
+    #: The original ROADMAP repro: the second arrival's dominator is
+    #: met at ⊤, but the third arrival's raw mask {d0} (collapsing onto
+    #: ⊤) used to re-report the pruned constraint.
     ROWS = [
         {"d0": None, "d1": "y", "d2": None, "m0": 1, "m1": 1},
         {"d0": "b", "d1": "x", "d2": "r", "m0": 2, "m1": 1},
@@ -168,7 +172,18 @@ class TestUnbindableDimValues:
     ]
     SCHEMA3 = TableSchema(("d0", "d1", "d2"), ("m0", "m1"))
 
-    @pytest.mark.parametrize("algorithm", ("svec", "bottomup"))
+    #: A dominator binding a value at the arrival's None position: its
+    #: agreement mask cannot cover the duplicate raw masks, which used
+    #: to slip past svec's exact sweep as well.
+    ROWS2 = [
+        {"d0": "a", "d1": "y", "m0": 2},
+        {"d0": None, "d1": "y", "m0": 1},
+    ]
+    SCHEMA2 = TableSchema(("d0", "d1"), ("m0",))
+
+    ALL = ("svec", "bottomup", "topdown", "stopdown", "sbottomup")
+
+    @pytest.mark.parametrize("algorithm", ALL)
     def test_matches_bruteforce_with_none_dims(self, algorithm):
         from repro import make_algorithm
 
@@ -177,6 +192,53 @@ class TestUnbindableDimValues:
         want = [fs.pairs for fs in oracle.process_stream(self.ROWS)]
         got = [fs.pairs for fs in algo.process_stream(self.ROWS)]
         assert got == want
+
+    @pytest.mark.parametrize("algorithm", ALL)
+    def test_matches_bruteforce_with_bound_dominator(self, algorithm):
+        from repro import make_algorithm
+
+        oracle = make_algorithm("bruteforce", self.SCHEMA2)
+        algo = make_algorithm(algorithm, self.SCHEMA2)
+        want = [fs.pairs for fs in oracle.process_stream(self.ROWS2)]
+        got = [fs.pairs for fs in algo.process_stream(self.ROWS2)]
+        assert got == want
+
+    none_row_strategy = st.fixed_dictionaries(
+        {
+            "d0": st.sampled_from(["a", "b", None]),
+            "d1": st.sampled_from(["x", "y", None]),
+            "d2": st.sampled_from(["p", None]),
+            "m0": st.integers(min_value=0, max_value=3),
+            "m1": st.integers(min_value=0, max_value=3),
+        }
+    )
+
+    @pytest.mark.parametrize("algorithm", ("svec", "topdown", "stopdown"))
+    @settings(max_examples=20, deadline=None)
+    @given(rows=st.lists(none_row_strategy, min_size=1, max_size=10))
+    def test_property_matches_bruteforce(self, algorithm, rows):
+        from repro import make_algorithm
+
+        oracle = make_algorithm("bruteforce", self.SCHEMA3)
+        algo = make_algorithm(algorithm, self.SCHEMA3)
+        want = [fs.pairs for fs in oracle.process_stream(rows)]
+        got = [fs.pairs for fs in algo.process_stream(rows)]
+        assert got == want
+
+    @settings(max_examples=20, deadline=None)
+    @given(rows=st.lists(none_row_strategy, min_size=1, max_size=10))
+    def test_svec_counters_match_stopdown_on_none_streams(self, rows):
+        """Unbindable values route svec to its scalar fallback pass,
+        which must stay in op-counter lockstep with stopdown — including
+        the self-comparisons at collapsed duplicate masks whose bucket
+        the arrival itself just created."""
+        from repro import make_algorithm
+
+        svec = make_algorithm("svec", self.SCHEMA3)
+        stopdown = make_algorithm("stopdown", self.SCHEMA3)
+        svec.process_stream(rows)
+        stopdown.process_stream(rows)
+        assert svec.counters.snapshot() == stopdown.counters.snapshot()
 
     def test_scored_batch_matches_loop_with_none_dims(self):
         loop = FactDiscoverer(self.SCHEMA3, algorithm="svec")
