@@ -112,10 +112,10 @@ class PinnedPR2SVec(SVectorized):
         dims = facts.record.dims
         mask_keys = self.store.mask_keys
         key_cache = {}
+        shift = self.store.score_shift
         for fact in facts:
             constraint, subspace = fact.constraint, fact.subspace
-            space = index.get(subspace)
-            table = space.get(constraint.bound_mask) if space else None
+            table = index.get((subspace << shift) | constraint.bound_mask)
             if not table:
                 sizes[(constraint, subspace)] = 0
                 continue

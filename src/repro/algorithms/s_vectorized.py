@@ -60,7 +60,7 @@ whole history.
 
 from __future__ import annotations
 
-from typing import Dict, List, Optional, Tuple
+from typing import Dict, List, Optional, Sequence, Tuple
 
 import numpy as np
 
@@ -93,6 +93,7 @@ class SVectorized(STopDown):
         config: Optional[DiscoveryConfig] = None,
         counters: Optional[OpCounters] = None,
         store: Optional[ColumnarSkylineStore] = None,
+        shard_subspaces: Optional[Sequence[int]] = None,
     ) -> None:
         if store is not None and not isinstance(store, ColumnarSkylineStore):
             raise TypeError(
@@ -106,6 +107,33 @@ class SVectorized(STopDown):
                 n_dimensions=schema.n_dimensions,
                 n_measures=schema.n_measures,
             )
+        # Subspace-axis sharding (the service layer's parallel unit):
+        # when ``shard_subspaces`` is given, this instance maintains only
+        # that subset of the measure-subspace keys.  Sound because every
+        # per-subspace decision — Prop. 4 pruning, fact emission, maximal
+        # promotion, demotion repair, the scoring index — is derived
+        # from the arrival sweep over the *registered* history (which
+        # every shard keeps in full), never from another subspace's
+        # store.  The shard holding the full measure space runs it as
+        # the root pass (visit-all semantics); shards without it run
+        # pure node passes, so op-counter totals across a partition sum
+        # to the unsharded engine's exactly.
+        self._shard: Optional[Tuple[int, ...]] = None
+        self._has_root = True
+        if shard_subspaces is not None:
+            shard = list(dict.fromkeys(shard_subspaces))
+            valid = set(self.subspaces)
+            valid.add(self.full_space)
+            unknown = [s for s in shard if s not in valid]
+            if unknown:
+                raise ValueError(
+                    f"shard subspaces {unknown} are not maintained keys "
+                    f"of this schema/config"
+                )
+            self._shard = tuple(shard)
+            shard_set = set(shard)
+            self._has_root = self.full_space in shard_set
+            self.subspaces = [s for s in self.subspaces if s in shard_set]
         # The raw dominance sweep lives on the store
         # (ColumnarSkylineStore.partition_bitmasks); the algorithm only
         # keeps the subspace-key column used to broadcast Prop. 4.
@@ -115,10 +143,14 @@ class SVectorized(STopDown):
             allowed_bits |= 1 << mask
         #: Bitset (over constraint masks) of the d̂-allowed lattice.
         self._allowed_bits = allowed_bits
-        #: Maintained subspace keys, full space (sharing substrate) first.
-        self._subspace_keys = [self.full_space] + [
-            s for s in self.subspaces if s != self.full_space
-        ]
+        #: Maintained subspace keys; the full space (sharing substrate)
+        #: comes first when this shard owns it.
+        if self._has_root:
+            self._subspace_keys = [self.full_space] + [
+                s for s in self.subspaces if s != self.full_space
+            ]
+        else:
+            self._subspace_keys = list(self.subspaces)
         #: Column vector of the keys, for one broadcast Prop. 4 test.
         self._keys_column = np.asarray(self._subspace_keys, dtype=measure_dtype)[
             :, None
@@ -157,8 +189,17 @@ class SVectorized(STopDown):
             self._mask_order = order
             self._bitset_dtype = bitset_dtype
             report = np.ones((len(self._subspace_keys), 1), dtype=bool)
-            report[0, 0] = self.config.allows_subspace(self.full_space)
+            if self._has_root:
+                report[0, 0] = self.config.allows_subspace(self.full_space)
             self._report_col = report
+
+    def maintained_subspaces(self):
+        """Shard-restricted instances maintain exactly their keys; the
+        full space is among them only for the shard that owns the root
+        pass (other shards never touch full-space stores)."""
+        if self._shard is not None:
+            return list(self._subspace_keys)
+        return super().maintained_subspaces()
 
     # ------------------------------------------------------------------
     # Streaming hooks
@@ -249,10 +290,13 @@ class SVectorized(STopDown):
         pruned_bit = ((pruned_vec[:, None] >> masks_arr[None, :]) & 1) != 0
         survive = ~pruned_bit
         # The root pass visits every constraint; node passes skip pruned
-        # ones outright (Fig. 11b counts them as not traversed).
-        self.counters.traversed_constraints += int(
-            masks_arr.shape[0] + survive[1:].sum()
-        )
+        # ones outright (Fig. 11b counts them as not traversed).  A
+        # shard without the full space runs node passes only.
+        if self._has_root:
+            traversed = masks_arr.shape[0] + survive[1:].sum()
+        else:
+            traversed = survive.sum()
+        self.counters.traversed_constraints += int(traversed)
 
         # Fact emission: surviving cells, subspace-major / level-minor —
         # np.nonzero's row-major order reproduces the scalar pass order.
@@ -284,7 +328,8 @@ class SVectorized(STopDown):
                 # Node passes skip pruned masks outright; the root pass
                 # scans every bucket along C^t.
                 visited = ~pruned_vec
-                visited[0] = -1
+                if self._has_root:
+                    visited[0] = -1
                 met_mat &= visited[:, None]
                 self.counters.comparisons += int(
                     popcount_array(met_mat).sum()
@@ -657,31 +702,29 @@ class SVectorized(STopDown):
         dims = record.dims
         ctx_by_mask = counter.counts_for_dims(dims)
         mask_keys = self.store.mask_keys
+        shift = self.store.score_shift
         context_col: List[int] = []
         skyline_col: List[int] = []
         ctx_append = context_col.append
         sky_append = skyline_col.append
         key_cache: Dict[int, tuple] = {}
-        # Facts arrive subspace-major, so one space lookup per run of
-        # equal subspaces (and one table lookup per mask within it)
+        # Facts arrive subspace-major, so one packed-key base per run of
+        # equal subspaces (and one flat index probe per mask within it)
         # covers the whole fact set.
         last_subspace: Optional[int] = None
-        space: Optional[dict] = None
+        base = 0
         tables: Dict[int, Optional[dict]] = {}
         for constraint, subspace in facts.iter_pairs():
             fact_mask = constraint._mask
             ctx_append(ctx_by_mask.get(fact_mask, 0))
             if subspace != last_subspace:
                 last_subspace = subspace
-                space = index.get(subspace)
+                base = subspace << shift
                 tables = {}
-            if not space:
-                sky_append(0)
-                continue
             if fact_mask in tables:
                 table = tables[fact_mask]
             else:
-                table = tables[fact_mask] = space.get(fact_mask)
+                table = tables[fact_mask] = index.get(base | fact_mask)
             if not table:
                 sky_append(0)
                 continue
@@ -709,15 +752,12 @@ class SVectorized(STopDown):
             return super().skyline_sizes(facts)
         dims = facts.record.dims
         mask_keys = self.store.mask_keys
+        shift = self.store.score_shift
         sizes: Dict[Tuple[Constraint, int], int] = {}
         key_cache: Dict[int, tuple] = {}
         for constraint, subspace in facts.iter_pairs():
-            space = index.get(subspace)
-            if not space:
-                sizes[(constraint, subspace)] = 0
-                continue
             fact_mask = constraint.bound_mask
-            table = space.get(fact_mask)
+            table = index.get((subspace << shift) | fact_mask)
             if not table:
                 sizes[(constraint, subspace)] = 0
                 continue

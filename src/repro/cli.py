@@ -13,6 +13,12 @@ Subcommands
     study in one command).
 ``figures``
     Reproduce one or more of the paper's figures and print the tables.
+``serve``
+    Run the streaming ingestion service (sharded subspace-parallel
+    workers + async micro-batching front-end); optionally ingest a CSV
+    and/or listen for NDJSON clients on a TCP port.
+``ingest``
+    Stream a CSV into a running ``serve`` instance over TCP.
 
 Examples::
 
@@ -21,6 +27,9 @@ Examples::
         -q "team=Celtics | points"
     repro-facts demo --tuples 800 --tau 25
     repro-facts figures fig8a fig10b
+    repro-facts serve -d player,team -m points,assists --workers 4 --port 7071
+    repro-facts ingest games.csv -d player,team -m points,assists \
+        --connect 127.0.0.1:7071 --shutdown
 """
 
 from __future__ import annotations
@@ -178,6 +187,157 @@ def cmd_demo(args) -> int:
     return 0
 
 
+def _build_service_engine(args, schema):
+    """The serve command's engine: sharded when ``--workers`` > 0."""
+    config = _config_from_args(args)
+    score = not args.no_score
+    if args.workers > 0:
+        from .service import ShardedDiscoverer
+
+        return ShardedDiscoverer(
+            schema,
+            config,
+            n_workers=args.workers,
+            mode=args.mode,
+            score=score,
+        )
+    return FactDiscoverer(schema, algorithm=args.algorithm, config=config,
+                          score=score)
+
+
+def cmd_serve(args) -> int:
+    import asyncio
+    import json
+
+    from .datasets.loader import load_rows
+    from .service import StreamServer
+
+    schema = _schema_from_args(args)
+    try:
+        engine = _build_service_engine(args, schema)
+    except ValueError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+
+    async def run() -> int:
+        server = StreamServer(
+            engine,
+            queue_limit=args.queue_limit,
+            batch_max=args.batch_max,
+            batch_window=args.batch_window,
+            checkpoint_path=args.checkpoint,
+            checkpoint_interval=args.checkpoint_interval,
+        )
+        await server.start()
+        listener = None
+        if args.port is not None:
+            listener = await server.serve_tcp(args.host, args.port)
+            host, port = listener.sockets[0].getsockname()[:2]
+            print(f"listening on {host}:{port}", file=sys.stderr, flush=True)
+        if args.csv:
+            # Enqueue ahead of the printer so micro-batches actually
+            # coalesce (ingest_wait per row would serialize the queue
+            # down to batches of one); the subscription preserves
+            # arrival order.
+            rows = list(load_rows(args.csv, schema))
+            subscription = server.subscribe(only_facts=False)
+            producer = asyncio.ensure_future(server.ingest_many(rows))
+            # A failed producer closes the subscription so the printer
+            # cannot wait forever on events that will never arrive.
+            producer.add_done_callback(
+                lambda task: subscription.close()
+                if not task.cancelled() and task.exception()
+                else None
+            )
+            emitted = 0
+            for _ in range(len(rows)):
+                try:
+                    event = await subscription.__anext__()
+                except StopAsyncIteration:
+                    break
+                for fact in event.facts:
+                    emitted += 1
+                    if args.json:
+                        print(json.dumps(fact.to_json_dict(schema)))
+                    else:
+                        print(f"[{event.tid}] {fact.describe(schema)}")
+            await producer
+            subscription.close()
+            print(
+                f"# {emitted} facts from {len(engine.table)} tuples",
+                file=sys.stderr,
+            )
+        if listener is not None:
+            # Serve until a client sends {"op": "shutdown"}.
+            await server.wait_stopped()
+        else:
+            await server.stop()
+        print(
+            f"# service stats: {json.dumps(server.stats_snapshot())}",
+            file=sys.stderr,
+        )
+        close = getattr(engine, "close", None)
+        if close is not None:
+            close()
+        return 0
+
+    return asyncio.run(run())
+
+
+def cmd_ingest(args) -> int:
+    import asyncio
+    import json
+
+    from .datasets.loader import load_rows
+
+    schema = _schema_from_args(args)
+    host, _, port = args.connect.rpartition(":")
+    if not host or not port.isdigit():
+        print(f"error: --connect expects HOST:PORT, got {args.connect!r}",
+              file=sys.stderr)
+        return 2
+
+    async def run() -> int:
+        reader, writer = await asyncio.open_connection(host, int(port))
+
+        async def call(payload: dict) -> dict:
+            writer.write(json.dumps(payload).encode() + b"\n")
+            await writer.drain()
+            line = await reader.readline()
+            if not line:
+                raise ConnectionError("server closed the connection")
+            return json.loads(line)
+
+        emitted = rows = 0
+        for row in load_rows(args.csv, schema):
+            reply = await call({"op": "ingest", "row": row})
+            if "error" in reply:
+                print(f"error: {reply['error']}", file=sys.stderr)
+                return 2
+            rows += 1
+            for fact in reply["facts"]:
+                emitted += 1
+                if args.json:
+                    print(json.dumps(fact))
+        reply = await call({"op": "stats"})
+        print(f"# {emitted} facts from {rows} tuples; server stats: "
+              f"{json.dumps(reply.get('stats', {}))}", file=sys.stderr)
+        if args.shutdown:
+            await call({"op": "shutdown"})
+        writer.close()
+        try:
+            await writer.wait_closed()
+        except (ConnectionResetError, OSError):
+            pass
+        return 0
+
+    try:
+        return asyncio.run(run())
+    except (ConnectionError, OSError) as exc:
+        print(f"error: cannot reach {args.connect}: {exc}", file=sys.stderr)
+        return 2
+
+
 def cmd_figures(args) -> int:
     from .experiments.figures import ALL_FIGURES
 
@@ -231,6 +391,54 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--tuples", type=int, default=800)
     p.add_argument("--tau", type=float, default=25.0)
     p.set_defaults(fn=cmd_demo)
+
+    p = sub.add_parser(
+        "serve",
+        help="run the sharded streaming ingestion service",
+    )
+    p.add_argument("csv", nargs="?", default=None,
+                   help="optional CSV to stream through the service")
+    _add_schema_options(p)
+    _add_discovery_options(p)
+    p.add_argument("--workers", type=int, default=0,
+                   help="subspace-parallel worker count (0 = single "
+                        "unsharded engine)")
+    p.add_argument("--mode", default="process",
+                   choices=("serial", "thread", "process"),
+                   help="worker execution mode (with --workers)")
+    p.add_argument("--host", default="127.0.0.1")
+    p.add_argument("--port", type=int, default=None,
+                   help="listen for NDJSON clients (0 = ephemeral port, "
+                        "printed to stderr); serves until a client sends "
+                        "the shutdown op")
+    p.add_argument("--queue-limit", type=int, default=1024,
+                   help="ingest-queue bound (backpressure threshold)")
+    p.add_argument("--batch-max", type=int, default=256,
+                   help="micro-batch size cap")
+    p.add_argument("--batch-window", type=float, default=0.002,
+                   help="seconds to wait for micro-batch stragglers")
+    p.add_argument("--checkpoint", default=None,
+                   help="periodic snapshot path (see --checkpoint-interval)")
+    p.add_argument("--checkpoint-interval", type=float, default=None,
+                   help="seconds between snapshot checkpoints")
+    p.add_argument("--json", action="store_true",
+                   help="emit one JSON object per fact (NDJSON)")
+    p.add_argument("--no-score", action="store_true",
+                   help="skip prominence scoring (incompatible with "
+                        "--tau/--top-k)")
+    p.set_defaults(fn=cmd_serve)
+
+    p = sub.add_parser(
+        "ingest", help="stream a CSV into a running serve instance"
+    )
+    p.add_argument("csv")
+    _add_schema_options(p)
+    p.add_argument("--connect", required=True, metavar="HOST:PORT")
+    p.add_argument("--json", action="store_true",
+                   help="print each returned fact as JSON (NDJSON)")
+    p.add_argument("--shutdown", action="store_true",
+                   help="send the shutdown op after ingesting")
+    p.set_defaults(fn=cmd_ingest)
 
     p = sub.add_parser("figures", help="reproduce paper figures")
     p.add_argument("ids", nargs="*")

@@ -9,6 +9,13 @@ to internal-layout changes — the usual choice for moderate table sizes;
 larger deployments would checkpoint the µ stores themselves (the file
 store already persists them).
 
+Format v2 adds a ``meta`` section: the engine's ``score`` flag and the
+serving configuration (engine kind, worker count, execution mode) so a
+:class:`~repro.service.sharding.ShardedDiscoverer` checkpoint restores
+as a sharded service — the round-trip behind
+:class:`~repro.service.server.StreamServer`'s periodic checkpointing.
+Version-1 files (no ``meta``) still load with the old defaults.
+
 Arrival ids are renumbered densely on load (0..n-1); fact outputs are
 unaffected since discovery depends only on tuple order and content.
 """
@@ -17,20 +24,43 @@ from __future__ import annotations
 
 import json
 from dataclasses import asdict
+from typing import Union
+
 from ..core.config import DiscoveryConfig
 from ..core.engine import FactDiscoverer
 from ..core.schema import TableSchema
 
-_FORMAT_VERSION = 1
+_FORMAT_VERSION = 2
+_READABLE_VERSIONS = (1, 2)
+
+#: Rows per replay block on load (observe_many is output-identical to
+#: the row-at-a-time loop; batching just amortises the rebuild).
+_REPLAY_BATCH = 512
 
 
-def save_engine(engine: FactDiscoverer, path: str) -> None:
-    """Write a JSON snapshot of ``engine`` to ``path``."""
+def save_engine(engine, path: str) -> None:
+    """Write a JSON snapshot of ``engine`` to ``path``.
+
+    Accepts a :class:`FactDiscoverer` or a
+    :class:`~repro.service.sharding.ShardedDiscoverer` (anything with
+    ``schema`` / ``config`` / ``table`` / ``score`` and an algorithm
+    name).
+    """
     schema = engine.schema
     rows = [record.as_dict(schema) for record in engine.table]
+    algorithm = getattr(engine, "algorithm_name", None)
+    meta = {"score": bool(getattr(engine, "score", True))}
+    if algorithm is None:
+        algorithm = engine.algorithm.name
+        meta["engine"] = "single"
+    else:
+        meta["engine"] = "sharded"
+        meta["n_workers"] = engine.n_workers
+        meta["mode"] = engine.mode
     doc = {
         "format_version": _FORMAT_VERSION,
-        "algorithm": engine.algorithm.name,
+        "algorithm": algorithm,
+        "meta": meta,
         "schema": {
             "dimensions": list(schema.dimensions),
             "measures": list(schema.measures),
@@ -43,19 +73,22 @@ def save_engine(engine: FactDiscoverer, path: str) -> None:
         json.dump(doc, fh, indent=1)
 
 
-def load_engine(path: str, score: bool = True) -> FactDiscoverer:
-    """Rebuild a :class:`FactDiscoverer` from a snapshot written by
-    :func:`save_engine`.
+def load_engine(path: str, score=None):
+    """Rebuild an engine from a snapshot written by :func:`save_engine`.
 
-    Raises ``ValueError`` for unknown snapshot versions.
+    Returns a :class:`FactDiscoverer`, or a
+    :class:`~repro.service.sharding.ShardedDiscoverer` when the snapshot
+    was taken from one (v2 ``meta`` section).  ``score`` overrides the
+    persisted flag when given; v1 snapshots carry no flag and default to
+    scored.  Raises ``ValueError`` for unknown snapshot versions.
     """
     with open(path) as fh:
         doc = json.load(fh)
     version = doc.get("format_version")
-    if version != _FORMAT_VERSION:
+    if version not in _READABLE_VERSIONS:
         raise ValueError(
             f"unsupported snapshot version {version!r} "
-            f"(this build reads version {_FORMAT_VERSION})"
+            f"(this build reads versions {_READABLE_VERSIONS})"
         )
     schema = TableSchema(
         dimensions=tuple(doc["schema"]["dimensions"]),
@@ -63,9 +96,24 @@ def load_engine(path: str, score: bool = True) -> FactDiscoverer:
         preferences=doc["schema"]["preferences"],
     )
     config = DiscoveryConfig(**doc["config"])
-    engine = FactDiscoverer(
-        schema, algorithm=doc["algorithm"], config=config, score=score
-    )
-    for row in doc["rows"]:
-        engine.observe(row)
+    meta = doc.get("meta", {})
+    if score is None:
+        score = bool(meta.get("score", True))
+    if meta.get("engine") == "sharded":
+        from ..service.sharding import ShardedDiscoverer
+
+        engine: Union[FactDiscoverer, ShardedDiscoverer] = ShardedDiscoverer(
+            schema,
+            config,
+            n_workers=int(meta.get("n_workers", 2)),
+            mode=meta.get("mode", "serial"),
+            score=score,
+        )
+    else:
+        engine = FactDiscoverer(
+            schema, algorithm=doc["algorithm"], config=config, score=score
+        )
+    rows = doc["rows"]
+    for start in range(0, len(rows), _REPLAY_BATCH):
+        engine.observe_many(rows[start : start + _REPLAY_BATCH])
     return engine

@@ -1,0 +1,88 @@
+"""Service-layer metrics: ingest queue, micro-batching, shard balance.
+
+:class:`ServiceStats` is the :class:`~repro.metrics.counters.OpCounters`
+counterpart for the serving layer — a mutable tally the
+:class:`~repro.service.server.StreamServer` updates on every enqueue and
+every micro-batch, cheap enough to live on the hot path.  ``snapshot``
+renders the derived signals operators actually watch: mean/max batch
+size (is coalescing working?), the queue-depth high-water mark (is
+backpressure engaging?), and per-shard busy seconds with their spread
+(is the subspace partition balanced?).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence
+
+
+@dataclass
+class ServiceStats:
+    """Mutable tally of streaming-service work."""
+
+    #: Rows accepted into the ingest queue.
+    enqueued: int = 0
+    #: Rows taken through the engine.
+    processed_rows: int = 0
+    #: Micro-batches executed (``observe_many`` calls).
+    batches: int = 0
+    #: Largest single micro-batch.
+    batch_rows_max: int = 0
+    #: Highest observed ingest-queue depth (backpressure indicator).
+    queue_depth_max: int = 0
+    #: Deletions applied.
+    deletes: int = 0
+    #: Snapshot checkpoints written.
+    checkpoints: int = 0
+    #: Reportable facts published to subscribers/clients.
+    facts_emitted: int = 0
+    #: Cumulative busy seconds per shard (mirrors
+    #: :meth:`ShardedDiscoverer.utilization`; empty for unsharded).
+    shard_busy_seconds: List[float] = field(default_factory=list)
+
+    def note_enqueue(self, queue_depth: int) -> None:
+        self.enqueued += 1
+        if queue_depth > self.queue_depth_max:
+            self.queue_depth_max = queue_depth
+
+    def note_batch(self, n_rows: int, n_facts: int) -> None:
+        self.batches += 1
+        self.processed_rows += n_rows
+        self.facts_emitted += n_facts
+        if n_rows > self.batch_rows_max:
+            self.batch_rows_max = n_rows
+
+    def note_shard_utilization(self, busy_seconds: Sequence[float]) -> None:
+        self.shard_busy_seconds = list(busy_seconds)
+
+    @property
+    def mean_batch_rows(self) -> Optional[float]:
+        if not self.batches:
+            return None
+        return self.processed_rows / self.batches
+
+    def snapshot(self) -> Dict[str, object]:
+        """JSON-ready copy with the derived signals filled in."""
+        busy = self.shard_busy_seconds
+        out: Dict[str, object] = {
+            "enqueued": self.enqueued,
+            "processed_rows": self.processed_rows,
+            "batches": self.batches,
+            "mean_batch_rows": (
+                round(self.mean_batch_rows, 2)
+                if self.mean_batch_rows is not None
+                else None
+            ),
+            "batch_rows_max": self.batch_rows_max,
+            "queue_depth_max": self.queue_depth_max,
+            "deletes": self.deletes,
+            "checkpoints": self.checkpoints,
+            "facts_emitted": self.facts_emitted,
+        }
+        if busy:
+            total = sum(busy)
+            out["shard_busy_seconds"] = [round(b, 4) for b in busy]
+            out["shard_utilization"] = [
+                round(b / total, 3) if total else 0.0 for b in busy
+            ]
+        return out

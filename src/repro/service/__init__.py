@@ -1,0 +1,28 @@
+"""Serving layer: sharded subspace-parallel ingestion + async front-end.
+
+The library discovers situational facts one call at a time; this package
+turns it into a *service*:
+
+* :mod:`repro.service.sharding` — :class:`ShardedDiscoverer` partitions
+  the measure-subspace axis across worker engines (in-process, threaded,
+  or one OS process each) and recombines per-arrival facts in canonical
+  emission order, property-tested identical to the unsharded engine;
+* :mod:`repro.service.server` — :class:`StreamServer`, an asyncio
+  front-end with a bounded ingest queue, adaptive micro-batching,
+  backpressure, fact subscriptions, periodic snapshot checkpointing and
+  graceful drain, plus an optional NDJSON-over-TCP listener.
+"""
+
+from .sharding import (
+    ShardedDiscoverer,
+    canonical_subspace_keys,
+    partition_subspaces,
+)
+from .server import StreamServer
+
+__all__ = [
+    "ShardedDiscoverer",
+    "StreamServer",
+    "canonical_subspace_keys",
+    "partition_subspaces",
+]

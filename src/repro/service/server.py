@@ -1,0 +1,484 @@
+"""Asyncio streaming front-end: bounded queue, micro-batches, drain.
+
+:class:`StreamServer` wraps any engine exposing the
+:class:`~repro.core.engine.FactDiscoverer` streaming API (including
+:class:`~repro.service.sharding.ShardedDiscoverer`) behind an asyncio
+ingest pipeline:
+
+* **bounded ingest queue** — ``await ingest(row)`` blocks once
+  ``queue_limit`` rows are waiting, so fast producers feel backpressure
+  instead of ballooning memory;
+* **adaptive micro-batching** — the consumer coalesces whatever is
+  queued (up to ``batch_max``) into one ``observe_many`` call, waiting
+  at most ``batch_window`` seconds for stragglers: under load batches
+  fill instantly and ingestion runs at columnar batch speed, at low
+  rates the window bounds per-row latency;
+* **fact subscriptions** — any number of consumers iterate
+  ``async for event in server.subscribe()`` to receive each arrival's
+  reportable facts as they are discovered;
+* **checkpointing** — with ``checkpoint_path`` set, a snapshot
+  (:func:`repro.extensions.snapshot.save_engine`, written atomically via
+  a temp file) is taken every ``checkpoint_interval`` seconds and once
+  more on shutdown;
+* **graceful drain** — ``stop()`` (default ``drain=True``) lets every
+  queued row be discovered, flushes subscribers, checkpoints, and only
+  then parks the consumer;
+* an optional **NDJSON-over-TCP listener** (:meth:`serve_tcp`): one JSON
+  object per line — a bare row (or ``{"op": "ingest", "row": …}``)
+  answers ``{"tid": …, "facts": […]}``; ``delete`` / ``stats`` /
+  ``ping`` / ``shutdown`` ops drive the service remotely (the CLI
+  ``serve`` / ``ingest`` commands speak this protocol).
+
+The engine itself stays single-threaded: all engine calls are funnelled
+through one executor job at a time under an asyncio lock (discovery
+order — and therefore output — is exactly the enqueue order).
+"""
+
+from __future__ import annotations
+
+import asyncio
+import json
+import os
+from dataclasses import dataclass, field
+from typing import List, Mapping, Optional, Sequence
+
+from ..core.facts import SituationalFact
+from ..core.record import Record
+from ..metrics.service import ServiceStats
+
+_STOP = object()
+
+
+@dataclass
+class FactEvent:
+    """One processed arrival, as delivered to subscribers."""
+
+    record: Record
+    facts: List[SituationalFact] = field(default_factory=list)
+
+    @property
+    def tid(self) -> int:
+        return self.record.tid
+
+
+class Subscription:
+    """Async iterator over :class:`FactEvent`; obtained from
+    :meth:`StreamServer.subscribe`, detached by :meth:`close` (or
+    automatically when the server stops).
+
+    ``max_pending`` bounds the delivery buffer: a subscriber consuming
+    slower than the ingest rate loses the *oldest* undelivered events
+    (counted in :attr:`dropped`) instead of growing memory without
+    limit — the ingest side's ``queue_limit`` backpressure would
+    otherwise be defeated by one stalled consumer.
+    """
+
+    def __init__(
+        self, server: "StreamServer", only_facts: bool, max_pending: int
+    ) -> None:
+        if max_pending < 1:
+            raise ValueError("max_pending must be >= 1")
+        self._server = server
+        self._only_facts = only_facts
+        self._max_pending = max_pending
+        self._queue: asyncio.Queue = asyncio.Queue()
+        self._closed = False
+        #: Events dropped because the subscriber fell too far behind.
+        self.dropped = 0
+
+    def _publish(self, event: FactEvent) -> None:
+        if self._closed:
+            return
+        if self._only_facts and not event.facts:
+            return
+        while self._queue.qsize() >= self._max_pending:
+            try:
+                self._queue.get_nowait()
+                self.dropped += 1
+            except asyncio.QueueEmpty:  # pragma: no cover - racy guard
+                break
+        self._queue.put_nowait(event)
+
+    def close(self) -> None:
+        if not self._closed:
+            self._closed = True
+            self._server._subscriptions.discard(self)
+            self._queue.put_nowait(_STOP)
+
+    def __aiter__(self) -> "Subscription":
+        return self
+
+    async def __anext__(self) -> FactEvent:
+        event = await self._queue.get()
+        if event is _STOP:
+            raise StopAsyncIteration
+        return event
+
+
+class StreamServer:
+    """Async micro-batching ingestion front-end over a discovery engine.
+
+    Parameters
+    ----------
+    engine:
+        A :class:`FactDiscoverer` or :class:`ShardedDiscoverer` (any
+        object with ``observe_many`` / ``delete`` / ``table`` /
+        ``schema`` / ``config``).
+    queue_limit:
+        Ingest-queue bound; ``ingest`` awaits (backpressure) when full.
+    batch_max:
+        Micro-batch size cap per ``observe_many`` call.
+    batch_window:
+        Seconds to wait for additional rows before running a partial
+        batch (latency bound at low ingest rates).
+    checkpoint_path / checkpoint_interval:
+        Periodic engine snapshots (both must be set to activate).
+    """
+
+    def __init__(
+        self,
+        engine,
+        *,
+        queue_limit: int = 1024,
+        batch_max: int = 256,
+        batch_window: float = 0.002,
+        checkpoint_path: Optional[str] = None,
+        checkpoint_interval: Optional[float] = None,
+        stats: Optional[ServiceStats] = None,
+    ) -> None:
+        if queue_limit < 1:
+            raise ValueError("queue_limit must be >= 1")
+        if batch_max < 1:
+            raise ValueError("batch_max must be >= 1")
+        self.engine = engine
+        self.queue_limit = queue_limit
+        self.batch_max = batch_max
+        self.batch_window = batch_window
+        self.checkpoint_path = checkpoint_path
+        self.checkpoint_interval = checkpoint_interval
+        self.stats = stats or ServiceStats()
+        self._queue: Optional[asyncio.Queue] = None
+        self._consumer: Optional[asyncio.Task] = None
+        self._checkpointer: Optional[asyncio.Task] = None
+        self._stop_task: Optional[asyncio.Task] = None
+        self._engine_lock: Optional[asyncio.Lock] = None
+        self._subscriptions: set = set()
+        self._tcp_servers: List[asyncio.AbstractServer] = []
+        self._stopped = asyncio.Event()
+        self._running = False
+        #: Last engine-side processing failure (surfaced in stats; rows
+        #: of a failed batch are dropped, waiting callers see the
+        #: exception).
+        self.last_error: Optional[Exception] = None
+
+    # ------------------------------------------------------------------
+    # Lifecycle
+    # ------------------------------------------------------------------
+    async def start(self) -> None:
+        """Spin up the consumer (and the checkpointer, if configured)."""
+        if self._running:
+            raise RuntimeError("StreamServer already started")
+        self._queue = asyncio.Queue(maxsize=self.queue_limit)
+        self._engine_lock = asyncio.Lock()
+        self._stopped.clear()
+        self._running = True
+        self._consumer = asyncio.create_task(self._run())
+        if self.checkpoint_path and self.checkpoint_interval:
+            self._checkpointer = asyncio.create_task(self._checkpoint_loop())
+
+    async def stop(self, drain: bool = True) -> None:
+        """Shut down; with ``drain`` (default) every queued row is
+        processed and a final checkpoint is written first."""
+        if not self._running:
+            return
+        self._running = False
+        if drain:
+            await self._queue.join()
+        if self._checkpointer is not None:
+            self._checkpointer.cancel()
+            try:
+                await self._checkpointer
+            except asyncio.CancelledError:
+                pass
+            self._checkpointer = None
+        await self._queue.put(_STOP)
+        await self._consumer
+        self._consumer = None
+        if drain and self.checkpoint_path:
+            await self._checkpoint()
+        for sub in list(self._subscriptions):
+            sub.close()
+        for server in self._tcp_servers:
+            server.close()
+            await server.wait_closed()
+        self._tcp_servers.clear()
+        self._stopped.set()
+
+    async def drain(self) -> None:
+        """Wait until every row enqueued so far has been discovered."""
+        await self._queue.join()
+
+    async def wait_stopped(self) -> None:
+        """Block until :meth:`stop` completes (e.g. a TCP ``shutdown``)."""
+        await self._stopped.wait()
+
+    # ------------------------------------------------------------------
+    # Ingestion API
+    # ------------------------------------------------------------------
+    async def ingest(self, row: Mapping[str, object]) -> None:
+        """Enqueue one row (awaits under backpressure).  Raises
+        :class:`~repro.core.schema.SchemaError` for rows that do not
+        match the engine schema — validation happens here so a bad row
+        cannot poison a whole micro-batch later."""
+        self._check_running()
+        self.engine.schema.project_row(row)
+        await self._queue.put(("row", row, None))
+        self.stats.note_enqueue(self._queue.qsize())
+
+    async def ingest_many(self, rows: Sequence[Mapping[str, object]]) -> None:
+        for row in rows:
+            await self.ingest(row)
+
+    async def ingest_wait(self, row: Mapping[str, object]) -> FactEvent:
+        """Enqueue one row and await its discovery result."""
+        self._check_running()
+        self.engine.schema.project_row(row)
+        future: asyncio.Future = asyncio.get_running_loop().create_future()
+        await self._queue.put(("row", row, future))
+        self.stats.note_enqueue(self._queue.qsize())
+        return await future
+
+    async def delete(self, tid: int) -> None:
+        """Enqueue a deletion (ordered with the surrounding arrivals)."""
+        self._check_running()
+        future: asyncio.Future = asyncio.get_running_loop().create_future()
+        await self._queue.put(("delete", tid, future))
+        await future
+
+    def subscribe(
+        self, only_facts: bool = True, max_pending: int = 65536
+    ) -> Subscription:
+        """Register a fact-stream consumer (``only_facts`` skips
+        arrivals whose reportable set is empty; ``max_pending`` bounds
+        the per-subscriber buffer, dropping oldest on overflow)."""
+        subscription = Subscription(self, only_facts, max_pending)
+        self._subscriptions.add(subscription)
+        return subscription
+
+    def stats_snapshot(self) -> dict:
+        """Current service metrics (queue/batch/shard counters)."""
+        utilization = getattr(self.engine, "utilization", None)
+        if callable(utilization):
+            self.stats.note_shard_utilization(utilization())
+        snap = self.stats.snapshot()
+        snap["table_rows"] = len(self.engine.table)
+        snap["queue_depth"] = self._queue.qsize() if self._queue else 0
+        if self.last_error is not None:
+            snap["last_error"] = str(self.last_error)
+        return snap
+
+    def _check_running(self) -> None:
+        if not self._running:
+            raise RuntimeError("StreamServer is not running")
+
+    # ------------------------------------------------------------------
+    # Consumer: adaptive micro-batching
+    # ------------------------------------------------------------------
+    async def _run(self) -> None:
+        queue = self._queue
+        loop = asyncio.get_running_loop()
+        while True:
+            item = await queue.get()
+            if item is _STOP:
+                queue.task_done()
+                return
+            if item[0] == "delete":
+                await self._apply_delete(item)
+                continue
+            batch = [item]
+            carry = None
+            deadline = loop.time() + self.batch_window
+            while len(batch) < self.batch_max:
+                try:
+                    nxt = queue.get_nowait()
+                except asyncio.QueueEmpty:
+                    remaining = deadline - loop.time()
+                    if remaining <= 0:
+                        break
+                    try:
+                        nxt = await asyncio.wait_for(queue.get(), remaining)
+                    except asyncio.TimeoutError:
+                        break
+                if nxt is _STOP or nxt[0] != "row":
+                    # A deletion (or shutdown) fences the batch: rows
+                    # before it must be discovered first.
+                    carry = nxt
+                    break
+                batch.append(nxt)
+            await self._apply_batch(batch)
+            if carry is _STOP:
+                queue.task_done()
+                return
+            if carry is not None:
+                await self._apply_delete(carry)
+
+    async def _apply_batch(self, batch) -> None:
+        engine = self.engine
+        loop = asyncio.get_running_loop()
+        rows = [row for _, row, _ in batch]
+        try:
+            async with self._engine_lock:
+                results = await loop.run_in_executor(
+                    None, engine.observe_many, rows
+                )
+        except Exception as exc:
+            # Keep the consumer alive: deliver the failure to waiting
+            # callers and record it for fire-and-forget producers
+            # (killing the loop here would deadlock later drain()s).
+            self.last_error = exc
+            for _, _, future in batch:
+                if future is not None and not future.done():
+                    future.set_exception(exc)
+            for _ in batch:
+                self._queue.task_done()
+            return
+        table = engine.table
+        records = [table[len(table) - len(batch) + i] for i in range(len(batch))]
+        emitted = 0
+        for (_, _, future), record, facts in zip(batch, records, results):
+            event = FactEvent(record, facts)
+            emitted += len(facts)
+            if future is not None and not future.done():
+                future.set_result(event)
+            for subscription in list(self._subscriptions):
+                subscription._publish(event)
+            self._queue.task_done()
+        self.stats.note_batch(len(batch), emitted)
+
+    async def _apply_delete(self, item) -> None:
+        _, tid, future = item
+        loop = asyncio.get_running_loop()
+        try:
+            async with self._engine_lock:
+                removed = await loop.run_in_executor(
+                    None, self.engine.delete, tid
+                )
+        except Exception as exc:
+            if future is not None and not future.done():
+                future.set_exception(exc)
+        else:
+            self.stats.deletes += 1
+            if future is not None and not future.done():
+                future.set_result(removed)
+        finally:
+            self._queue.task_done()
+
+    # ------------------------------------------------------------------
+    # Checkpointing
+    # ------------------------------------------------------------------
+    async def _checkpoint_loop(self) -> None:
+        while True:
+            await asyncio.sleep(self.checkpoint_interval)
+            await self._checkpoint()
+
+    async def _checkpoint(self) -> None:
+        from ..extensions.snapshot import save_engine
+
+        loop = asyncio.get_running_loop()
+        path = self.checkpoint_path
+        tmp = f"{path}.tmp"
+
+        def write() -> None:
+            save_engine(self.engine, tmp)
+            os.replace(tmp, path)
+
+        async with self._engine_lock:
+            await loop.run_in_executor(None, write)
+        self.stats.checkpoints += 1
+
+    # ------------------------------------------------------------------
+    # NDJSON-over-TCP front-end
+    # ------------------------------------------------------------------
+    async def serve_tcp(self, host: str = "127.0.0.1", port: int = 0):
+        """Listen for NDJSON clients; returns the asyncio server (its
+        first socket's ``getsockname()`` reveals an ephemeral port)."""
+        self._check_running()
+        server = await asyncio.start_server(self._handle_client, host, port)
+        self._tcp_servers.append(server)
+        return server
+
+    async def _handle_client(self, reader, writer) -> None:
+        from ..core.schema import SchemaError
+
+        schema = self.engine.schema
+
+        async def reply(payload: dict) -> None:
+            writer.write(json.dumps(payload).encode() + b"\n")
+            await writer.drain()
+
+        try:
+            while True:
+                line = await reader.readline()
+                if not line:
+                    break
+                line = line.strip()
+                if not line:
+                    continue
+                try:
+                    message = json.loads(line)
+                except ValueError:
+                    await reply({"error": "invalid JSON"})
+                    continue
+                op = message.get("op", "ingest") if isinstance(message, dict) else None
+                if op == "ingest":
+                    row = message.get("row", message)
+                    if row is message and isinstance(row, dict):
+                        # Bare-row form only: strip the routing key, but
+                        # never from an explicit {"row": …} payload —
+                        # the schema may legitimately have an "op"
+                        # attribute there.
+                        row = dict(row)
+                        row.pop("op", None)
+                    try:
+                        event = await self.ingest_wait(row)
+                    except (SchemaError, RuntimeError, TypeError) as exc:
+                        # TypeError: non-mapping row (e.g. a bare int).
+                        await reply({"error": str(exc)})
+                        continue
+                    await reply(
+                        {
+                            "tid": event.tid,
+                            "facts": [
+                                fact.to_json_dict(schema)
+                                for fact in event.facts
+                            ],
+                        }
+                    )
+                elif op == "delete":
+                    try:
+                        await self.delete(int(message["tid"]))
+                    except (KeyError, TypeError, ValueError, RuntimeError) as exc:
+                        await reply({"error": str(exc)})
+                        continue
+                    await reply({"deleted": int(message["tid"])})
+                elif op == "stats":
+                    await reply({"stats": self.stats_snapshot()})
+                elif op == "ping":
+                    await reply({"ok": True})
+                elif op == "shutdown":
+                    await reply({"stopping": True})
+                    # Pin the task: the loop only holds a weak ref and
+                    # an unreferenced stop() could be collected
+                    # mid-drain, leaving wait_stopped() hanging.
+                    self._stop_task = asyncio.create_task(self.stop())
+                    break
+                else:
+                    await reply({"error": f"unknown op {op!r}"})
+        except (ConnectionResetError, asyncio.IncompleteReadError):
+            pass
+        finally:
+            writer.close()
+            try:
+                await writer.wait_closed()
+            except (ConnectionResetError, OSError):  # pragma: no cover
+                pass

@@ -1,0 +1,622 @@
+"""Subspace-axis sharding: parallel ``svec`` workers behind one router.
+
+The paper's per-arrival work factors cleanly along the measure-subspace
+axis: every per-subspace decision of the vectorized STopDown engine —
+Prop. 4 pruning, fact emission, maximal-constraint promotion, demotion
+repair, the skyline-cardinality index — is derived from the arrival's
+dominance sweep against the *registered* history, never from another
+subspace's store (see :class:`~repro.algorithms.s_vectorized.\
+SVectorized`).  :class:`ShardedDiscoverer` exploits that: ``N`` worker
+engines each run the existing ``svec`` machinery restricted to a
+partition cell of the subspace keys (the shard holding the full measure
+space runs the root pass; the others run pure node passes), and the
+router recombines each arrival's facts in canonical emission order —
+output identical to the unsharded engine in facts, scores, op-counter
+totals and deletions, which ``tests/test_sharding.py`` property-tests.
+
+Division of labour per arrival:
+
+* every worker registers the row into its columnar history (the sweep
+  substrate is deliberately replicated — it is a small fraction of the
+  per-arrival cost and keeps workers share-nothing);
+* each worker walks only its own subspace keys, mutates only its own
+  stores, and answers skyline cardinalities from its own scoring index;
+* the router owns the canonical :class:`~repro.core.record.Table`, the
+  single :class:`~repro.core.prominence.ColumnarContextCounter` (context
+  cardinalities are subspace-independent, so counting them once replaces
+  ``N`` duplicated counters), constraint reconstruction from the
+  workers' pickle-light ``(mask, subspace, skyline)`` columns, and the
+  reporting policy over the merged ``S_t``.
+
+Execution modes: ``serial`` (in-process, deterministic — the testing
+reference), ``thread`` (one single-thread executor per worker), and
+``process`` (one OS process per worker over a pipe, the throughput
+mode — NumPy sweeps and lattice walks run truly in parallel).  Batched
+ingestion is pipelined chunk-wise: while the workers chew on chunk
+``k+1``, the router merges, scores and ranks chunk ``k``.
+"""
+
+from __future__ import annotations
+
+import itertools
+from collections import deque
+from dataclasses import asdict
+from time import perf_counter
+from typing import Dict, Iterable, List, Mapping, Optional, Sequence, Tuple, Union
+
+from ..core.config import DiscoveryConfig
+from ..core.constraint import Constraint, constraint_for_record
+from ..core.facts import FactSet, SituationalFact
+from ..core.lattice import nonempty_subspaces
+from ..core.prominence import ColumnarContextCounter, select_reportable
+from ..core.record import Record, Table
+from ..core.schema import TableSchema
+from ..metrics.counters import OpCounters
+
+Row = Union[Mapping[str, object], Record]
+
+#: Ingestion is pipelined in chunks of this many rows (workers process
+#: chunk k+1 while the router merges chunk k); one pipe message each way
+#: per chunk per worker.
+_PIPELINE_CHUNK = 96
+
+_MODES = ("serial", "thread", "process")
+
+
+def canonical_subspace_keys(
+    schema: TableSchema, config: Optional[DiscoveryConfig] = None
+) -> List[int]:
+    """The maintained subspace keys in canonical emission order.
+
+    Full measure space first (the sharing substrate / root pass), then
+    the remaining non-empty subspaces exactly as the unsharded engine
+    orders them — the merger's sort rank and the partitioner both key
+    off this list.
+    """
+    config = config or DiscoveryConfig()
+    full = schema.full_measure_mask
+    return [full] + [
+        s
+        for s in nonempty_subspaces(full, config.max_measure_dims)
+        if s != full
+    ]
+
+
+#: Load weight of the root (full-space) key relative to a node key in
+#: :func:`partition_subspaces` — the root pass traverses every
+#: constraint and scans every µ bucket along ``C^t``, costing roughly
+#: two node passes on the standard anticorrelated workloads.
+_ROOT_WEIGHT = 2.0
+
+
+def partition_subspaces(
+    keys: Sequence[int], n_workers: int, root_weight: float = _ROOT_WEIGHT
+) -> List[List[int]]:
+    """Partition the canonical keys into ``min(n_workers, len(keys))``
+    non-empty shards, balancing load greedily.
+
+    Shard 0 receives the first key (the full space, hence the root
+    pass) at ``root_weight`` node-key equivalents; each remaining key
+    goes to the currently lightest shard (ties to the lowest index), so
+    the root shard carries correspondingly fewer node keys and the
+    slowest worker — the parallel wall-clock — stays minimal.
+
+    >>> partition_subspaces([7, 1, 2, 4, 3], 2)
+    [[7, 4], [1, 2, 3]]
+    >>> partition_subspaces([7, 1], 4)
+    [[7], [1]]
+    >>> partition_subspaces([7, 1, 2], 1)
+    [[7, 1, 2]]
+    """
+    if n_workers < 1:
+        raise ValueError("n_workers must be >= 1")
+    n = min(n_workers, len(keys))
+    if n == 1:
+        return [list(keys)]
+    shards: List[List[int]] = [[] for _ in range(n)]
+    loads = [0.0] * n
+    shards[0].append(keys[0])
+    loads[0] = root_weight
+    for index, key in enumerate(keys[1:]):
+        # Seed every shard before balancing so none ends up empty.
+        target = index + 1 if index + 1 < n else min(
+            range(n), key=loads.__getitem__
+        )
+        shards[target].append(key)
+        loads[target] += 1.0
+    return shards
+
+
+# ----------------------------------------------------------------------
+# Worker side: one shard-restricted svec engine + columnar reply format
+# ----------------------------------------------------------------------
+
+#: Ingest reply: per-row fact counts, flat bound-mask / subspace /
+#: skyline-size columns (skyline ``None`` when unscored), busy seconds.
+IngestReply = Tuple[
+    List[int], List[int], List[int], Optional[List[int]], float
+]
+
+
+class _ShardEngine:
+    """The in-worker compute core (shared by every execution mode)."""
+
+    def __init__(
+        self,
+        schema: TableSchema,
+        config: DiscoveryConfig,
+        shard: Sequence[int],
+        score: bool,
+    ) -> None:
+        from ..algorithms.s_vectorized import SVectorized
+
+        self.algorithm = SVectorized(schema, config, shard_subspaces=shard)
+        self.score = score
+
+    def ingest(self, rows: List[Mapping[str, object]]) -> IngestReply:
+        start = perf_counter()
+        algorithm = self.algorithm
+        algorithm.reserve(len(rows))
+        counts: List[int] = []
+        masks: List[int] = []
+        subs: List[int] = []
+        skys: Optional[List[int]] = [] if self.score else None
+        for row in rows:
+            facts = algorithm.process(row)
+            before = len(masks)
+            if skys is not None:
+                sizes = algorithm.skyline_sizes(facts)
+                for pair in facts.iter_pairs():
+                    masks.append(pair[0].bound_mask)
+                    subs.append(pair[1])
+                    skys.append(sizes[pair])
+            else:
+                for constraint, subspace in facts.iter_pairs():
+                    masks.append(constraint.bound_mask)
+                    subs.append(subspace)
+            counts.append(len(masks) - before)
+        return counts, masks, subs, skys, perf_counter() - start
+
+    def delete(self, tid: int) -> None:
+        self.algorithm.retract(tid)
+
+    def counters(self) -> Dict[str, int]:
+        return self.algorithm.counters.snapshot()
+
+
+def _build_shard_engine(spec: Mapping[str, object]) -> _ShardEngine:
+    schema = TableSchema(
+        dimensions=tuple(spec["dimensions"]),
+        measures=tuple(spec["measures"]),
+        preferences=dict(spec["preferences"]),
+    )
+    return _ShardEngine(
+        schema,
+        DiscoveryConfig(**spec["config"]),
+        list(spec["shard"]),
+        bool(spec["score"]),
+    )
+
+
+def _shard_worker_main(conn, spec) -> None:
+    """Entry point of one shard process: serve ops off the pipe FIFO."""
+    engine = _build_shard_engine(spec)
+    while True:
+        try:
+            op, payload = conn.recv()
+        except EOFError:
+            break
+        if op == "rows":
+            conn.send(engine.ingest(payload))
+        elif op == "delete":
+            engine.delete(payload)
+        elif op == "counters":
+            conn.send(engine.counters())
+        elif op == "stop":
+            break
+    conn.close()
+
+
+class _InlineWorker:
+    """Serial mode: compute happens lazily at :meth:`result` so the
+    router's pipelining logic stays mode-agnostic."""
+
+    def __init__(self, engine: _ShardEngine) -> None:
+        self._engine = engine
+        self._pending: deque = deque()
+        self.busy_seconds = 0.0
+
+    def submit_rows(self, rows) -> None:
+        self._pending.append(rows)
+
+    def result(self) -> IngestReply:
+        reply = self._engine.ingest(self._pending.popleft())
+        self.busy_seconds += reply[4]
+        return reply
+
+    def delete(self, tid: int) -> None:
+        self._engine.delete(tid)
+
+    def counters(self) -> Dict[str, int]:
+        return self._engine.counters()
+
+    def close(self) -> None:
+        pass
+
+
+class _ThreadWorker:
+    """Thread mode: one single-thread executor per worker — per-worker
+    FIFO (the engine is not thread-safe), parallel across workers."""
+
+    def __init__(self, engine: _ShardEngine) -> None:
+        from concurrent.futures import ThreadPoolExecutor
+
+        self._engine = engine
+        self._pool = ThreadPoolExecutor(max_workers=1)
+        self._futures: deque = deque()
+        self.busy_seconds = 0.0
+
+    def submit_rows(self, rows) -> None:
+        self._futures.append(self._pool.submit(self._engine.ingest, rows))
+
+    def result(self) -> IngestReply:
+        reply = self._futures.popleft().result()
+        self.busy_seconds += reply[4]
+        return reply
+
+    def delete(self, tid: int) -> None:
+        self._pool.submit(self._engine.delete, tid).result()
+
+    def counters(self) -> Dict[str, int]:
+        return self._pool.submit(self._engine.counters).result()
+
+    def close(self) -> None:
+        self._pool.shutdown(wait=True)
+
+
+class _ProcessWorker:
+    """Process mode: one OS process per shard over a duplex pipe.
+
+    The protocol is strictly FIFO and the router never interleaves a
+    counters/ingest request with an outstanding ingest reply, so plain
+    ``send``/``recv`` pairing is safe.
+    """
+
+    def __init__(self, spec: Mapping[str, object], ctx) -> None:
+        self._conn, child = ctx.Pipe()
+        self._process = ctx.Process(
+            target=_shard_worker_main, args=(child, spec), daemon=True
+        )
+        self._process.start()
+        child.close()
+        self.busy_seconds = 0.0
+
+    def submit_rows(self, rows) -> None:
+        self._conn.send(("rows", rows))
+
+    def result(self) -> IngestReply:
+        reply = self._conn.recv()
+        self.busy_seconds += reply[4]
+        return reply
+
+    def delete(self, tid: int) -> None:
+        self._conn.send(("delete", tid))
+
+    def counters(self) -> Dict[str, int]:
+        self._conn.send(("counters", None))
+        return self._conn.recv()
+
+    def close(self) -> None:
+        try:
+            self._conn.send(("stop", None))
+        except (OSError, ValueError):
+            pass
+        self._process.join(timeout=5)
+        if self._process.is_alive():  # pragma: no cover - defensive
+            self._process.terminate()
+            self._process.join(timeout=5)
+        self._conn.close()
+
+
+# ----------------------------------------------------------------------
+# Router
+# ----------------------------------------------------------------------
+class ShardedDiscoverer:
+    """Drop-in :class:`~repro.core.engine.FactDiscoverer` running the
+    subspace axis across ``n_workers`` shard engines.
+
+    Parameters
+    ----------
+    schema, config, score:
+        As for the engine; workers always run the ``svec`` algorithm.
+    n_workers:
+        Requested shard count; clamped to the number of maintained
+        subspace keys (every shard must own at least one).
+    mode:
+        ``"serial"`` (in-process), ``"thread"`` or ``"process"``.
+    chunk_size:
+        Pipelining granularity of the batched API (rows per worker
+        round-trip).
+    """
+
+    def __init__(
+        self,
+        schema: TableSchema,
+        config: Optional[DiscoveryConfig] = None,
+        n_workers: int = 2,
+        mode: str = "process",
+        score: bool = True,
+        chunk_size: int = _PIPELINE_CHUNK,
+    ) -> None:
+        if mode not in _MODES:
+            raise ValueError(f"mode must be one of {_MODES}, got {mode!r}")
+        if chunk_size < 1:
+            raise ValueError("chunk_size must be >= 1")
+        config = config or DiscoveryConfig()
+        if not score and (config.tau is not None or config.top_k is not None):
+            raise ValueError(
+                "tau/top_k reporting needs prominence scores; "
+                "score=False would silently report nothing"
+            )
+        self.schema = schema
+        self.config = config
+        self.score = score
+        self.mode = mode
+        self.chunk_size = chunk_size
+        self.table = Table(schema)
+        self.context_counter = ColumnarContextCounter(
+            schema.n_dimensions, config.max_bound_dims
+        )
+        keys = canonical_subspace_keys(schema, config)
+        self.shards = partition_subspaces(keys, n_workers)
+        self.n_workers = len(self.shards)
+        #: Merge rank: canonical position of each subspace key.
+        self._rank = {key: i for i, key in enumerate(keys)}
+        self._cons_memo: Dict[Tuple[object, ...], Dict[int, Constraint]] = {}
+        self._workers = self._spawn_workers()
+        self._closed = False
+
+    def _spawn_workers(self):
+        if self.mode == "process":
+            import multiprocessing as mp
+
+            method = "fork" if "fork" in mp.get_all_start_methods() else "spawn"
+            ctx = mp.get_context(method)
+            return [
+                _ProcessWorker(self._worker_spec(shard), ctx)
+                for shard in self.shards
+            ]
+        engines = [
+            _ShardEngine(self.schema, self.config, shard, self.score)
+            for shard in self.shards
+        ]
+        cls = _ThreadWorker if self.mode == "thread" else _InlineWorker
+        return [cls(engine) for engine in engines]
+
+    def _worker_spec(self, shard: Sequence[int]) -> Dict[str, object]:
+        """Pickle-light worker description (spawn-safe)."""
+        return {
+            "dimensions": tuple(self.schema.dimensions),
+            "measures": tuple(self.schema.measures),
+            "preferences": dict(self.schema.preferences),
+            "config": asdict(self.config),
+            "shard": list(shard),
+            "score": self.score,
+        }
+
+    # ------------------------------------------------------------------
+    # Streaming API (FactDiscoverer-compatible)
+    # ------------------------------------------------------------------
+    def observe(self, row: Row) -> List[SituationalFact]:
+        """Process one arriving tuple and return its reportable facts."""
+        return self.observe_many([row])[0]
+
+    def facts_for(self, row: Row) -> FactSet:
+        """Process one tuple and return the full (scored) ``S_t``."""
+        return self.facts_for_many([row])[0]
+
+    def observe_many(self, rows: Iterable[Row]) -> List[List[SituationalFact]]:
+        """Batched :meth:`observe`: one reportable-fact list per row."""
+        return [
+            select_reportable(facts, self.config)
+            for facts in self.facts_for_many(rows)
+        ]
+
+    def facts_for_many(self, rows: Iterable[Row]) -> List[FactSet]:
+        """Batched :meth:`facts_for`, pipelined chunk-wise across the
+        workers (the router merges chunk ``k`` while the shards process
+        chunk ``k+1``)."""
+        self._check_open()
+        out: List[FactSet] = []
+        rows = iter(rows)
+        pending: Optional[List[Record]] = None
+        while True:
+            try:
+                chunk = list(itertools.islice(rows, self.chunk_size))
+                records, payload = self._admit(chunk) if chunk else ([], [])
+            except Exception:
+                # A bad row (or row iterator) must not leave a
+                # submitted chunk unmerged — collect it first so the
+                # router, counter and workers stay consistent, exactly
+                # like the unsharded engine raising mid-stream.
+                if pending is not None:
+                    self._merge_chunk(pending)
+                raise
+            if chunk:
+                for worker in self._workers:
+                    worker.submit_rows(payload)
+            if pending is not None:
+                out.extend(self._merge_chunk(pending))
+            if not chunk:
+                break
+            pending = records
+        return out
+
+    def delete(self, tid: int) -> Record:
+        """Remove a previously observed tuple on every shard (§VIII)."""
+        self._check_open()
+        removed = self.table.delete(tid)
+        for worker in self._workers:
+            worker.delete(tid)
+        self.context_counter.unregister(removed)
+        return removed
+
+    def update(self, tid: int, row: Mapping[str, object]) -> List[SituationalFact]:
+        """Replace a previously observed tuple (retract-then-observe)."""
+        self.delete(tid)
+        return self.observe(row)
+
+    # ------------------------------------------------------------------
+    # Admission + merge
+    # ------------------------------------------------------------------
+    def _admit(
+        self, chunk: List[Row]
+    ) -> Tuple[List[Record], List[Mapping[str, object]]]:
+        """Append the chunk to the canonical table and render the
+        pickle-light row payload the workers re-project (worker tid
+        assignment tracks the router's ``Table`` counter exactly).
+
+        Every row is validated/normalised *before* anything is
+        appended: a malformed row mid-chunk must raise without mutating
+        the table, or the router and the workers would desync for the
+        rest of the stream.
+        """
+        staged: List[Record] = []
+        for row in chunk:
+            if isinstance(row, Record):
+                staged.append(row)
+            else:
+                # Raises SchemaError on missing attributes or
+                # non-numeric measures; tids are re-assigned on append.
+                staged.append(self.table.make_record(row))
+        records: List[Record] = []
+        payload: List[Mapping[str, object]] = []
+        for row, made in zip(chunk, staged):
+            record = self.table.append(made)
+            records.append(record)
+            payload.append(
+                row if isinstance(row, Mapping) else record.as_dict(self.schema)
+            )
+        return records, payload
+
+    def _constraints_for(self, record: Record) -> Dict[int, Constraint]:
+        """Per-dims memo of ``mask → Constraint`` (mirrors the
+        algorithms' ``constraint_cache``, filled lazily per mask)."""
+        cached = self._cons_memo.get(record.dims)
+        if cached is None:
+            if len(self._cons_memo) >= 16384:
+                self._cons_memo.pop(next(iter(self._cons_memo)))
+            cached = self._cons_memo[record.dims] = {}
+        return cached
+
+    def _merge_chunk(self, records: List[Record]) -> List[FactSet]:
+        """Recombine one chunk's worker replies in canonical order.
+
+        Each worker emits its facts subspace-major in *its* key order,
+        which is a subsequence of the global canonical order — so the
+        merge is a stable sort of per-subspace segments by global rank,
+        and within a segment the worker's ``masks_top_down`` order is
+        already the scalar engine's.
+        """
+        replies = [worker.result() for worker in self._workers]
+        rank = self._rank
+        score = self.score
+        counter = self.context_counter
+        cursors = [0] * len(replies)
+        out: List[FactSet] = []
+        for i, record in enumerate(records):
+            counter.register(record)
+            ctx_by_mask = counter.counts_for_dims(record.dims) if score else None
+            cons = self._constraints_for(record)
+            segments = []
+            for w, reply in enumerate(replies):
+                counts, masks, subs, _skys, _busy = reply
+                start = cursors[w]
+                stop = start + counts[i]
+                cursors[w] = stop
+                j = start
+                while j < stop:
+                    subspace = subs[j]
+                    run_end = j + 1
+                    while run_end < stop and subs[run_end] == subspace:
+                        run_end += 1
+                    segments.append((rank[subspace], w, j, run_end))
+                    j = run_end
+            segments.sort()
+            facts = FactSet(record)
+            context_col: List[int] = []
+            skyline_col: List[int] = []
+            for _, w, start, stop in segments:
+                _counts, masks, subs, skys, _busy = replies[w]
+                subspace = subs[start]
+                run_cons = []
+                for j in range(start, stop):
+                    mask = masks[j]
+                    constraint = cons.get(mask)
+                    if constraint is None:
+                        constraint = cons[mask] = constraint_for_record(
+                            record, mask
+                        )
+                    run_cons.append(constraint)
+                    if score:
+                        context_col.append(ctx_by_mask.get(mask, 0))
+                        skyline_col.append(skys[j])
+                facts.add_pairs(run_cons, [subspace] * len(run_cons))
+            if score:
+                facts.set_scores(context_col, skyline_col)
+            out.append(facts)
+        return out
+
+    # ------------------------------------------------------------------
+    # Introspection / lifecycle
+    # ------------------------------------------------------------------
+    @property
+    def counters(self) -> OpCounters:
+        """Summed operation counters across all shards (equals the
+        unsharded engine's totals — the subspace keys partition)."""
+        self._check_open()
+        total = OpCounters()
+        for worker in self._workers:
+            snap = worker.counters()
+            total.comparisons += snap["comparisons"]
+            total.traversed_constraints += snap["traversed_constraints"]
+            total.stored_tuples += snap["stored_tuples"]
+            total.file_reads += snap["file_reads"]
+            total.file_writes += snap["file_writes"]
+        return total
+
+    @property
+    def algorithm_name(self) -> str:
+        return "svec"
+
+    def utilization(self) -> List[float]:
+        """Cumulative busy seconds per shard (ingest compute only) —
+        the service metrics read shard balance off this."""
+        return [worker.busy_seconds for worker in self._workers]
+
+    def __len__(self) -> int:
+        return len(self.table)
+
+    def close(self) -> None:
+        """Shut the workers down (idempotent)."""
+        if self._closed:
+            return
+        self._closed = True
+        for worker in self._workers:
+            worker.close()
+
+    def _check_open(self) -> None:
+        if self._closed:
+            raise RuntimeError("ShardedDiscoverer is closed")
+
+    def __enter__(self) -> "ShardedDiscoverer":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.close()
+
+    def __repr__(self) -> str:
+        return (
+            f"ShardedDiscoverer(workers={self.n_workers}, "
+            f"mode={self.mode!r}, n={len(self.table)})"
+        )

@@ -87,8 +87,10 @@ class SkylineStore(abc.ABC):
         """Incremental skyline-cardinality index for prominence scoring,
         or ``None`` when the store keeps none (the generic path).
 
-        When maintained (see the columnar store), ``index[M][m][key]``
-        is ``|λ_M(σ_C)|`` for the constraint binding dimension values
+        When maintained (see the columnar store), the index is one flat
+        dict keyed by the packed ``(subspace, mask)`` integer (the
+        store's ``score_key``): ``index[score_key(M, m)][key]`` is
+        ``|λ_M(σ_C)|`` for the constraint binding dimension values
         ``key`` at bound mask ``m`` — resolved by one dict lookup per
         fact instead of an Invariant-2 store sweep.  Like
         :meth:`anchor_masks`, it is only meaningful for stores filled by

@@ -217,16 +217,20 @@ class ColumnarSkylineStore(SkylineStore):
         self._bits_ok = False
         self._bits_dtype = None
         self._bit_weights = None
-        # Scoring index: subspace → fact mask → (dimension values at the
-        # mask's positions → count).  Entry ``(M, m, key)`` counts the
+        # Scoring index, flattened to one ``(subspace, mask)``-keyed
+        # level: ``(M << n) | m`` → (dimension values at ``m``'s
+        # positions → count).  Entry ``(M, m, key)`` counts the
         # distinct tuples anchored in ``M`` at ``m`` or an ancestor of
         # ``m`` whose dimension values at ``m``'s positions equal
         # ``key`` — by Invariant 2 exactly ``|λ_M(σ_C)|`` for the
-        # constraint binding ``key`` at ``m``.  Built lazily on first
-        # use, then maintained by anchor-bitset flips on every
-        # insert/delete, so prominence scoring is O(1) per fact
-        # regardless of history size.
-        self._score_index: Optional[Dict[int, Dict[int, Dict[tuple, int]]]] = None
+        # constraint binding ``key`` at ``m``.  The packed integer key
+        # (see :meth:`score_key`) replaces the former two-level
+        # subspace → mask nesting: every flip and every probe is one
+        # dict access, and shard-restricted stores carry no per-subspace
+        # scaffolding.  Built lazily on first use, then maintained by
+        # anchor-bitset flips on every insert/delete, so prominence
+        # scoring is O(1) per fact regardless of history size.
+        self._score_index: Optional[Dict[int, Dict[tuple, int]]] = None
         self._up_table: Optional[Tuple[int, ...]] = None
         self._mask_keys: Optional[Tuple] = None
         # Memo: flipped-bitset → tuple of fact-mask ids (flip patterns
@@ -501,13 +505,14 @@ class ColumnarSkylineStore(SkylineStore):
         """Apply an anchor-bitset flip to the scoring index: each set bit
         of ``flipped`` is a fact mask whose ``|λ_M(σ_C)|`` gains or
         loses this tuple."""
-        space = self._score_index.setdefault(subspace, {})
+        index = self._score_index
+        base = subspace << self._n_dimensions
         keys = self._mask_keys
         if delta > 0:
             for fact_mask in self._flipped_masks(flipped):
-                table = space.get(fact_mask)
+                table = index.get(base | fact_mask)
                 if table is None:
-                    table = space[fact_mask] = defaultdict(int)
+                    table = index[base | fact_mask] = defaultdict(int)
                 table[keys[fact_mask](dims)] += delta
             return
         for fact_mask in self._flipped_masks(flipped):
@@ -515,7 +520,7 @@ class ColumnarSkylineStore(SkylineStore):
             # counted when its anchor covered this mask); skip instead
             # of materialising empty tables if the invariant is ever
             # violated.
-            table = space.get(fact_mask)
+            table = index.get(base | fact_mask)
             if table is None:
                 continue
             key = keys[fact_mask](dims)
@@ -528,10 +533,12 @@ class ColumnarSkylineStore(SkylineStore):
     def scoring_index(self):
         """The live skyline-cardinality index, building it on first use.
 
-        ``index[M][m][key]`` is ``|λ_M(σ_C)|`` for the constraint
-        binding dimension values ``key`` at mask ``m``'s positions —
-        the count of distinct tuples anchored in ``M`` at ``m`` or an
-        ancestor whose dims match ``key`` (Invariant 2).  ``None`` when
+        ``index[self.score_key(M, m)][key]`` is ``|λ_M(σ_C)|`` for the
+        constraint binding dimension values ``key`` at mask ``m``'s
+        positions — the count of distinct tuples anchored in ``M`` at
+        ``m`` or an ancestor whose dims match ``key`` (Invariant 2).
+        The index is one flat dict keyed by the packed ``(subspace,
+        mask)`` integer, so a probe is a single access.  ``None`` when
         the store cannot maintain it (dimensionality beyond the mask
         -lattice cap).  Unscored ingestion never pays for it: the build
         happens on the first scoring call, after which every
@@ -560,6 +567,17 @@ class ColumnarSkylineStore(SkylineStore):
         """``mask → (dims → key-tuple)`` builders for the scoring-index
         keys (``None`` before the layout is known)."""
         return self._mask_keys
+
+    @property
+    def score_shift(self) -> Optional[int]:
+        """Bit width of the fact-mask field inside a packed scoring-index
+        key — callers probing one subspace many times precompute
+        ``subspace << score_shift`` once and OR masks in."""
+        return self._n_dimensions
+
+    def score_key(self, subspace: int, fact_mask: int) -> int:
+        """The flat scoring-index key for ``(subspace, fact_mask)``."""
+        return (subspace << self._n_dimensions) | fact_mask
 
     _NO_ANCHORS: frozenset = frozenset()
 

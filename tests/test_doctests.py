@@ -16,6 +16,7 @@ import repro.core.record
 import repro.core.schema
 import repro.index.kdtree
 import repro.query.parser
+import repro.service.sharding
 import repro.storage.columnar_store
 
 MODULES = [
@@ -26,6 +27,7 @@ MODULES = [
     repro.core.engine,
     repro.index.kdtree,
     repro.query.parser,
+    repro.service.sharding,
     repro.storage.columnar_store,
 ]
 

@@ -1,0 +1,331 @@
+"""StreamServer behaviour: micro-batching, backpressure, drain,
+subscriptions, checkpoint round-trips, and the NDJSON TCP front-end."""
+
+import asyncio
+import json
+
+import pytest
+
+from repro import DiscoveryConfig, FactDiscoverer, TableSchema
+from repro.core.schema import SchemaError
+from repro.extensions.snapshot import load_engine
+from repro.service import ShardedDiscoverer, StreamServer
+
+SCHEMA = TableSchema(("d0", "d1"), ("m0", "m1"))
+
+
+def make_rows(n):
+    return [
+        {"d0": f"a{i % 3}", "d1": f"b{i % 2}", "m0": i % 5, "m1": (7 - i) % 5}
+        for i in range(n)
+    ]
+
+
+def fact_key(fact):
+    return (fact.constraint.values, fact.subspace, fact.prominence)
+
+
+class TestMicroBatching:
+    def test_output_equals_direct_engine(self):
+        rows = make_rows(30)
+        direct = FactDiscoverer(SCHEMA, algorithm="svec")
+        expected = [[fact_key(f) for f in fs] for fs in direct.observe_many(rows)]
+
+        async def run():
+            server = StreamServer(
+                FactDiscoverer(SCHEMA, algorithm="svec"),
+                batch_max=8,
+                batch_window=0.001,
+            )
+            await server.start()
+            sub = server.subscribe(only_facts=False)
+            await server.ingest_many(rows)
+            await server.stop()  # drains, then closes the subscription
+            events = [event async for event in sub]
+            return events, server
+
+        events, server = asyncio.run(run())
+        assert len(events) == len(rows)
+        assert [e.tid for e in events] == list(range(len(rows)))
+        got = [[fact_key(f) for f in e.facts] for e in events]
+        assert got == expected
+        assert server.stats.processed_rows == len(rows)
+        assert server.stats.batches <= len(rows)
+        assert server.stats.facts_emitted == sum(len(g) for g in got)
+
+    def test_batches_coalesce_under_load(self):
+        rows = make_rows(40)
+
+        async def run():
+            server = StreamServer(
+                FactDiscoverer(SCHEMA, algorithm="svec"),
+                queue_limit=64,
+                batch_max=16,
+                batch_window=0.05,
+            )
+            await server.start()
+            # Enqueue everything before the consumer can drain it —
+            # batches must coalesce well beyond one row each.
+            for row in rows:
+                await server.ingest(row)
+            await server.stop()
+            return server
+
+        server = asyncio.run(run())
+        assert server.stats.processed_rows == len(rows)
+        assert server.stats.batches < len(rows)
+        assert server.stats.batch_rows_max > 1
+
+    def test_ingest_wait_returns_event(self):
+        async def run():
+            server = StreamServer(FactDiscoverer(SCHEMA, algorithm="svec"))
+            await server.start()
+            event = await server.ingest_wait(make_rows(1)[0])
+            await server.stop()
+            return event
+
+        event = asyncio.run(run())
+        assert event.tid == 0
+        assert event.facts  # the first arrival is always reportable
+
+    def test_slow_subscriber_buffer_is_bounded(self):
+        rows = make_rows(20)
+
+        async def run():
+            server = StreamServer(FactDiscoverer(SCHEMA, algorithm="svec"))
+            await server.start()
+            sub = server.subscribe(only_facts=False, max_pending=5)
+            await server.ingest_many(rows)
+            await server.drain()
+            await server.stop()
+            events = [event async for event in sub]
+            return sub, events
+
+        sub, events = asyncio.run(run())
+        # Oldest events were dropped; the newest max_pending survive.
+        assert len(events) == 5
+        assert sub.dropped == len(rows) - 5
+        assert [e.tid for e in events] == list(range(15, 20))
+
+    def test_invalid_row_rejected_at_ingest(self):
+        async def run():
+            server = StreamServer(FactDiscoverer(SCHEMA, algorithm="svec"))
+            await server.start()
+            with pytest.raises(SchemaError):
+                await server.ingest({"bogus": 1})
+            await server.stop()
+            return server
+
+        server = asyncio.run(run())
+        assert server.stats.enqueued == 0
+
+
+class TestBackpressureAndDrain:
+    def test_queue_stays_bounded_under_fast_producer(self):
+        rows = make_rows(60)
+        limit = 4
+
+        async def run():
+            server = StreamServer(
+                FactDiscoverer(SCHEMA, algorithm="svec"),
+                queue_limit=limit,
+                batch_max=4,
+                batch_window=0.0,
+            )
+            await server.start()
+            for row in rows:
+                await server.ingest(row)  # awaits whenever the queue is full
+            await server.stop()
+            return server
+
+        server = asyncio.run(run())
+        assert server.stats.processed_rows == len(rows)
+        assert server.stats.queue_depth_max <= limit
+
+    def test_graceful_drain_on_stop(self):
+        rows = make_rows(25)
+
+        async def run():
+            engine = FactDiscoverer(SCHEMA, algorithm="svec")
+            server = StreamServer(engine, queue_limit=64, batch_max=8)
+            await server.start()
+            for row in rows:
+                await server.ingest(row)
+            # Stop immediately: drain must still discover every row.
+            await server.stop(drain=True)
+            return engine, server
+
+        engine, server = asyncio.run(run())
+        assert len(engine.table) == len(rows)
+        assert server.stats.processed_rows == len(rows)
+
+    def test_deletion_fences_batches(self):
+        rows = make_rows(10)
+
+        async def run():
+            engine = FactDiscoverer(SCHEMA, algorithm="svec")
+            server = StreamServer(engine, batch_max=32, batch_window=0.05)
+            await server.start()
+            for row in rows[:5]:
+                await server.ingest(row)
+            await server.delete(2)
+            for row in rows[5:]:
+                await server.ingest(row)
+            await server.stop()
+            return engine, server
+
+        engine, server = asyncio.run(run())
+        assert server.stats.deletes == 1
+        assert len(engine.table) == len(rows) - 1
+        assert all(record.tid != 2 for record in engine.table)
+
+    def test_delete_unknown_tid_raises(self):
+        async def run():
+            server = StreamServer(FactDiscoverer(SCHEMA, algorithm="svec"))
+            await server.start()
+            with pytest.raises(KeyError):
+                await server.delete(99)
+            await server.stop()
+
+        asyncio.run(run())
+
+
+class TestCheckpointing:
+    def test_periodic_checkpoint_and_restore(self, tmp_path):
+        rows = make_rows(20)
+        path = str(tmp_path / "ckpt.json")
+
+        async def run():
+            engine = ShardedDiscoverer(
+                SCHEMA,
+                DiscoveryConfig(max_bound_dims=1),
+                n_workers=2,
+                mode="serial",
+            )
+            server = StreamServer(
+                engine,
+                checkpoint_path=path,
+                checkpoint_interval=0.02,
+                batch_max=4,
+            )
+            await server.start()
+            await server.ingest_many(rows)
+            await server.drain()
+            await asyncio.sleep(0.05)  # let the periodic checkpointer fire
+            await server.stop()
+            return engine, server
+
+        engine, server = asyncio.run(run())
+        assert server.stats.checkpoints >= 1
+        with open(path) as fh:
+            doc = json.load(fh)
+        assert doc["format_version"] == 2
+        assert doc["meta"]["engine"] == "sharded"
+        assert doc["meta"]["score"] is True
+        restored = load_engine(path)
+        assert isinstance(restored, ShardedDiscoverer)
+        assert len(restored.table) == len(engine.table)
+        assert restored.config.max_bound_dims == 1
+        # Same future behaviour after restore.
+        probe = {"d0": "zz", "d1": "b0", "m0": 4, "m1": 4}
+        assert [fact_key(f) for f in restored.observe(probe)] == [
+            fact_key(f) for f in engine.observe(probe)
+        ]
+        restored.close()
+        engine.close()
+
+
+class TestSnapshotVersions:
+    def test_v1_snapshot_still_loads(self, tmp_path):
+        """Version-1 files (no meta section) load with old defaults."""
+        engine = FactDiscoverer(SCHEMA, algorithm="stopdown")
+        rows = make_rows(5)
+        for row in rows:
+            engine.observe(row)
+        doc = {
+            "format_version": 1,
+            "algorithm": "stopdown",
+            "schema": {
+                "dimensions": list(SCHEMA.dimensions),
+                "measures": list(SCHEMA.measures),
+                "preferences": {},
+            },
+            "config": {
+                "max_bound_dims": None,
+                "max_measure_dims": None,
+                "tau": None,
+                "top_k": None,
+            },
+            "rows": [r.as_dict(SCHEMA) for r in engine.table],
+        }
+        path = tmp_path / "v1.json"
+        path.write_text(json.dumps(doc))
+        loaded = load_engine(str(path))
+        assert isinstance(loaded, FactDiscoverer)
+        assert loaded.score is True
+        assert len(loaded.table) == len(rows)
+        probe = {"d0": "q", "d1": "b1", "m0": 4, "m1": 4}
+        assert [fact_key(f) for f in loaded.observe(probe)] == [
+            fact_key(f) for f in engine.observe(probe)
+        ]
+
+    def test_v2_meta_score_flag_round_trips(self, tmp_path):
+        from repro.extensions.snapshot import save_engine
+
+        engine = FactDiscoverer(SCHEMA, algorithm="svec", score=False)
+        engine.observe(make_rows(1)[0])
+        path = str(tmp_path / "unscored.json")
+        save_engine(engine, path)
+        doc = json.loads(open(path).read())
+        assert doc["format_version"] == 2
+        assert doc["meta"] == {"score": False, "engine": "single"}
+        loaded = load_engine(path)
+        assert loaded.score is False
+        # Explicit override still wins.
+        assert load_engine(path, score=True).score is True
+
+
+class TestTcpFrontend:
+    def test_ndjson_round_trip(self):
+        rows = make_rows(6)
+
+        async def run():
+            engine = ShardedDiscoverer(SCHEMA, n_workers=2, mode="serial")
+            server = StreamServer(engine)
+            await server.start()
+            listener = await server.serve_tcp("127.0.0.1", 0)
+            port = listener.sockets[0].getsockname()[1]
+            reader, writer = await asyncio.open_connection("127.0.0.1", port)
+
+            async def call(payload):
+                writer.write(json.dumps(payload).encode() + b"\n")
+                await writer.drain()
+                return json.loads(await reader.readline())
+
+            replies = [await call({"op": "ingest", "row": row}) for row in rows]
+            bare = await call(rows[0])  # bare row == ingest op
+            bad = await call({"op": "ingest", "row": {"nope": 1}})
+            # Malformed payloads get error replies, not a dead socket.
+            bad_type = await call({"op": "ingest", "row": 5})
+            bad_tid = await call({"op": "delete", "tid": None})
+            assert "error" in bad_type and "error" in bad_tid
+            deleted = await call({"op": "delete", "tid": 1})
+            stats = await call({"op": "stats"})
+            stopping = await call({"op": "shutdown"})
+            writer.close()
+            await server.wait_stopped()
+            engine.close()
+            return replies, bare, bad, deleted, stats, stopping, engine
+
+        replies, bare, bad, deleted, stats, stopping, engine = asyncio.run(run())
+        assert [r["tid"] for r in replies] == list(range(6))
+        assert all("facts" in r for r in replies)
+        assert replies[0]["facts"]  # first arrival dominates everything
+        assert bare["tid"] == 6
+        assert "error" in bad
+        assert deleted == {"deleted": 1}
+        assert stats["stats"]["processed_rows"] == 7
+        assert stats["stats"]["deletes"] == 1
+        assert "shard_utilization" in stats["stats"]
+        assert stopping == {"stopping": True}
+        assert len(engine.table) == 6  # 7 arrivals − 1 deletion

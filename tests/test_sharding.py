@@ -1,0 +1,311 @@
+"""Sharded subspace-parallel ingestion ≡ the unsharded engines.
+
+The service layer's exactness claim: partitioning the measure-subspace
+axis across ``svec`` workers and recombining per-arrival facts must be
+*output-invisible* — same facts in the same emission order, same
+context/skyline cardinalities, same reportable selections, and the same
+op-counter totals as both the unsharded ``svec`` engine and the scalar
+``stopdown`` reference, across shard counts, execution modes,
+deletion-interleaved streams, and streams carrying unbindable (``None``)
+dimension values (the scalar-fallback pass).
+"""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro import DiscoveryConfig, FactDiscoverer, TableSchema
+from repro.service.sharding import (
+    ShardedDiscoverer,
+    canonical_subspace_keys,
+    partition_subspaces,
+)
+
+SCHEMA = TableSchema(("d0", "d1"), ("m0", "m1"))
+
+row_strategy = st.fixed_dictionaries(
+    {
+        "d0": st.sampled_from(["a", "b", "c"]),
+        "d1": st.sampled_from(["x", "y"]),
+        "m0": st.integers(min_value=0, max_value=4),
+        "m1": st.integers(min_value=0, max_value=4),
+    }
+)
+
+#: Rows whose dimension values may equal the unbound marker — svec takes
+#: its scalar fallback pass, which the shards must replicate too.
+noneful_row_strategy = st.fixed_dictionaries(
+    {
+        "d0": st.sampled_from(["a", None]),
+        "d1": st.sampled_from(["x", "y", None]),
+        "m0": st.integers(min_value=0, max_value=3),
+        "m1": st.integers(min_value=0, max_value=3),
+    }
+)
+
+
+def fact_key(fact):
+    return (
+        fact.record.tid,
+        fact.constraint.values,
+        fact.subspace,
+        fact.context_size,
+        fact.skyline_size,
+    )
+
+
+def emitted(facts_list):
+    """Per-arrival facts *in emission order* (the sharded merger must
+    reproduce the canonical order, not just the set)."""
+    return [[fact_key(f) for f in facts] for facts in facts_list]
+
+
+def reportable(lists):
+    return [[fact_key(f) for f in facts] for facts in lists]
+
+
+class TestPartition:
+    def test_canonical_keys_full_space_first(self):
+        keys = canonical_subspace_keys(SCHEMA)
+        assert keys[0] == SCHEMA.full_measure_mask
+        assert sorted(keys) == [1, 2, 3]
+
+    def test_canonical_keys_respect_mhat(self):
+        keys = canonical_subspace_keys(
+            SCHEMA, DiscoveryConfig(max_measure_dims=1)
+        )
+        # Full space stays first (the root substrate) even when the m̂
+        # cap excludes it from reporting.
+        assert keys[0] == SCHEMA.full_measure_mask
+        assert set(keys) == {3, 1, 2}
+
+    def test_weighted_partition_lightens_root_shard(self):
+        # The root key costs ~2 node keys, so shard 0 carries fewer.
+        assert partition_subspaces([7, 1, 2, 4, 3], 2) == [[7, 4], [1, 2, 3]]
+        shards = partition_subspaces(list(range(15)), 4)
+        assert shards[0][0] == 0  # root key stays on shard 0
+        assert len(shards[0]) < max(len(s) for s in shards[1:])
+
+    def test_partition_clamps_to_key_count(self):
+        shards = partition_subspaces([3, 1, 2], 8)
+        assert shards == [[3], [1], [2]]
+        assert all(shards)
+
+    def test_partition_covers_each_key_once(self):
+        keys = list(range(1, 16))
+        for n in (1, 2, 3, 4, 7):
+            shards = partition_subspaces(keys, n)
+            flat = [k for shard in shards for k in shard]
+            assert sorted(flat) == keys
+
+    def test_worker_count_clamped(self):
+        sharded = ShardedDiscoverer(SCHEMA, n_workers=64, mode="serial")
+        assert sharded.n_workers == len(canonical_subspace_keys(SCHEMA))
+        sharded.close()
+
+    def test_bad_mode_rejected(self):
+        with pytest.raises(ValueError, match="mode"):
+            ShardedDiscoverer(SCHEMA, mode="fleet")
+
+    def test_unscored_with_tau_rejected(self):
+        with pytest.raises(ValueError, match="prominence"):
+            ShardedDiscoverer(
+                SCHEMA, DiscoveryConfig(tau=2.0), score=False, mode="serial"
+            )
+
+
+class TestShardedEquivalence:
+    """sharded(N) ≡ unsharded svec ≡ scalar stopdown."""
+
+    @pytest.mark.parametrize("n_workers", [1, 2, 4])
+    @settings(max_examples=15, deadline=None)
+    @given(rows=st.lists(row_strategy, min_size=1, max_size=14))
+    def test_facts_scores_order_and_counters(self, n_workers, rows):
+        svec = FactDiscoverer(SCHEMA, algorithm="svec")
+        scalar = FactDiscoverer(SCHEMA, algorithm="stopdown")
+        with ShardedDiscoverer(
+            SCHEMA, n_workers=n_workers, mode="serial", chunk_size=5
+        ) as sharded:
+            got = sharded.facts_for_many(rows)
+            expected = svec.facts_for_many(rows)
+            reference = [scalar.facts_for(row) for row in rows]
+            assert emitted(got) == emitted(expected)
+            assert emitted(got) == emitted(reference)
+            assert sharded.counters.snapshot() == svec.counters.snapshot()
+            assert sharded.counters.snapshot() == scalar.counters.snapshot()
+
+    @pytest.mark.parametrize("n_workers", [2, 4])
+    @settings(max_examples=10, deadline=None)
+    @given(
+        rows=st.lists(row_strategy, min_size=2, max_size=12),
+        delete_seed=st.integers(min_value=0, max_value=2**16),
+    )
+    def test_deletion_interleaved_streams(self, n_workers, rows, delete_seed):
+        import random
+
+        rng = random.Random(delete_seed)
+        svec = FactDiscoverer(SCHEMA, algorithm="svec")
+        scalar = FactDiscoverer(SCHEMA, algorithm="stopdown")
+        with ShardedDiscoverer(
+            SCHEMA, n_workers=n_workers, mode="serial", chunk_size=3
+        ) as sharded:
+            live = []
+            for i, row in enumerate(rows):
+                got = sharded.observe(row)
+                assert reportable([got]) == reportable([svec.observe(row)])
+                assert reportable([got]) == reportable([scalar.observe(row)])
+                live.append(i)
+                if len(live) > 1 and rng.random() < 0.35:
+                    victim = live.pop(rng.randrange(len(live)))
+                    removed = sharded.delete(victim)
+                    assert svec.delete(victim).dims == removed.dims
+                    scalar.delete(victim)
+            assert sharded.counters.snapshot() == svec.counters.snapshot()
+            assert sharded.counters.snapshot() == scalar.counters.snapshot()
+
+    @pytest.mark.parametrize("n_workers", [2, 4])
+    @settings(max_examples=10, deadline=None)
+    @given(rows=st.lists(noneful_row_strategy, min_size=1, max_size=10))
+    def test_unbindable_dimension_values(self, n_workers, rows):
+        """Rows with None dims take svec's scalar fallback — shards too."""
+        svec = FactDiscoverer(SCHEMA, algorithm="svec")
+        with ShardedDiscoverer(
+            SCHEMA, n_workers=n_workers, mode="serial", chunk_size=4
+        ) as sharded:
+            assert emitted(sharded.facts_for_many(rows)) == emitted(
+                svec.facts_for_many(rows)
+            )
+            assert sharded.counters.snapshot() == svec.counters.snapshot()
+
+    @pytest.mark.parametrize(
+        "config",
+        [
+            DiscoveryConfig(max_bound_dims=1),
+            DiscoveryConfig(max_measure_dims=1),
+            DiscoveryConfig(tau=2.0),
+            DiscoveryConfig(top_k=3),
+        ],
+        ids=["dhat", "mhat", "tau", "topk"],
+    )
+    def test_config_knobs(self, config):
+        rows = [
+            {"d0": d0, "d1": d1, "m0": m0, "m1": m1}
+            for d0, d1, m0, m1 in [
+                ("a", "x", 3, 1),
+                ("a", "y", 1, 3),
+                ("b", "x", 2, 2),
+                ("a", "x", 3, 3),
+                ("c", "y", 0, 4),
+                ("b", "x", 4, 0),
+            ]
+        ]
+        svec = FactDiscoverer(SCHEMA, algorithm="svec", config=config)
+        with ShardedDiscoverer(
+            SCHEMA, config, n_workers=2, mode="serial"
+        ) as sharded:
+            assert reportable(sharded.observe_many(rows)) == reportable(
+                svec.observe_many(rows)
+            )
+            assert sharded.counters.snapshot() == svec.counters.snapshot()
+
+    def test_unscored_mode(self):
+        rows = [
+            {"d0": "a", "d1": "x", "m0": i % 3, "m1": (5 - i) % 4}
+            for i in range(10)
+        ]
+        svec = FactDiscoverer(SCHEMA, algorithm="svec", score=False)
+        with ShardedDiscoverer(
+            SCHEMA, n_workers=2, mode="serial", score=False, chunk_size=4
+        ) as sharded:
+            got = sharded.facts_for_many(rows)
+            expected = svec.facts_for_many(rows)
+            assert [
+                [(f.constraint.values, f.subspace) for f in facts]
+                for facts in got
+            ] == [
+                [(f.constraint.values, f.subspace) for f in facts]
+                for facts in expected
+            ]
+            assert all(
+                f.context_size is None and f.skyline_size is None
+                for facts in got
+                for f in facts
+            )
+            assert sharded.counters.snapshot() == svec.counters.snapshot()
+
+
+class TestExecutionModes:
+    """thread/process modes produce exactly the serial merge."""
+
+    ROWS = [
+        {"d0": d0, "d1": d1, "m0": m0, "m1": m1}
+        for d0, d1, m0, m1 in [
+            ("a", "x", 1, 4),
+            ("b", "y", 4, 1),
+            ("a", "x", 2, 3),
+            ("c", "y", 3, 2),
+            ("a", "y", 4, 4),
+            ("b", "x", 0, 0),
+            ("a", "x", 3, 3),
+            ("c", "x", 2, 1),
+        ]
+    ]
+
+    @pytest.mark.parametrize("mode", ["thread", "process"])
+    def test_mode_equivalence_with_deletions(self, mode):
+        svec = FactDiscoverer(SCHEMA, algorithm="svec")
+        with ShardedDiscoverer(
+            SCHEMA, n_workers=2, mode=mode, chunk_size=3
+        ) as sharded:
+            assert emitted(sharded.facts_for_many(self.ROWS[:6])) == emitted(
+                svec.facts_for_many(self.ROWS[:6])
+            )
+            sharded.delete(2)
+            svec.delete(2)
+            assert emitted(sharded.facts_for_many(self.ROWS[6:])) == emitted(
+                svec.facts_for_many(self.ROWS[6:])
+            )
+            assert sharded.counters.snapshot() == svec.counters.snapshot()
+
+    def test_close_is_idempotent_and_final(self):
+        sharded = ShardedDiscoverer(SCHEMA, n_workers=2, mode="serial")
+        sharded.observe({"d0": "a", "d1": "x", "m0": 1, "m1": 1})
+        sharded.close()
+        sharded.close()
+        with pytest.raises(RuntimeError, match="closed"):
+            sharded.observe({"d0": "a", "d1": "x", "m0": 1, "m1": 1})
+
+    def test_bad_row_mid_chunk_does_not_desync(self):
+        """A malformed row must raise without corrupting the router/
+        worker tid alignment — later output stays identical."""
+        from repro.core.schema import SchemaError
+
+        svec = FactDiscoverer(SCHEMA, algorithm="svec")
+        with ShardedDiscoverer(
+            SCHEMA, n_workers=2, mode="serial", chunk_size=4
+        ) as sharded:
+            sharded.facts_for_many(self.ROWS[:3])
+            svec.facts_for_many(self.ROWS[:3])
+            bad = {"d0": "a", "d1": "x", "m0": "not-a-number", "m1": 1}
+            with pytest.raises(SchemaError):
+                sharded.facts_for_many([self.ROWS[3], bad, self.ROWS[4]])
+            # Admission is chunk-atomic: the failing chunk left nothing
+            # behind, on the router or the workers.
+            assert [r.tid for r in sharded.table] == [0, 1, 2]
+            sharded.facts_for(self.ROWS[3])
+            svec.facts_for(self.ROWS[3])
+            assert emitted(sharded.facts_for_many(self.ROWS[5:])) == emitted(
+                svec.facts_for_many(self.ROWS[5:])
+            )
+            assert sharded.counters.snapshot() == svec.counters.snapshot()
+
+    def test_update_matches_engine(self):
+        svec = FactDiscoverer(SCHEMA, algorithm="svec")
+        with ShardedDiscoverer(SCHEMA, n_workers=2, mode="serial") as sharded:
+            for row in self.ROWS[:4]:
+                sharded.observe(row)
+                svec.observe(row)
+            new_row = {"d0": "c", "d1": "x", "m0": 4, "m1": 4}
+            assert reportable([sharded.update(1, new_row)]) == reportable(
+                [svec.update(1, new_row)]
+            )
