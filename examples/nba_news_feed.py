@@ -12,19 +12,22 @@ Run:  python examples/nba_news_feed.py [n_tuples] [tau]
 
 import sys
 
+from repro import DiscoveryConfig, EngineSpec, open_engine
 from repro.datasets import nba_rows, nba_schema
 from repro.reporting import NewsFeed
 
 
 def main(n: int = 1500, tau: float = 25.0) -> None:
     schema = nba_schema(d=5, m=4)
-    feed = NewsFeed(
+    # The feed runs over any Engine: this spec opens an in-proc
+    # stopdown engine, but sharding=ShardingSpec(4, "process") would
+    # serve the same feed from four subspace-parallel workers.
+    spec = EngineSpec(
         schema,
-        tau=tau,
         algorithm="stopdown",
-        max_bound_dims=3,
-        max_measure_dims=3,
+        config=DiscoveryConfig(max_bound_dims=3, max_measure_dims=3, tau=tau),
     )
+    feed = NewsFeed(schema, engine=open_engine(spec))
     rows = nba_rows(n, d=5, m=4)
     print(f"Streaming {n} box scores (tau={tau}, d̂=3, m̂=3)...\n")
     for i, row in enumerate(rows):

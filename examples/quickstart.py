@@ -9,7 +9,7 @@ plus the prominence ranking of §VII.
 Run:  python examples/quickstart.py
 """
 
-from repro import DiscoveryConfig, FactDiscoverer, TableSchema
+from repro import DiscoveryConfig, EngineSpec, TableSchema, open_engine
 from repro.reporting import narrate
 
 schema = TableSchema(
@@ -36,25 +36,31 @@ GAMELOG = [
 
 
 def main() -> None:
-    engine = FactDiscoverer(schema, algorithm="stopdown", config=DiscoveryConfig())
+    # One declarative spec opens any engine composition (add
+    # sharding=ShardingSpec(...) or window=N and nothing else changes).
+    spec = EngineSpec(schema, algorithm="stopdown", config=DiscoveryConfig())
+    with open_engine(spec) as engine:
+        # Feed the historical tuples (t1..t6).
+        engine.observe_many(GAMELOG[:-1])
 
-    # Feed the historical tuples (t1..t6).
-    for row in GAMELOG[:-1]:
-        engine.observe(row)
+        # t7 arrives: discover every (constraint, measure-subspace) pair
+        # that makes it a contextual skyline tuple.
+        facts = engine.facts_for(GAMELOG[-1])
+        print(f"t7 is a contextual skyline tuple for {len(facts)} pairs "
+              f"(the paper quotes 196; exact enumeration gives 195).\n")
 
-    # t7 arrives: discover every (constraint, measure-subspace) pair that
-    # makes it a contextual skyline tuple.
-    facts = engine.facts_for(GAMELOG[-1])
-    print(f"t7 is a contextual skyline tuple for {len(facts)} pairs "
-          f"(the paper quotes 196; exact enumeration gives 195).\n")
+        print("Top facts by prominence:")
+        for fact in facts.ranked()[:8]:
+            print(f"  {fact.describe(schema)}")
 
-    print("Top facts by prominence:")
-    for fact in facts.ranked()[:8]:
-        print(f"  {fact.describe(schema)}")
+        print("\nNarrated, newsroom-style:")
+        for fact in facts.ranked()[:3]:
+            print(f"  - {narrate(fact, schema)}")
 
-    print("\nNarrated, newsroom-style:")
-    for fact in facts.ranked()[:3]:
-        print(f"  - {narrate(fact, schema)}")
+        # The same engine answers forward queries (Engine.query()).
+        skyline = engine.query().skyline_text("team=Celtics | assists")
+        print(f"\nForward query: {len(skyline)} tuple(s) in the "
+              f"team=Celtics assists skyline.")
 
 
 if __name__ == "__main__":

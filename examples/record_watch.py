@@ -13,9 +13,8 @@ Run:  python examples/record_watch.py [n_tuples] [window]
 
 import sys
 
-from repro import DiscoveryConfig, TableSchema
+from repro import DiscoveryConfig, EngineSpec, TableSchema, open_engine
 from repro.datasets import nba_rows
-from repro.extensions import WindowedFactDiscoverer
 from repro.reporting.history import narrate_with_history
 
 SCHEMA = TableSchema(
@@ -29,9 +28,10 @@ WHEN_ATTR = 1  # season
 
 def main(n: int = 1200, window: int = 300) -> None:
     config = DiscoveryConfig(max_bound_dims=2, max_measure_dims=2, tau=40.0)
-    engine = WindowedFactDiscoverer(
-        SCHEMA, window=window, algorithm="stopdown", config=config
-    )
+    # Windowing is one spec field; the window layer composes over any
+    # engine (swap in sharding=ShardingSpec(...) unchanged).
+    spec = EngineSpec(SCHEMA, algorithm="stopdown", config=config,
+                      window=window)
     full_history = []  # retained beyond the window, for "first since"
 
     keep = set(SCHEMA.dimensions) | set(SCHEMA.measures)
@@ -41,20 +41,21 @@ def main(n: int = 1200, window: int = 300) -> None:
     ]
     print(f"Watching {n} games, window={window}, tau={config.tau}\n")
     headlines = 0
-    for i, row in enumerate(rows):
-        facts = engine.observe(row)
-        newest = engine.engine.table[len(engine.engine.table) - 1]
-        for fact in facts:
-            headlines += 1
-            text = narrate_with_history(
-                fact,
-                SCHEMA,
-                full_history,
-                entity_attribute=ENTITY_ATTR,
-                when_attribute=WHEN_ATTR,
-            )
-            print(f"[game {i:5d}] {text}")
-        full_history.append(newest)
+    with open_engine(spec) as engine:
+        for i, row in enumerate(rows):
+            facts = engine.observe(row)
+            newest = engine.table[len(engine.table) - 1]
+            for fact in facts:
+                headlines += 1
+                text = narrate_with_history(
+                    fact,
+                    SCHEMA,
+                    full_history,
+                    entity_attribute=ENTITY_ATTR,
+                    when_attribute=WHEN_ATTR,
+                )
+                print(f"[game {i:5d}] {text}")
+            full_history.append(newest)
     print(f"\n{headlines} windowed records spotted.")
 
 

@@ -14,7 +14,7 @@ Run:  python examples/stock_alerts.py [n_days]
 import random
 import sys
 
-from repro import DiscoveryConfig, FactDiscoverer, TableSchema
+from repro import DiscoveryConfig, EngineSpec, TableSchema, open_engine
 from repro.reporting import narrate
 
 SECTORS = ("tech", "energy", "finance", "health", "retail")
@@ -56,14 +56,15 @@ def main(n: int = 2000) -> None:
         measures=("price", "market_cap", "volume"),
     )
     config = DiscoveryConfig(max_bound_dims=2, max_measure_dims=2, tau=40.0)
-    engine = FactDiscoverer(schema, algorithm="stopdown", config=config)
+    spec = EngineSpec(schema, algorithm="stopdown", config=config)
 
     print(f"Streaming {n} ticks (tau={config.tau})...\n")
     alerts = 0
-    for i, row in enumerate(stock_tape(n)):
-        for fact in engine.observe(row):
-            alerts += 1
-            print(f"[tick {i:5d}] {narrate(fact, schema)}")
+    with open_engine(spec) as engine:
+        for i, row in enumerate(stock_tape(n)):
+            for fact in engine.observe(row):
+                alerts += 1
+                print(f"[tick {i:5d}] {narrate(fact, schema)}")
     print(f"\n{alerts} market alerts raised.")
 
 

@@ -12,7 +12,7 @@ Run:  python examples/weather_extremes.py [n_tuples]
 
 import sys
 
-from repro import DiscoveryConfig, FactDiscoverer
+from repro import DiscoveryConfig, EngineSpec, open_engine
 from repro.datasets import weather_rows, weather_schema
 from repro.reporting import narrate
 
@@ -20,15 +20,16 @@ from repro.reporting import narrate
 def main(n: int = 1200) -> None:
     schema = weather_schema(d=5, m=4)
     config = DiscoveryConfig(max_bound_dims=2, max_measure_dims=2, tau=30.0)
-    engine = FactDiscoverer(schema, algorithm="stopdown", config=config)
+    spec = EngineSpec(schema, algorithm="stopdown", config=config)
 
     rows = weather_rows(n, d=5, m=4)
     print(f"Streaming {n} forecasts (tau={config.tau})...\n")
     alerts = 0
-    for i, row in enumerate(rows):
-        for fact in engine.observe(row):
-            alerts += 1
-            print(f"[day {i:5d}] {narrate(fact, schema)}")
+    with open_engine(spec) as engine:
+        for i, row in enumerate(rows):
+            for fact in engine.observe(row):
+                alerts += 1
+                print(f"[day {i:5d}] {narrate(fact, schema)}")
     print(f"\n{alerts} weather alerts raised.")
 
 

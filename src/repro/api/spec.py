@@ -1,0 +1,281 @@
+"""Declarative engine specifications.
+
+An :class:`EngineSpec` is a complete, serialisable description of a
+discovery engine composition — schema, algorithm, config, scoring,
+sharding, windowing, aggregation and checkpoint policy — that
+:func:`~repro.api.facade.open_engine` turns into a live
+:class:`~repro.core.engine_protocol.Engine`.  Because the spec is plain
+data (``to_dict`` / ``from_dict`` round-trip through JSON), the same
+object drives the CLI's ``--spec`` flag, snapshot format v3 (any
+composition restores from its checkpoint), and programmatic use::
+
+    >>> from repro.api import EngineSpec, open_engine
+    >>> from repro import TableSchema
+    >>> spec = EngineSpec(TableSchema(("d",), ("m",)), algorithm="stopdown")
+    >>> with open_engine(spec) as engine:
+    ...     _ = engine.observe({"d": "x", "m": 1})
+"""
+
+from __future__ import annotations
+
+from dataclasses import asdict, dataclass, field, replace
+from typing import Dict, Mapping, Optional, Tuple
+
+from ..core.config import DiscoveryConfig
+from ..core.schema import TableSchema
+
+#: Execution modes of the sharded composition.
+SHARDING_MODES = ("serial", "thread", "process")
+
+#: Supported aggregate functions over a base measure.
+AGGREGATES = ("sum", "max", "min", "count", "avg")
+
+
+@dataclass(frozen=True)
+class ShardingSpec:
+    """Subspace-axis sharding: ``workers`` share-nothing ``svec`` shards
+    behind a merging router (see :mod:`repro.service.sharding`).
+
+    Attributes
+    ----------
+    workers:
+        Requested shard count (clamped to the maintained subspace keys).
+    mode:
+        ``"serial"`` (in-process, deterministic), ``"thread"`` or
+        ``"process"`` (one OS process per shard — the throughput mode).
+    chunk_size:
+        Pipelining granularity of batched ingestion (rows per worker
+        round-trip).
+    """
+
+    workers: int
+    mode: str = "serial"
+    chunk_size: int = 96
+
+    def __post_init__(self) -> None:
+        if self.workers < 1:
+            raise ValueError("sharding.workers must be >= 1")
+        if self.mode not in SHARDING_MODES:
+            raise ValueError(
+                f"sharding.mode must be one of {SHARDING_MODES}, "
+                f"got {self.mode!r}"
+            )
+        if self.chunk_size < 1:
+            raise ValueError("sharding.chunk_size must be >= 1")
+
+
+@dataclass(frozen=True)
+class CheckpointPolicy:
+    """Where (and how often) an engine snapshots itself.
+
+    ``path`` is the default target of :meth:`Engine.snapshot`;
+    ``interval`` (seconds) activates periodic checkpointing when the
+    engine runs behind a :class:`~repro.service.server.StreamServer`.
+    """
+
+    path: str
+    interval: Optional[float] = None
+
+    def __post_init__(self) -> None:
+        if not self.path:
+            raise ValueError("checkpoint.path must be non-empty")
+        if self.interval is not None and self.interval <= 0:
+            raise ValueError("checkpoint.interval must be > 0 seconds")
+
+
+@dataclass(frozen=True)
+class GroupSpec:
+    """How to roll base rows up into aggregate tuples (§VIII).
+
+    Attributes
+    ----------
+    group_by:
+        Base dimension attributes identifying a group (they become the
+        aggregate relation's dimensions).
+    aggregations:
+        Mapping ``output_measure_name -> (base_measure, function)`` with
+        function one of :data:`AGGREGATES`.
+    """
+
+    group_by: Tuple[str, ...]
+    aggregations: Mapping[str, Tuple[str, str]]
+
+    def __post_init__(self) -> None:
+        if not self.group_by:
+            raise ValueError("group_by needs at least one attribute")
+        if not self.aggregations:
+            raise ValueError("at least one aggregation required")
+        for name, (base, fn) in self.aggregations.items():
+            if fn not in AGGREGATES:
+                raise ValueError(
+                    f"aggregation {name!r} uses unknown function {fn!r}; "
+                    f"choose from {AGGREGATES}"
+                )
+
+    @property
+    def base_measures(self) -> Tuple[str, ...]:
+        """The distinct base measures consumed, sorted."""
+        return tuple(sorted({base for base, _fn in self.aggregations.values()}))
+
+    def discovery_schema(self) -> TableSchema:
+        """Schema of the aggregate relation facts are discovered over."""
+        return TableSchema(
+            dimensions=tuple(self.group_by),
+            measures=tuple(self.aggregations),
+        )
+
+    def base_schema(self) -> TableSchema:
+        """The minimal input-row schema the aggregation consumes."""
+        return TableSchema(
+            dimensions=tuple(self.group_by), measures=self.base_measures
+        )
+
+    def to_dict(self) -> Dict[str, object]:
+        return {
+            "group_by": list(self.group_by),
+            "aggregations": {
+                name: [base, fn]
+                for name, (base, fn) in self.aggregations.items()
+            },
+        }
+
+    @classmethod
+    def from_dict(cls, doc: Mapping[str, object]) -> "GroupSpec":
+        return cls(
+            group_by=tuple(doc["group_by"]),
+            aggregations={
+                name: (base, fn)
+                for name, (base, fn) in dict(doc["aggregations"]).items()
+            },
+        )
+
+
+@dataclass(frozen=True)
+class EngineSpec:
+    """One declarative description of any engine composition.
+
+    Attributes
+    ----------
+    schema:
+        Schema of the rows fed to ``observe`` (for aggregate engines:
+        the *base* stream; facts then describe the aggregate relation
+        derived from :attr:`aggregate`).
+    algorithm:
+        Registry name (``"stopdown"``, ``"svec"``, …).  Sharded engines
+        always run ``"svec"`` workers.
+    config:
+        ``d̂``/``m̂`` caps, prominence threshold ``τ``, ``top_k``.
+    score:
+        Annotate facts with context/skyline cardinalities (required by
+        ``τ``/``top_k`` reporting).
+    sharding:
+        Subspace-parallel workers behind a router, or ``None``.
+    window:
+        Count-based sliding window (most recent N tuples live), or
+        ``None``.
+    aggregate:
+        Discover over running group aggregates of the base stream, or
+        ``None``.  Mutually exclusive with :attr:`window` for now.
+    checkpoint:
+        Default snapshot path / periodic-checkpoint interval, or
+        ``None``.
+    """
+
+    schema: TableSchema
+    algorithm: str = "stopdown"
+    config: DiscoveryConfig = field(default_factory=DiscoveryConfig)
+    score: bool = True
+    sharding: Optional[ShardingSpec] = None
+    window: Optional[int] = None
+    aggregate: Optional[GroupSpec] = None
+    checkpoint: Optional[CheckpointPolicy] = None
+
+    def __post_init__(self) -> None:
+        if not isinstance(self.algorithm, str):
+            raise ValueError(
+                "EngineSpec.algorithm must be a registry name; pass "
+                "pre-built algorithm instances to FactDiscoverer directly"
+            )
+        if self.sharding is not None and self.algorithm != "svec":
+            raise ValueError(
+                "sharded engines run the 'svec' algorithm on every "
+                f"worker; set algorithm='svec' (got {self.algorithm!r})"
+            )
+        if self.window is not None and self.window < 1:
+            raise ValueError("window must be >= 1")
+        if self.window is not None and self.aggregate is not None:
+            raise ValueError(
+                "window + aggregate composition is not supported yet: "
+                "a windowed inner engine would evict aggregate tuples "
+                "the aggregation layer still tracks"
+            )
+        if not self.score and (
+            self.config.tau is not None or self.config.top_k is not None
+        ):
+            raise ValueError(
+                "tau/top_k reporting needs prominence scores; "
+                "score=False would silently report nothing"
+            )
+        if self.aggregate is not None:
+            dims = set(self.schema.dimensions)
+            meas = set(self.schema.measures)
+            missing_d = [a for a in self.aggregate.group_by if a not in dims]
+            missing_m = [
+                m for m in self.aggregate.base_measures if m not in meas
+            ]
+            if missing_d or missing_m:
+                raise ValueError(
+                    "aggregate spec references attributes missing from "
+                    f"the base schema: dimensions {missing_d}, "
+                    f"measures {missing_m}"
+                )
+
+    # ------------------------------------------------------------------
+    # Serialisation (snapshot v3, CLI --spec)
+    # ------------------------------------------------------------------
+    def to_dict(self) -> Dict[str, object]:
+        """Plain-data rendering; ``from_dict`` inverts it exactly."""
+        return {
+            "schema": {
+                "dimensions": list(self.schema.dimensions),
+                "measures": list(self.schema.measures),
+                "preferences": dict(self.schema.preferences),
+            },
+            "algorithm": self.algorithm,
+            "config": asdict(self.config),
+            "score": self.score,
+            "sharding": asdict(self.sharding) if self.sharding else None,
+            "window": self.window,
+            "aggregate": self.aggregate.to_dict() if self.aggregate else None,
+            "checkpoint": asdict(self.checkpoint) if self.checkpoint else None,
+        }
+
+    @classmethod
+    def from_dict(cls, doc: Mapping[str, object]) -> "EngineSpec":
+        """Rebuild a spec from :meth:`to_dict` output (or hand-written
+        JSON; absent optional fields default)."""
+        schema_doc = doc["schema"]
+        schema = TableSchema(
+            dimensions=tuple(schema_doc["dimensions"]),
+            measures=tuple(schema_doc["measures"]),
+            preferences=dict(schema_doc.get("preferences") or {}),
+        )
+        sharding = doc.get("sharding")
+        aggregate = doc.get("aggregate")
+        checkpoint = doc.get("checkpoint")
+        return cls(
+            schema=schema,
+            algorithm=doc.get("algorithm", "stopdown"),
+            config=DiscoveryConfig(**(doc.get("config") or {})),
+            score=bool(doc.get("score", True)),
+            sharding=ShardingSpec(**sharding) if sharding else None,
+            window=doc.get("window"),
+            aggregate=GroupSpec.from_dict(aggregate) if aggregate else None,
+            checkpoint=CheckpointPolicy(**checkpoint) if checkpoint else None,
+        )
+
+    def with_score(self, score: Optional[bool]) -> "EngineSpec":
+        """A copy with ``score`` overridden (``None`` keeps the spec's)."""
+        if score is None or score == self.score:
+            return self
+        return replace(self, score=score)

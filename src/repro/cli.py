@@ -1,5 +1,14 @@
 """Command-line interface: stream CSVs, query contexts, run demos.
 
+Every engine-running subcommand (``discover`` / ``query`` / ``serve``)
+shares one spec-style flag set — schema, algorithm, caps, sharding
+(``--workers``/``--mode``), ``--window``, ``--no-score`` — or takes a
+complete :class:`~repro.api.spec.EngineSpec` JSON via ``--spec``; the
+engine composition is always built through
+:func:`repro.api.open_engine`, so anything the facade can compose
+(sharded, windowed, aggregate, …) is streamable, queryable and servable
+from the command line.
+
 Subcommands
 -----------
 ``discover``
@@ -7,24 +16,26 @@ Subcommands
     prominent facts as they emerge.
 ``query``
     Load a CSV, then answer a forward contextual-skyline query
-    (``"team=Celtics & opp_team=Nets | assists, rebounds"``).
+    (``"team=Celtics & opp_team=Nets | assists, rebounds"``) — works
+    against any composition, including sharded engines.
 ``demo``
     Stream synthetic NBA box scores and print the news feed (§VII case
     study in one command).
 ``figures``
     Reproduce one or more of the paper's figures and print the tables.
 ``serve``
-    Run the streaming ingestion service (sharded subspace-parallel
-    workers + async micro-batching front-end); optionally ingest a CSV
-    and/or listen for NDJSON clients on a TCP port.
+    Run the streaming ingestion service (async micro-batching front-end
+    over any engine composition); optionally ingest a CSV and/or listen
+    for NDJSON clients on a TCP port.
 ``ingest``
     Stream a CSV into a running ``serve`` instance over TCP.
 
 Examples::
 
     repro-facts discover games.csv -d player,team -m points,assists --tau 50
+    repro-facts discover games.csv --spec engine_spec.json
     repro-facts query games.csv -d player,team -m points,assists \
-        -q "team=Celtics | points"
+        -q "team=Celtics | points" --workers 2
     repro-facts demo --tuples 800 --tau 25
     repro-facts figures fig8a fig10b
     repro-facts serve -d player,team -m points,assists --workers 4 --port 7071
@@ -38,9 +49,9 @@ import argparse
 import sys
 from typing import List, Optional
 
+from .api import CheckpointPolicy, EngineSpec, ShardingSpec, make_sink, open_engine
 from .core.config import DiscoveryConfig
-from .core.engine import FactDiscoverer
-from .core.schema import MIN, TableSchema
+from .core.schema import MIN, SchemaError, TableSchema
 
 
 def _split(value: str) -> List[str]:
@@ -63,12 +74,14 @@ def _config_from_args(args) -> DiscoveryConfig:
 
 def _add_schema_options(parser: argparse.ArgumentParser) -> None:
     parser.add_argument(
-        "-d", "--dimensions", required=True,
-        help="comma-separated dimension attribute names",
+        "-d", "--dimensions", default=None,
+        help="comma-separated dimension attribute names "
+             "(required unless --spec is given)",
     )
     parser.add_argument(
-        "-m", "--measures", required=True,
-        help="comma-separated measure attribute names",
+        "-m", "--measures", default=None,
+        help="comma-separated measure attribute names "
+             "(required unless --spec is given)",
     )
     parser.add_argument(
         "--min-prefer", default="",
@@ -89,6 +102,60 @@ def _add_discovery_options(parser: argparse.ArgumentParser) -> None:
     parser.add_argument("--tau", type=float, default=None,
                         help="prominence threshold (report prominent facts only)")
     parser.add_argument("--top-k", type=int, default=None)
+    parser.add_argument("--workers", type=int, default=0,
+                        help="subspace-parallel worker count (0 = single "
+                             "unsharded engine; >0 runs svec shards)")
+    parser.add_argument("--mode", default="process",
+                        choices=("serial", "thread", "process"),
+                        help="worker execution mode (with --workers)")
+    parser.add_argument("--window", type=int, default=None,
+                        help="count-based sliding window: keep only the "
+                             "most recent N tuples live")
+    parser.add_argument("--no-score", action="store_true",
+                        help="skip prominence scoring and stream raw facts "
+                             "at maximum speed; facts carry no "
+                             "context/skyline sizes, and combining this "
+                             "with --tau or --top-k is an error (those "
+                             "reporting policies need prominence scores "
+                             "and would silently report nothing)")
+    parser.add_argument("--spec", default=None, metavar="FILE",
+                        help="load a complete EngineSpec JSON "
+                             "(see docs/api.md); overrides the schema and "
+                             "engine flags")
+
+
+def _spec_from_args(args) -> EngineSpec:
+    """The one place CLI flags become an :class:`EngineSpec`."""
+    if getattr(args, "spec", None):
+        import json
+
+        with open(args.spec) as fh:
+            return EngineSpec.from_dict(json.load(fh))
+    if not args.dimensions or not args.measures:
+        raise SchemaError(
+            "either --spec or both -d/--dimensions and -m/--measures "
+            "are required"
+        )
+    workers = getattr(args, "workers", 0) or 0
+    checkpoint = None
+    if getattr(args, "checkpoint", None):
+        checkpoint = CheckpointPolicy(
+            path=args.checkpoint,
+            interval=getattr(args, "checkpoint_interval", None),
+        )
+    return EngineSpec(
+        schema=_schema_from_args(args),
+        # Sharded engines always run svec workers; the flag keeps its
+        # meaning for the single-engine case.
+        algorithm="svec" if workers > 0 else args.algorithm,
+        config=_config_from_args(args),
+        score=not getattr(args, "no_score", False),
+        sharding=ShardingSpec(workers=workers, mode=args.mode)
+        if workers > 0
+        else None,
+        window=getattr(args, "window", None),
+        checkpoint=checkpoint,
+    )
 
 
 def _batched(iterable, size: int):
@@ -103,71 +170,89 @@ def _batched(iterable, size: int):
         yield batch
 
 
+def _resolve_sink(args, schema):
+    """Map the output flags to a registered sink renderer."""
+    name = "json" if args.json else "narrate" if getattr(args, "narrate", False) else "describe"
+    return name, make_sink(name, schema)
+
+
 def cmd_discover(args) -> int:
-    import json
-
     from .datasets.loader import load_rows
-    from .reporting.narrate import narrate
 
-    schema = _schema_from_args(args)
     try:
-        engine = FactDiscoverer(
-            schema,
-            algorithm=args.algorithm,
-            config=_config_from_args(args),
-            score=not args.no_score,
-        )
+        spec = _spec_from_args(args)
+        engine = open_engine(spec)
     except ValueError as exc:
-        # --no-score with --tau/--top-k: reporting needs prominence.
+        # e.g. --no-score with --tau/--top-k: reporting needs prominence.
         print(f"error: {exc}", file=sys.stderr)
         return 2
 
-    def emit(index, facts):
-        count = 0
-        for fact in facts:
-            count += 1
-            if args.json:
-                print(json.dumps(fact.to_json_dict(schema)))
-            elif args.narrate:
-                print(f"[{index}] {narrate(fact, schema)}")
-            else:
-                print(f"[{index}] {fact.describe(schema)}")
-        return count
+    with engine:
+        # Rows validate against the input schema; facts are stated over
+        # the discovery relation (identical except for aggregate specs).
+        sink_name, sink = _resolve_sink(args, engine.discovery_schema)
 
-    emitted = 0
-    index = 0
-    rows = load_rows(args.csv, schema)
-    if args.batch > 1:
-        # Batched ingestion amortises per-call overhead (identical
-        # output to row-at-a-time; see FactDiscoverer.observe_many).
-        for chunk in _batched(rows, args.batch):
-            for facts in engine.observe_many(chunk):
-                emitted += emit(index, facts)
+        def emit(index, facts):
+            count = 0
+            for fact in facts:
+                count += 1
+                if sink_name == "json":
+                    print(sink(fact))
+                else:
+                    print(f"[{index}] {sink(fact)}")
+            return count
+
+        emitted = 0
+        index = 0
+        rows = load_rows(args.csv, spec.schema)
+        if args.batch > 1:
+            # Batched ingestion amortises per-call overhead (identical
+            # output to row-at-a-time; see Engine.observe_many).
+            for chunk in _batched(rows, args.batch):
+                for facts in engine.observe_many(chunk):
+                    emitted += emit(index, facts)
+                    index += 1
+        else:
+            for row in rows:
+                emitted += emit(index, engine.observe(row))
                 index += 1
-    else:
-        for row in rows:
-            emitted += emit(index, engine.observe(row))
-            index += 1
-    print(f"# {emitted} facts from {len(engine)} tuples", file=sys.stderr)
+        print(f"# {emitted} facts from {len(engine)} tuples", file=sys.stderr)
     return 0
 
 
 def cmd_query(args) -> int:
-    from .algorithms import make_algorithm
-    from .datasets.loader import load_rows
-    from .query import ContextualQueryEngine, parse_query
+    from dataclasses import replace
 
-    schema = _schema_from_args(args)
-    algo = make_algorithm(args.algorithm, schema, _config_from_args(args))
-    for row in load_rows(args.csv, schema):
-        algo.process(row)
-    queries = ContextualQueryEngine(algo)
-    constraint, subspace = parse_query(args.query, schema)
-    skyline = queries.skyline(constraint, subspace)
-    for record in sorted(skyline, key=lambda r: r.tid):
-        print(record.as_dict(schema))
-    prominence = queries.prominence(constraint, subspace)
-    print(f"# skyline size {len(skyline)}, prominence {prominence}", file=sys.stderr)
+    from .datasets.loader import load_rows
+    from .query import parse_query
+
+    try:
+        spec = _spec_from_args(args)
+        # Forward queries compute prominence on demand from the live
+        # state — per-arrival scoring (and the reporting policy) would
+        # be pure ingest overhead here.
+        spec = replace(
+            spec,
+            score=False,
+            config=replace(spec.config, tau=None, top_k=None),
+        )
+        engine = open_engine(spec)
+    except ValueError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+
+    with engine:
+        schema = engine.discovery_schema
+        for chunk in _batched(load_rows(args.csv, spec.schema), 512):
+            engine.facts_for_many(chunk)
+        queries = engine.query()
+        constraint, subspace = parse_query(args.query, schema)
+        skyline = queries.skyline(constraint, subspace)
+        for record in sorted(skyline, key=lambda r: r.tid):
+            print(record.as_dict(schema))
+        prominence = queries.prominence(constraint, subspace)
+        print(f"# skyline size {len(skyline)}, prominence {prominence}",
+              file=sys.stderr)
     return 0
 
 
@@ -187,24 +272,6 @@ def cmd_demo(args) -> int:
     return 0
 
 
-def _build_service_engine(args, schema):
-    """The serve command's engine: sharded when ``--workers`` > 0."""
-    config = _config_from_args(args)
-    score = not args.no_score
-    if args.workers > 0:
-        from .service import ShardedDiscoverer
-
-        return ShardedDiscoverer(
-            schema,
-            config,
-            n_workers=args.workers,
-            mode=args.mode,
-            score=score,
-        )
-    return FactDiscoverer(schema, algorithm=args.algorithm, config=config,
-                          score=score)
-
-
 def cmd_serve(args) -> int:
     import asyncio
     import json
@@ -212,14 +279,17 @@ def cmd_serve(args) -> int:
     from .datasets.loader import load_rows
     from .service import StreamServer
 
-    schema = _schema_from_args(args)
     try:
-        engine = _build_service_engine(args, schema)
+        spec = _spec_from_args(args)
+        engine = open_engine(spec)
     except ValueError as exc:
         print(f"error: {exc}", file=sys.stderr)
         return 2
+    sink_name, sink = _resolve_sink(args, engine.discovery_schema)
 
     async def run() -> int:
+        # Explicit checkpoint flags win; with a --spec file the spec's
+        # checkpoint policy is StreamServer's fallback default.
         server = StreamServer(
             engine,
             queue_limit=args.queue_limit,
@@ -239,7 +309,7 @@ def cmd_serve(args) -> int:
             # coalesce (ingest_wait per row would serialize the queue
             # down to batches of one); the subscription preserves
             # arrival order.
-            rows = list(load_rows(args.csv, schema))
+            rows = list(load_rows(args.csv, spec.schema))
             subscription = server.subscribe(only_facts=False)
             producer = asyncio.ensure_future(server.ingest_many(rows))
             # A failed producer closes the subscription so the printer
@@ -257,14 +327,14 @@ def cmd_serve(args) -> int:
                     break
                 for fact in event.facts:
                     emitted += 1
-                    if args.json:
-                        print(json.dumps(fact.to_json_dict(schema)))
+                    if sink_name == "json":
+                        print(sink(fact))
                     else:
-                        print(f"[{event.tid}] {fact.describe(schema)}")
+                        print(f"[{event.tid}] {sink(fact)}")
             await producer
             subscription.close()
             print(
-                f"# {emitted} facts from {len(engine.table)} tuples",
+                f"# {emitted} facts from {len(engine)} tuples",
                 file=sys.stderr,
             )
         if listener is not None:
@@ -276,9 +346,7 @@ def cmd_serve(args) -> int:
             f"# service stats: {json.dumps(server.stats_snapshot())}",
             file=sys.stderr,
         )
-        close = getattr(engine, "close", None)
-        if close is not None:
-            close()
+        engine.close()
         return 0
 
     return asyncio.run(run())
@@ -371,13 +439,6 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--batch", type=int, default=1,
                    help="ingest rows in blocks of this size "
                         "(same output, amortised overhead)")
-    p.add_argument("--no-score", action="store_true",
-                   help="skip prominence scoring and stream raw facts at "
-                        "maximum speed; facts carry no context/skyline "
-                        "sizes, and combining this with --tau or --top-k "
-                        "is an error (those reporting policies need "
-                        "prominence scores and would silently report "
-                        "nothing)")
     p.set_defaults(fn=cmd_discover)
 
     p = sub.add_parser("query", help="forward contextual-skyline query")
@@ -400,12 +461,6 @@ def build_parser() -> argparse.ArgumentParser:
                    help="optional CSV to stream through the service")
     _add_schema_options(p)
     _add_discovery_options(p)
-    p.add_argument("--workers", type=int, default=0,
-                   help="subspace-parallel worker count (0 = single "
-                        "unsharded engine)")
-    p.add_argument("--mode", default="process",
-                   choices=("serial", "thread", "process"),
-                   help="worker execution mode (with --workers)")
     p.add_argument("--host", default="127.0.0.1")
     p.add_argument("--port", type=int, default=None,
                    help="listen for NDJSON clients (0 = ephemeral port, "
@@ -423,9 +478,6 @@ def build_parser() -> argparse.ArgumentParser:
                    help="seconds between snapshot checkpoints")
     p.add_argument("--json", action="store_true",
                    help="emit one JSON object per fact (NDJSON)")
-    p.add_argument("--no-score", action="store_true",
-                   help="skip prominence scoring (incompatible with "
-                        "--tau/--top-k)")
     p.set_defaults(fn=cmd_serve)
 
     p = sub.add_parser(

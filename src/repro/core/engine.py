@@ -15,13 +15,16 @@ streaming call::
 
 from __future__ import annotations
 
+import warnings
 from typing import TYPE_CHECKING, Iterable, List, Mapping, Optional, Union
 
 from ..metrics.counters import OpCounters
 
 if TYPE_CHECKING:  # pragma: no cover - typing only
     from ..algorithms import DiscoveryAlgorithm
+    from ..api.spec import EngineSpec
 from .config import DiscoveryConfig
+from .engine_protocol import EngineBase
 from .facts import FactSet, SituationalFact
 from .prominence import score_facts, select_reportable
 from .record import Record
@@ -30,7 +33,7 @@ from .schema import TableSchema
 Row = Union[Mapping[str, object], Record]
 
 
-class FactDiscoverer:
+class FactDiscoverer(EngineBase):
     """Streaming discovery of prominent situational facts.
 
     Parameters
@@ -46,7 +49,15 @@ class FactDiscoverer:
         When True (default) every fact is annotated with context and
         skyline cardinalities so prominence ranking works; turn off for
         raw ``S_t`` streaming at maximum speed.
+
+    ``FactDiscoverer`` is the in-proc implementation of the uniform
+    :class:`~repro.core.engine_protocol.Engine` protocol; prefer
+    building engines declaratively via
+    :func:`repro.api.open_engine` — this constructor remains as the
+    back-compat entry point (and the facade's ``"single"`` backend).
     """
+
+    kind = "single"
 
     def __init__(
         self,
@@ -123,8 +134,15 @@ class FactDiscoverer:
         return self.algorithm.constraint_cache(record).values()
 
     def observe_all(self, rows: Iterable[Row]) -> List[List[SituationalFact]]:
-        """Process many tuples; one reportable-fact list per tuple."""
-        return [self.observe(row) for row in rows]
+        """Deprecated alias of :meth:`observe_many` (same contract,
+        slower path — it never engaged the batched machinery)."""
+        warnings.warn(
+            "FactDiscoverer.observe_all is deprecated; use observe_many "
+            "(identical output, batched fast path)",
+            DeprecationWarning,
+            stacklevel=2,
+        )
+        return self.observe_many(rows)
 
     # ------------------------------------------------------------------
     # Batched streaming API
@@ -201,6 +219,25 @@ class FactDiscoverer:
     def table(self):
         """The underlying append-only relation."""
         return self.algorithm.table
+
+    def _derive_spec(self) -> "EngineSpec":
+        """The declarative :class:`EngineSpec` rebuilding this engine
+        (via :func:`repro.api.open_engine`); snapshot format v3 persists
+        it so checkpoints restore the exact composition."""
+        from ..api.spec import EngineSpec
+
+        return EngineSpec(
+            schema=self.schema,
+            algorithm=self.algorithm.name,
+            config=self.config,
+            score=self.score,
+        )
+
+    def stats(self) -> dict:
+        """Operational metrics snapshot (JSON-able)."""
+        out = super().stats()
+        out["algorithm"] = self.algorithm.name
+        return out
 
     def __len__(self) -> int:
         return len(self.algorithm.table)

@@ -2,11 +2,16 @@
 
 Base tuples are often too fine-grained for a story — the newsworthy
 statement is about a *running aggregate* ("no team has ever piled up
-this many points by the All-Star break").  :class:`AggregateFactDiscoverer`
-maintains group aggregates over the base stream and runs fact discovery
-on the *aggregate* relation: every time a group's aggregate changes, its
-previous aggregate tuple is retracted and the new one observed, so
-facts always describe current group totals.
+this many points by the All-Star break").  Aggregation is implemented
+by :class:`repro.api.middleware.AggregateMiddleware`, a composable layer
+over any :class:`~repro.core.engine_protocol.Engine`: every time a
+group's aggregate changes, its previous aggregate tuple is retracted and
+the new one observed, so facts always describe current group totals.
+:class:`AggregateFactDiscoverer` remains as the back-compat constructor;
+prefer the facade::
+
+    spec = EngineSpec(base_schema, aggregate=GroupSpec(...))
+    engine = open_engine(spec)
 
 This is a direct consumer of the deletion extension: without retraction
 an updated group would leave its stale aggregate behind as a phantom
@@ -15,83 +20,21 @@ competitor.
 
 from __future__ import annotations
 
-from dataclasses import dataclass
-from typing import Dict, Iterable, List, Mapping, Optional, Sequence, Tuple
+import warnings
+from typing import Iterable, List, Mapping, Optional
 
+from ..api.middleware import AggregateMiddleware
+from ..api.spec import AGGREGATES, EngineSpec, GroupSpec
 from ..core.config import DiscoveryConfig
 from ..core.engine import FactDiscoverer
 from ..core.facts import SituationalFact
-from ..core.schema import TableSchema
 
-#: Supported aggregate functions over a base measure.
-AGGREGATES = ("sum", "max", "min", "count", "avg")
+__all__ = ["AGGREGATES", "GroupSpec", "AggregateFactDiscoverer"]
 
 
-@dataclass(frozen=True)
-class GroupSpec:
-    """How to roll base rows up into aggregate tuples.
-
-    Attributes
-    ----------
-    group_by:
-        Base dimension attributes identifying a group (they become the
-        aggregate relation's dimensions).
-    aggregations:
-        Mapping ``output_measure_name -> (base_measure, function)`` with
-        function one of :data:`AGGREGATES`.
-    """
-
-    group_by: Tuple[str, ...]
-    aggregations: Mapping[str, Tuple[str, str]]
-
-    def __post_init__(self) -> None:
-        if not self.group_by:
-            raise ValueError("group_by needs at least one attribute")
-        if not self.aggregations:
-            raise ValueError("at least one aggregation required")
-        for name, (base, fn) in self.aggregations.items():
-            if fn not in AGGREGATES:
-                raise ValueError(
-                    f"aggregation {name!r} uses unknown function {fn!r}; "
-                    f"choose from {AGGREGATES}"
-                )
-
-
-class _GroupState:
-    """Running aggregate state for one group."""
-
-    __slots__ = ("count", "sums", "maxes", "mins")
-
-    def __init__(self, measures: Sequence[str]) -> None:
-        self.count = 0
-        self.sums: Dict[str, float] = {m: 0.0 for m in measures}
-        self.maxes: Dict[str, float] = {}
-        self.mins: Dict[str, float] = {}
-
-    def update(self, row: Mapping[str, object], measures: Sequence[str]) -> None:
-        self.count += 1
-        for m in measures:
-            value = float(row[m])  # type: ignore[arg-type]
-            self.sums[m] += value
-            if m not in self.maxes or value > self.maxes[m]:
-                self.maxes[m] = value
-            if m not in self.mins or value < self.mins[m]:
-                self.mins[m] = value
-
-    def value(self, base: str, fn: str) -> float:
-        if fn == "sum":
-            return self.sums[base]
-        if fn == "max":
-            return self.maxes[base]
-        if fn == "min":
-            return self.mins[base]
-        if fn == "count":
-            return float(self.count)
-        return self.sums[base] / self.count  # avg
-
-
-class AggregateFactDiscoverer:
-    """Fact discovery over running group aggregates.
+class AggregateFactDiscoverer(AggregateMiddleware):
+    """Fact discovery over running group aggregates (back-compat shim
+    over :class:`~repro.api.middleware.AggregateMiddleware`).
 
     Examples
     --------
@@ -106,49 +49,32 @@ class AggregateFactDiscoverer:
         algorithm: str = "stopdown",
         config: Optional[DiscoveryConfig] = None,
     ) -> None:
-        self.spec = spec
-        self._base_measures = sorted({base for base, _fn in spec.aggregations.values()})
-        self.schema = TableSchema(
-            dimensions=spec.group_by,
-            measures=tuple(spec.aggregations),
+        base_schema = spec.base_schema()
+        engine_spec = EngineSpec(
+            schema=base_schema,
+            algorithm=algorithm,
+            config=config or DiscoveryConfig(),
+            aggregate=spec,
         )
-        self.engine = FactDiscoverer(self.schema, algorithm=algorithm, config=config)
-        self._groups: Dict[Tuple[object, ...], _GroupState] = {}
-        self._live_tid: Dict[Tuple[object, ...], int] = {}
+        inner = FactDiscoverer(
+            spec.discovery_schema(), algorithm=algorithm, config=config
+        )
+        super().__init__(inner, spec, base_schema=base_schema, spec=engine_spec)
 
-    def observe(self, row: Mapping[str, object]) -> List[SituationalFact]:
-        """Fold one base row into its group and rediscover facts for the
-        group's updated aggregate tuple."""
-        key = tuple(row[a] for a in self.spec.group_by)
-        state = self._groups.get(key)
-        if state is None:
-            state = _GroupState(self._base_measures)
-            self._groups[key] = state
-        state.update(row, self._base_measures)
+    @property
+    def engine(self) -> FactDiscoverer:
+        """The wrapped in-proc engine over the aggregate relation
+        (legacy attribute)."""
+        return self.inner
 
-        # Retract the group's previous aggregate (if any), then observe
-        # the fresh one.
-        old_tid = self._live_tid.get(key)
-        if old_tid is not None:
-            self.engine.delete(old_tid)
-        agg_row: Dict[str, object] = dict(zip(self.spec.group_by, key))
-        for name, (base, fn) in self.spec.aggregations.items():
-            agg_row[name] = state.value(base, fn)
-        facts = self.engine.observe(agg_row)
-        self._live_tid[key] = self.engine.table[len(self.engine.table) - 1].tid
-        return facts
-
-    def observe_all(self, rows: Iterable[Mapping[str, object]]) -> List[List[SituationalFact]]:
-        return [self.observe(row) for row in rows]
-
-    def group_count(self) -> int:
-        """Number of live groups (= live aggregate tuples)."""
-        return len(self._groups)
-
-    def aggregate_row(self, key: Tuple[object, ...]) -> Dict[str, object]:
-        """Current aggregate tuple of ``key`` (for inspection)."""
-        state = self._groups[key]
-        out: Dict[str, object] = dict(zip(self.spec.group_by, key))
-        for name, (base, fn) in self.spec.aggregations.items():
-            out[name] = state.value(base, fn)
-        return out
+    def observe_all(
+        self, rows: Iterable[Mapping[str, object]]
+    ) -> List[List[SituationalFact]]:
+        """Deprecated alias of :meth:`observe_many`."""
+        warnings.warn(
+            "AggregateFactDiscoverer.observe_all is deprecated; "
+            "use observe_many",
+            DeprecationWarning,
+            stacklevel=2,
+        )
+        return self.observe_many(rows)

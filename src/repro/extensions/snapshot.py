@@ -1,20 +1,29 @@
 """Engine snapshots: persist a discovery session and resume it later.
 
-The snapshot is *logical*: schema, config, algorithm name, and the live
-rows in arrival order, as one JSON document.  Loading replays the rows
-through a fresh engine, which rebuilds every store exactly (the
-algorithms are deterministic functions of the stream).  This trades
-reload CPU for a format that is human-readable, diff-able, and immune
-to internal-layout changes — the usual choice for moderate table sizes;
-larger deployments would checkpoint the µ stores themselves (the file
-store already persists them).
+The snapshot is *logical*: the engine's declarative
+:class:`~repro.api.spec.EngineSpec` plus the input rows in arrival
+order, as one JSON document.  Loading re-opens the spec through
+:func:`repro.api.open_engine` and replays the rows, which rebuilds every
+store exactly (the algorithms are deterministic functions of the
+stream).  This trades reload CPU for a format that is human-readable,
+diff-able, and immune to internal-layout changes — the usual choice for
+moderate table sizes; larger deployments would checkpoint the µ stores
+themselves (the file store already persists them).
 
-Format v2 adds a ``meta`` section: the engine's ``score`` flag and the
-serving configuration (engine kind, worker count, execution mode) so a
-:class:`~repro.service.sharding.ShardedDiscoverer` checkpoint restores
-as a sharded service — the round-trip behind
-:class:`~repro.service.server.StreamServer`'s periodic checkpointing.
-Version-1 files (no ``meta``) still load with the old defaults.
+Format history
+--------------
+* **v3** (current) embeds the full ``EngineSpec`` (``spec`` section), so
+  *any* composition — single, sharded, windowed, aggregate — round-trips
+  through a checkpoint.  The persisted rows are the engine's replay
+  journal (:meth:`EngineBase.snapshot_rows`): the live table for most
+  engines, the base-row journal for aggregate engines (their table holds
+  derived tuples that must not be re-aggregated).
+* **v2** added a ``meta`` section (scored flag, engine kind / worker
+  count / execution mode) so sharded checkpoints restored sharded.
+* **v1** carried schema / config / algorithm / rows only.
+
+All three versions load; v1/v2 documents are translated to an
+``EngineSpec`` on the way in.
 
 Arrival ids are renumbered densely on load (0..n-1); fact outputs are
 unaffected since discovery depends only on tuple order and content.
@@ -23,62 +32,47 @@ unaffected since discovery depends only on tuple order and content.
 from __future__ import annotations
 
 import json
-from dataclasses import asdict
-from typing import Union
+from typing import Optional
 
-from ..core.config import DiscoveryConfig
-from ..core.engine import FactDiscoverer
-from ..core.schema import TableSchema
+from ..api.spec import EngineSpec, ShardingSpec
+from ..core.engine_protocol import Engine
 
-_FORMAT_VERSION = 2
-_READABLE_VERSIONS = (1, 2)
+_FORMAT_VERSION = 3
+_READABLE_VERSIONS = (1, 2, 3)
 
 #: Rows per replay block on load (observe_many is output-identical to
 #: the row-at-a-time loop; batching just amortises the rebuild).
 _REPLAY_BATCH = 512
 
 
-def save_engine(engine, path: str) -> None:
+def save_engine(engine: Engine, path: str) -> None:
     """Write a JSON snapshot of ``engine`` to ``path``.
 
-    Accepts a :class:`FactDiscoverer` or a
-    :class:`~repro.service.sharding.ShardedDiscoverer` (anything with
-    ``schema`` / ``config`` / ``table`` / ``score`` and an algorithm
-    name).
+    Accepts any :class:`~repro.core.engine_protocol.Engine` — the spec
+    (``engine.spec``) and the replay journal (``engine.snapshot_rows()``,
+    falling back to the live table) fully describe the session.
     """
-    schema = engine.schema
-    rows = [record.as_dict(schema) for record in engine.table]
-    algorithm = getattr(engine, "algorithm_name", None)
-    meta = {"score": bool(getattr(engine, "score", True))}
-    if algorithm is None:
-        algorithm = engine.algorithm.name
-        meta["engine"] = "single"
-    else:
-        meta["engine"] = "sharded"
-        meta["n_workers"] = engine.n_workers
-        meta["mode"] = engine.mode
+    spec = engine.spec
+    rows_of = getattr(engine, "snapshot_rows", None)
+    if rows_of is not None:
+        rows = rows_of()
+    else:  # duck-typed legacy engine
+        rows = [record.as_dict(engine.schema) for record in engine.table]
     doc = {
         "format_version": _FORMAT_VERSION,
-        "algorithm": algorithm,
-        "meta": meta,
-        "schema": {
-            "dimensions": list(schema.dimensions),
-            "measures": list(schema.measures),
-            "preferences": dict(schema.preferences),
-        },
-        "config": asdict(engine.config),
+        "spec": spec.to_dict(),
         "rows": rows,
     }
     with open(path, "w") as fh:
         json.dump(doc, fh, indent=1)
 
 
-def load_engine(path: str, score=None):
+def load_engine(path: str, score: Optional[bool] = None) -> Engine:
     """Rebuild an engine from a snapshot written by :func:`save_engine`.
 
-    Returns a :class:`FactDiscoverer`, or a
-    :class:`~repro.service.sharding.ShardedDiscoverer` when the snapshot
-    was taken from one (v2 ``meta`` section).  ``score`` overrides the
+    Returns whatever composition the snapshot describes, built via
+    :func:`repro.api.open_engine` — a sharded snapshot restores sharded,
+    a windowed one windowed, and so on.  ``score`` overrides the
     persisted flag when given; v1 snapshots carry no flag and default to
     scored.  Raises ``ValueError`` for unknown snapshot versions.
     """
@@ -90,30 +84,41 @@ def load_engine(path: str, score=None):
             f"unsupported snapshot version {version!r} "
             f"(this build reads versions {_READABLE_VERSIONS})"
         )
-    schema = TableSchema(
-        dimensions=tuple(doc["schema"]["dimensions"]),
-        measures=tuple(doc["schema"]["measures"]),
-        preferences=doc["schema"]["preferences"],
-    )
-    config = DiscoveryConfig(**doc["config"])
-    meta = doc.get("meta", {})
-    if score is None:
-        score = bool(meta.get("score", True))
-    if meta.get("engine") == "sharded":
-        from ..service.sharding import ShardedDiscoverer
-
-        engine: Union[FactDiscoverer, ShardedDiscoverer] = ShardedDiscoverer(
-            schema,
-            config,
-            n_workers=int(meta.get("n_workers", 2)),
-            mode=meta.get("mode", "serial"),
-            score=score,
-        )
+    if version == 3:
+        spec = EngineSpec.from_dict(doc["spec"])
     else:
-        engine = FactDiscoverer(
-            schema, algorithm=doc["algorithm"], config=config, score=score
-        )
+        spec = _spec_from_legacy(doc)
+    spec = spec.with_score(score)
+
+    from ..api.facade import open_engine
+
+    engine = open_engine(spec)
     rows = doc["rows"]
     for start in range(0, len(rows), _REPLAY_BATCH):
         engine.observe_many(rows[start : start + _REPLAY_BATCH])
     return engine
+
+
+def _spec_from_legacy(doc: dict) -> EngineSpec:
+    """Translate a v1/v2 document into an :class:`EngineSpec`."""
+    meta = doc.get("meta", {})
+    sharding = None
+    algorithm = doc["algorithm"]
+    if meta.get("engine") == "sharded":
+        sharding = ShardingSpec(
+            workers=int(meta.get("n_workers", 2)),
+            mode=meta.get("mode", "serial"),
+        )
+        algorithm = "svec"
+    spec_doc = {
+        "schema": doc["schema"],
+        "algorithm": algorithm,
+        "config": doc["config"],
+        "score": bool(meta.get("score", True)),
+    }
+    spec = EngineSpec.from_dict(spec_doc)
+    if sharding is not None:
+        from dataclasses import replace
+
+        spec = replace(spec, sharding=sharding)
+    return spec

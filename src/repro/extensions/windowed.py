@@ -1,25 +1,33 @@
 """Sliding-window fact discovery (built on the §VIII deletion extension).
 
 Journalistic contexts are often time-bounded ("the best performance in
-the last five seasons").  :class:`WindowedFactDiscoverer` keeps only the
-most recent ``window`` tuples live: each arrival beyond the horizon
-retracts the oldest tuple, so every reported fact is a statement about
-the window, not all history.
+the last five seasons").  Windowing is implemented by
+:class:`repro.api.middleware.WindowMiddleware`, a composable layer over
+any :class:`~repro.core.engine_protocol.Engine`;
+:class:`WindowedFactDiscoverer` remains as the back-compat constructor
+for the common case (window over an in-proc engine).  Prefer the
+facade::
+
+    spec = EngineSpec(schema, window=300, algorithm="stopdown")
+    engine = open_engine(spec)
 """
 
 from __future__ import annotations
 
-from collections import deque
-from typing import Deque, Iterable, List, Mapping, Optional
+import warnings
+from typing import Iterable, List, Mapping, Optional
 
+from ..api.middleware import WindowMiddleware
+from ..api.spec import EngineSpec
 from ..core.config import DiscoveryConfig
 from ..core.engine import FactDiscoverer
 from ..core.facts import SituationalFact
 from ..core.schema import TableSchema
 
 
-class WindowedFactDiscoverer:
-    """A :class:`FactDiscoverer` over a count-based sliding window.
+class WindowedFactDiscoverer(WindowMiddleware):
+    """A windowed :class:`FactDiscoverer` (back-compat shim over
+    :class:`~repro.api.middleware.WindowMiddleware`).
 
     Parameters
     ----------
@@ -47,28 +55,28 @@ class WindowedFactDiscoverer:
     ) -> None:
         if window < 1:
             raise ValueError("window must be >= 1")
-        self.window = window
-        self.engine = FactDiscoverer(schema, algorithm=algorithm, config=config)
-        self._live: Deque[int] = deque()
-
-    def observe(self, row: Mapping[str, object]) -> List[SituationalFact]:
-        """Process one arrival; evict the oldest tuple when the window
-        overflows (eviction happens *before* discovery so the new tuple
-        is compared only against live ones)."""
-        while len(self._live) >= self.window:
-            self.engine.delete(self._live.popleft())
-        facts = self.engine.observe(row)
-        newest = self.engine.table[len(self.engine.table) - 1]
-        self._live.append(newest.tid)
-        return facts
-
-    def observe_all(self, rows: Iterable[Mapping[str, object]]) -> List[List[SituationalFact]]:
-        return [self.observe(row) for row in rows]
-
-    def __len__(self) -> int:
-        return len(self._live)
+        spec = EngineSpec(
+            schema=schema,
+            algorithm=algorithm,
+            config=config or DiscoveryConfig(),
+            window=window,
+        )
+        inner = FactDiscoverer(schema, algorithm=algorithm, config=config)
+        super().__init__(inner, window, spec=spec)
 
     @property
-    def live_tids(self) -> List[int]:
-        """Arrival ids currently inside the window, oldest first."""
-        return list(self._live)
+    def engine(self) -> FactDiscoverer:
+        """The wrapped in-proc engine (legacy attribute)."""
+        return self.inner
+
+    def observe_all(
+        self, rows: Iterable[Mapping[str, object]]
+    ) -> List[List[SituationalFact]]:
+        """Deprecated alias of :meth:`observe_many`."""
+        warnings.warn(
+            "WindowedFactDiscoverer.observe_all is deprecated; "
+            "use observe_many",
+            DeprecationWarning,
+            stacklevel=2,
+        )
+        return self.observe_many(rows)

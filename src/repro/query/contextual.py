@@ -27,6 +27,14 @@ from .parser import parse_query
 class ContextualQueryEngine:
     """Query façade over a discovery algorithm's state.
 
+    Obtained uniformly from any engine via ``engine.query()`` (the
+    :class:`~repro.core.engine_protocol.Engine` protocol); sharded
+    engines return the router-merged subclass from
+    :mod:`repro.service.sharding`.  ``algorithm`` may be any
+    algorithm-shaped state view: an object with ``table``, ``schema``
+    and ``maintained_subspaces()`` (store-backed fast paths engage only
+    for real :class:`BottomUp` / :class:`TopDown` instances).
+
     Examples
     --------
     >>> from repro import TableSchema, make_algorithm
@@ -38,7 +46,7 @@ class ContextualQueryEngine:
     [0]
     """
 
-    def __init__(self, algorithm: DiscoveryAlgorithm) -> None:
+    def __init__(self, algorithm: "DiscoveryAlgorithm") -> None:
         self.algorithm = algorithm
         self.schema: TableSchema = algorithm.schema
 

@@ -1,10 +1,12 @@
 """Streaming news feed of prominent facts (§VII reporting policy).
 
-Wraps a :class:`~repro.core.engine.FactDiscoverer` and, per arriving
+Wraps any :class:`~repro.core.engine_protocol.Engine` and, per arriving
 tuple, emits the *prominent facts* — the facts tied at the highest
 prominence in ``S_t``, provided that prominence reaches ``τ`` — as
 narrated headlines.  This is the end-to-end pipeline a newsroom would
-run (paper §I motivation).
+run (paper §I motivation).  Engines are built through
+:func:`repro.api.open_engine`, so a feed can run over a sharded or
+windowed composition by passing ``engine=`` (or a full spec).
 """
 
 from __future__ import annotations
@@ -12,8 +14,10 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Iterable, List, Mapping, Optional
 
+from ..api.facade import open_engine
+from ..api.spec import EngineSpec
 from ..core.config import DiscoveryConfig
-from ..core.engine import FactDiscoverer
+from ..core.engine_protocol import Engine
 from ..core.facts import SituationalFact
 from ..core.schema import TableSchema
 from .narrate import narrate
@@ -46,22 +50,30 @@ class NewsFeed:
         algorithm: str = "stopdown",
         max_bound_dims: Optional[int] = 3,
         max_measure_dims: Optional[int] = 3,
+        engine: Optional[Engine] = None,
     ) -> None:
         self.schema = schema
-        config = DiscoveryConfig(
-            max_bound_dims=max_bound_dims,
-            max_measure_dims=max_measure_dims,
-            tau=tau,
-        )
-        self.engine = FactDiscoverer(schema, algorithm=algorithm, config=config)
+        if engine is None:
+            spec = EngineSpec(
+                schema=schema,
+                algorithm=algorithm,
+                config=DiscoveryConfig(
+                    max_bound_dims=max_bound_dims,
+                    max_measure_dims=max_measure_dims,
+                    tau=tau,
+                ),
+            )
+            engine = open_engine(spec)
+        self.engine = engine
         self.headlines: List[Headline] = []
         self._index = 0
 
     def push(self, row: Mapping[str, object]) -> List[Headline]:
         """Feed one tuple; returns headlines it triggered (often none)."""
         prominent = self.engine.observe(row)
+        schema = self.engine.discovery_schema
         emitted = [
-            Headline(self._index, fact, narrate(fact, self.schema))
+            Headline(self._index, fact, narrate(fact, schema))
             for fact in prominent
         ]
         self.headlines.extend(emitted)

@@ -1,9 +1,9 @@
 """Asyncio streaming front-end: bounded queue, micro-batches, drain.
 
-:class:`StreamServer` wraps any engine exposing the
-:class:`~repro.core.engine.FactDiscoverer` streaming API (including
-:class:`~repro.service.sharding.ShardedDiscoverer`) behind an asyncio
-ingest pipeline:
+:class:`StreamServer` wraps any
+:class:`~repro.core.engine_protocol.Engine` — in-proc, sharded,
+windowed, aggregate, or any composition built by
+:func:`repro.api.open_engine` — behind an asyncio ingest pipeline:
 
 * **bounded ingest queue** — ``await ingest(row)`` blocks once
   ``queue_limit`` rows are waiting, so fast producers feel backpressure
@@ -43,6 +43,7 @@ from dataclasses import dataclass, field
 from typing import List, Mapping, Optional, Sequence
 
 from ..core.facts import SituationalFact
+from ..core.prominence import select_reportable
 from ..core.record import Record
 from ..metrics.service import ServiceStats
 
@@ -121,18 +122,22 @@ class StreamServer:
     Parameters
     ----------
     engine:
-        A :class:`FactDiscoverer` or :class:`ShardedDiscoverer` (any
-        object with ``observe_many`` / ``delete`` / ``table`` /
-        ``schema`` / ``config``).
+        Any :class:`~repro.core.engine_protocol.Engine` (e.g. from
+        :func:`repro.api.open_engine`): the server drives it through
+        ``facts_for_many`` / ``delete`` and validates rows against its
+        ``schema`` (facts are rendered over ``discovery_schema``, which
+        differs for aggregate engines).
     queue_limit:
         Ingest-queue bound; ``ingest`` awaits (backpressure) when full.
     batch_max:
-        Micro-batch size cap per ``observe_many`` call.
+        Micro-batch size cap per ``facts_for_many`` call.
     batch_window:
         Seconds to wait for additional rows before running a partial
         batch (latency bound at low ingest rates).
     checkpoint_path / checkpoint_interval:
-        Periodic engine snapshots (both must be set to activate).
+        Periodic engine snapshots (both must be set to activate);
+        defaults to the engine spec's
+        :class:`~repro.api.spec.CheckpointPolicy` when one is set.
     """
 
     def __init__(
@@ -151,6 +156,16 @@ class StreamServer:
         if batch_max < 1:
             raise ValueError("batch_max must be >= 1")
         self.engine = engine
+        if checkpoint_path is None:
+            # The engine spec's checkpoint policy is the default.
+            try:
+                policy = engine.spec.checkpoint
+            except (AttributeError, NotImplementedError):
+                policy = None
+            if policy is not None:
+                checkpoint_path = policy.path
+                if checkpoint_interval is None:
+                    checkpoint_interval = policy.interval
         self.queue_limit = queue_limit
         self.batch_max = batch_max
         self.batch_window = batch_window
@@ -326,11 +341,23 @@ class StreamServer:
         engine = self.engine
         loop = asyncio.get_running_loop()
         rows = [row for _, row, _ in batch]
+        config = engine.config
+
+        def discover():
+            # facts_for_many (not observe_many): each FactSet carries
+            # the record it was discovered for, so the server never
+            # reaches into the table — windowed/aggregate engines, whose
+            # tables shift under eviction and group retraction, stay
+            # servable.  Reportable-fact selection (materialisation +
+            # ranking) runs here too, off the event loop.
+            return [
+                (factset, select_reportable(factset, config))
+                for factset in engine.facts_for_many(rows)
+            ]
+
         try:
             async with self._engine_lock:
-                results = await loop.run_in_executor(
-                    None, engine.observe_many, rows
-                )
+                results = await loop.run_in_executor(None, discover)
         except Exception as exc:
             # Keep the consumer alive: deliver the failure to waiting
             # callers and record it for fire-and-forget producers
@@ -342,11 +369,9 @@ class StreamServer:
             for _ in batch:
                 self._queue.task_done()
             return
-        table = engine.table
-        records = [table[len(table) - len(batch) + i] for i in range(len(batch))]
         emitted = 0
-        for (_, _, future), record, facts in zip(batch, records, results):
-            event = FactEvent(record, facts)
+        for (_, _, future), (factset, facts) in zip(batch, results):
+            event = FactEvent(factset.record, facts)
             emitted += len(facts)
             if future is not None and not future.done():
                 future.set_result(event)
@@ -410,7 +435,11 @@ class StreamServer:
     async def _handle_client(self, reader, writer) -> None:
         from ..core.schema import SchemaError
 
-        schema = self.engine.schema
+        # Facts are stated over the discovery relation (differs from the
+        # input schema only for aggregate engines).
+        schema = getattr(
+            self.engine, "discovery_schema", self.engine.schema
+        )
 
         async def reply(payload: dict) -> None:
             writer.write(json.dumps(payload).encode() + b"\n")

@@ -46,12 +46,14 @@ from typing import Dict, Iterable, List, Mapping, Optional, Sequence, Tuple, Uni
 
 from ..core.config import DiscoveryConfig
 from ..core.constraint import Constraint, constraint_for_record
-from ..core.facts import FactSet, SituationalFact
+from ..core.engine_protocol import EngineBase
+from ..core.facts import FactSet
 from ..core.lattice import nonempty_subspaces
-from ..core.prominence import ColumnarContextCounter, select_reportable
+from ..core.prominence import ColumnarContextCounter
 from ..core.record import Record, Table
 from ..core.schema import TableSchema
 from ..metrics.counters import OpCounters
+from ..query.contextual import ContextualQueryEngine
 
 Row = Union[Mapping[str, object], Record]
 
@@ -183,6 +185,17 @@ class _ShardEngine:
     def counters(self) -> Dict[str, int]:
         return self.algorithm.counters.snapshot()
 
+    def skyline_tids(self, values: Tuple[object, ...], subspace: int) -> List[int]:
+        """Answer one contextual-skyline query from this shard's stores
+        (pickle-light: tids only; the router re-projects records)."""
+        from ..query.contextual import ContextualQueryEngine
+
+        constraint = Constraint(tuple(values))
+        skyline = ContextualQueryEngine(self.algorithm).skyline(
+            constraint, subspace
+        )
+        return sorted(record.tid for record in skyline)
+
 
 def _build_shard_engine(spec: Mapping[str, object]) -> _ShardEngine:
     schema = TableSchema(
@@ -212,6 +225,8 @@ def _shard_worker_main(conn, spec) -> None:
             engine.delete(payload)
         elif op == "counters":
             conn.send(engine.counters())
+        elif op == "skyline":
+            conn.send(engine.skyline_tids(*payload))
         elif op == "stop":
             break
     conn.close()
@@ -239,6 +254,9 @@ class _InlineWorker:
 
     def counters(self) -> Dict[str, int]:
         return self._engine.counters()
+
+    def skyline(self, values, subspace: int) -> List[int]:
+        return self._engine.skyline_tids(values, subspace)
 
     def close(self) -> None:
         pass
@@ -269,6 +287,11 @@ class _ThreadWorker:
 
     def counters(self) -> Dict[str, int]:
         return self._pool.submit(self._engine.counters).result()
+
+    def skyline(self, values, subspace: int) -> List[int]:
+        return self._pool.submit(
+            self._engine.skyline_tids, values, subspace
+        ).result()
 
     def close(self) -> None:
         self._pool.shutdown(wait=True)
@@ -306,6 +329,10 @@ class _ProcessWorker:
         self._conn.send(("counters", None))
         return self._conn.recv()
 
+    def skyline(self, values, subspace: int) -> List[int]:
+        self._conn.send(("skyline", (values, subspace)))
+        return self._conn.recv()
+
     def close(self) -> None:
         try:
             self._conn.send(("stop", None))
@@ -319,9 +346,57 @@ class _ProcessWorker:
 
 
 # ----------------------------------------------------------------------
+# Router-side queries
+# ----------------------------------------------------------------------
+class _RouterQueryView:
+    """Algorithm-shaped view of the router's canonical state, so the
+    generic :class:`~repro.query.contextual.ContextualQueryEngine`
+    machinery (selection, skyband, statistics) runs router-side."""
+
+    def __init__(self, sharded: "ShardedDiscoverer") -> None:
+        self.schema = sharded.schema
+        self.table = sharded.table
+        self._keys = {key for shard in sharded.shards for key in shard}
+
+    def maintained_subspaces(self) -> List[int]:
+        return list(self._keys)
+
+
+class ShardedQueryEngine(ContextualQueryEngine):
+    """Forward contextual queries over a :class:`ShardedDiscoverer`.
+
+    Skyline queries on maintained subspaces are pushed down to the
+    worker owning that subspace key — answered from its µ stores as a
+    pickle-light tid list and re-projected against the router's
+    canonical table; everything else (unmaintained pairs, skybands,
+    context statistics) is computed router-side from the canonical
+    table.  This closes the historical parity gap where sharded engines
+    could not answer skyline/prominence queries at all.
+    """
+
+    def __init__(self, sharded: "ShardedDiscoverer") -> None:
+        super().__init__(_RouterQueryView(sharded))
+        self._sharded = sharded
+
+    def skyline(self, constraint: Constraint, subspace: int) -> List[Record]:
+        sharded = self._sharded
+        sharded._check_open()
+        owner = sharded._shard_of.get(subspace)
+        if owner is not None:
+            tids = sharded._workers[owner].skyline(
+                tuple(constraint.values), subspace
+            )
+            by_tid = {record.tid: record for record in sharded.table}
+            return [by_tid[tid] for tid in tids if tid in by_tid]
+        from ..core.skyline import contextual_skyline
+
+        return contextual_skyline(sharded.table, constraint, subspace)
+
+
+# ----------------------------------------------------------------------
 # Router
 # ----------------------------------------------------------------------
-class ShardedDiscoverer:
+class ShardedDiscoverer(EngineBase):
     """Drop-in :class:`~repro.core.engine.FactDiscoverer` running the
     subspace axis across ``n_workers`` shard engines.
 
@@ -338,6 +413,8 @@ class ShardedDiscoverer:
         Pipelining granularity of the batched API (rows per worker
         round-trip).
     """
+
+    kind = "sharded"
 
     def __init__(
         self,
@@ -372,6 +449,10 @@ class ShardedDiscoverer:
         self.n_workers = len(self.shards)
         #: Merge rank: canonical position of each subspace key.
         self._rank = {key: i for i, key in enumerate(keys)}
+        #: Owning worker index per maintained subspace key (query routing).
+        self._shard_of = {
+            key: w for w, shard in enumerate(self.shards) for key in shard
+        }
         self._cons_memo: Dict[Tuple[object, ...], Dict[int, Constraint]] = {}
         self._workers = self._spawn_workers()
         self._closed = False
@@ -405,22 +486,12 @@ class ShardedDiscoverer:
         }
 
     # ------------------------------------------------------------------
-    # Streaming API (FactDiscoverer-compatible)
+    # Streaming API (Engine protocol; observe/observe_many/update come
+    # from EngineBase)
     # ------------------------------------------------------------------
-    def observe(self, row: Row) -> List[SituationalFact]:
-        """Process one arriving tuple and return its reportable facts."""
-        return self.observe_many([row])[0]
-
     def facts_for(self, row: Row) -> FactSet:
         """Process one tuple and return the full (scored) ``S_t``."""
         return self.facts_for_many([row])[0]
-
-    def observe_many(self, rows: Iterable[Row]) -> List[List[SituationalFact]]:
-        """Batched :meth:`observe`: one reportable-fact list per row."""
-        return [
-            select_reportable(facts, self.config)
-            for facts in self.facts_for_many(rows)
-        ]
 
     def facts_for_many(self, rows: Iterable[Row]) -> List[FactSet]:
         """Batched :meth:`facts_for`, pipelined chunk-wise across the
@@ -460,11 +531,6 @@ class ShardedDiscoverer:
             worker.delete(tid)
         self.context_counter.unregister(removed)
         return removed
-
-    def update(self, tid: int, row: Mapping[str, object]) -> List[SituationalFact]:
-        """Replace a previously observed tuple (retract-then-observe)."""
-        self.delete(tid)
-        return self.observe(row)
 
     # ------------------------------------------------------------------
     # Admission + merge
@@ -589,6 +655,37 @@ class ShardedDiscoverer:
     def algorithm_name(self) -> str:
         return "svec"
 
+    def _derive_spec(self):
+        """The declarative :class:`~repro.api.spec.EngineSpec` that
+        rebuilds this composition via :func:`repro.api.open_engine`."""
+        from ..api.spec import EngineSpec, ShardingSpec
+
+        return EngineSpec(
+            schema=self.schema,
+            algorithm="svec",
+            config=self.config,
+            score=self.score,
+            sharding=ShardingSpec(
+                workers=self.n_workers,
+                mode=self.mode,
+                chunk_size=self.chunk_size,
+            ),
+        )
+
+    def query(self) -> ShardedQueryEngine:
+        """Forward contextual queries, merged router-side (maintained
+        subspaces answered from the owning worker's stores)."""
+        self._check_open()
+        return ShardedQueryEngine(self)
+
+    def stats(self) -> Dict[str, object]:
+        """Operational metrics: base engine stats plus shard balance."""
+        out = super().stats()
+        out["workers"] = self.n_workers
+        out["mode"] = self.mode
+        out["utilization"] = self.utilization()
+        return out
+
     def utilization(self) -> List[float]:
         """Cumulative busy seconds per shard (ingest compute only) —
         the service metrics read shard balance off this."""
@@ -608,12 +705,6 @@ class ShardedDiscoverer:
     def _check_open(self) -> None:
         if self._closed:
             raise RuntimeError("ShardedDiscoverer is closed")
-
-    def __enter__(self) -> "ShardedDiscoverer":
-        return self
-
-    def __exit__(self, *exc) -> None:
-        self.close()
 
     def __repr__(self) -> str:
         return (

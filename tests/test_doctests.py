@@ -8,23 +8,33 @@ import doctest
 
 import pytest
 
+import repro.api.facade
+import repro.api.middleware
+import repro.api.spec
 import repro.core.config
 import repro.core.constraint
 import repro.core.engine
 import repro.core.lattice
 import repro.core.record
 import repro.core.schema
+import repro.extensions.aggregates
+import repro.extensions.windowed
 import repro.index.kdtree
 import repro.query.parser
 import repro.service.sharding
 import repro.storage.columnar_store
 
 MODULES = [
+    repro.api.spec,
+    repro.api.facade,
+    repro.api.middleware,
     repro.core.schema,
     repro.core.record,
     repro.core.constraint,
     repro.core.lattice,
     repro.core.engine,
+    repro.extensions.windowed,
+    repro.extensions.aggregates,
     repro.index.kdtree,
     repro.query.parser,
     repro.service.sharding,

@@ -42,11 +42,24 @@ class TestObserve:
         assert fact.skyline_size == 1
         assert fact.prominence == 2.0
 
-    def test_observe_all_returns_per_tuple_lists(self):
+    def test_observe_many_returns_per_tuple_lists(self):
         engine = FactDiscoverer(SCHEMA, algorithm="bottomup")
-        outs = engine.observe_all(ROWS)
+        outs = engine.observe_many(ROWS)
         assert len(outs) == 4
         assert len(engine) == 4
+
+    def test_observe_all_deprecated_alias(self):
+        """observe_all still works but warns exactly once per call and
+        matches observe_many's output."""
+        engine = FactDiscoverer(SCHEMA, algorithm="bottomup")
+        with pytest.warns(DeprecationWarning, match="observe_many") as rec:
+            outs = engine.observe_all(ROWS)
+        assert len([w for w in rec if w.category is DeprecationWarning]) == 1
+        reference = FactDiscoverer(SCHEMA, algorithm="bottomup")
+        expected = reference.observe_many(ROWS)
+        assert [[f.pair for f in facts] for facts in outs] == [
+            [f.pair for f in facts] for facts in expected
+        ]
 
     def test_tau_filters_to_prominent_only(self):
         engine = FactDiscoverer(
@@ -93,7 +106,7 @@ class TestObserve:
 
     def test_counters_exposed(self):
         engine = FactDiscoverer(SCHEMA, algorithm="stopdown")
-        engine.observe_all(ROWS)
+        engine.observe_many(ROWS)
         assert engine.counters.traversed_constraints > 0
 
     def test_repr(self):

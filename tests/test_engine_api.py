@@ -1,0 +1,478 @@
+"""Engine-protocol conformance suite (`repro.api` facade).
+
+Every engine composition built through ``open_engine`` must honour the
+same :class:`repro.api.Engine` protocol and — where the composition is
+semantics-preserving — produce property-identical output on a shared
+stream: facts in emission order, scores, op-counter totals, deletions.
+Windowed and aggregate compositions additionally prove equivalent to
+hand-wired references of their semantics, and every composition
+round-trips through a v3 snapshot (spec → snapshot → spec).
+"""
+
+import asyncio
+import json
+import random
+
+import pytest
+
+from repro import (
+    Constraint,
+    DiscoveryConfig,
+    FactDiscoverer,
+    TableSchema,
+    open_engine,
+    restore,
+)
+from repro.api import (
+    CheckpointPolicy,
+    Engine,
+    EngineSpec,
+    GroupSpec,
+    ShardingSpec,
+)
+from repro.core.skyline import contextual_skyline
+
+SCHEMA = TableSchema(("d0", "d1"), ("m0", "m1"))
+CONFIG = DiscoveryConfig(max_bound_dims=2, max_measure_dims=2)
+
+
+def make_rows(n, seed=7):
+    rng = random.Random(seed)
+    return [
+        {
+            "d0": f"a{rng.randint(0, 2)}",
+            "d1": f"b{rng.randint(0, 2)}",
+            # Anticorrelated-ish measures keep skylines busy.
+            "m0": rng.randint(0, 9),
+            "m1": 9 - rng.randint(0, 9) + rng.randint(0, 3),
+        }
+        for _ in range(n)
+    ]
+
+
+ROWS = make_rows(40)
+
+
+def fact_key(fact):
+    return (
+        fact.constraint.values,
+        fact.subspace,
+        fact.context_size,
+        fact.skyline_size,
+    )
+
+
+def counters_total(engine):
+    snap = engine.counters.snapshot()
+    return {
+        k: snap[k]
+        for k in ("comparisons", "traversed_constraints", "stored_tuples")
+    }
+
+
+#: Spec factory per engine kind.  The windowed kind uses a window larger
+#: than the stream, so it participates in the identical-output matrix
+#: (true eviction semantics are covered separately below).
+ENGINE_SPECS = {
+    "single-stopdown": lambda: EngineSpec(SCHEMA, "stopdown", CONFIG),
+    "single-svec": lambda: EngineSpec(SCHEMA, "svec", CONFIG),
+    "sharded-serial": lambda: EngineSpec(
+        SCHEMA, "svec", CONFIG, sharding=ShardingSpec(2, "serial")
+    ),
+    "sharded-thread": lambda: EngineSpec(
+        SCHEMA, "svec", CONFIG, sharding=ShardingSpec(3, "thread")
+    ),
+    "sharded-process": lambda: EngineSpec(
+        SCHEMA, "svec", CONFIG, sharding=ShardingSpec(2, "process")
+    ),
+    "windowed": lambda: EngineSpec(SCHEMA, "stopdown", CONFIG, window=4096),
+}
+
+KINDS = sorted(ENGINE_SPECS)
+
+
+def run_stream(engine, rows, delete_every=0):
+    """Observe ``rows`` (interleaving deletions when asked); returns the
+    per-arrival fact keys."""
+    out = []
+    live = []
+    for i, row in enumerate(rows):
+        out.append([fact_key(f) for f in engine.observe(row)])
+        live.append(engine.table[len(engine.table) - 1].tid)
+        if delete_every and i % delete_every == delete_every - 1 and live:
+            tid = live.pop(len(live) // 2)
+            engine.delete(tid)
+    return out
+
+
+# ----------------------------------------------------------------------
+# Protocol conformance
+# ----------------------------------------------------------------------
+class TestProtocolConformance:
+    @pytest.mark.parametrize("kind", KINDS)
+    def test_protocol_members(self, kind):
+        with open_engine(ENGINE_SPECS[kind]()) as engine:
+            assert isinstance(engine, Engine)
+            for attr in ("schema", "discovery_schema", "config", "table",
+                         "counters", "spec", "score", "kind"):
+                assert hasattr(engine, attr), attr
+            engine.observe_many(ROWS[:8])
+            assert len(engine) == 8
+            stats = engine.stats()
+            assert stats["rows"] == 8
+            assert {"kind", "score", "counters"} <= set(stats)
+            json.dumps(stats)  # must be JSON-able
+            # One uniform spec → dict → spec round trip.
+            doc = engine.spec.to_dict()
+            assert EngineSpec.from_dict(doc).to_dict() == doc
+        # Context-manager exit closed it; close() stays idempotent.
+        engine.close()
+
+    @pytest.mark.parametrize("kind", KINDS)
+    def test_update_matches_delete_then_observe(self, kind):
+        with open_engine(ENGINE_SPECS[kind]()) as engine, open_engine(
+            ENGINE_SPECS[kind]()
+        ) as reference:
+            engine.observe_many(ROWS[:10])
+            reference.observe_many(ROWS[:10])
+            replacement = {"d0": "a0", "d1": "b9", "m0": 9, "m1": 9}
+            got = [fact_key(f) for f in engine.update(3, replacement)]
+            reference.delete(3)
+            want = [fact_key(f) for f in reference.observe(replacement)]
+            assert got == want
+
+    @pytest.mark.parametrize("kind", KINDS)
+    def test_query_uniform(self, kind):
+        """engine.query() answers forward skylines on every composition
+        — including sharded engines, which historically could not."""
+        with open_engine(ENGINE_SPECS[kind]()) as engine:
+            engine.observe_many(ROWS)
+            queries = engine.query()
+            for mapping, measures in (
+                ({}, ("m0",)),
+                ({"d0": "a1"}, ("m0", "m1")),
+                ({"d1": "b2"}, ("m1",)),
+            ):
+                constraint = Constraint.from_mapping(SCHEMA, mapping)
+                subspace = SCHEMA.measure_mask(measures)
+                got = sorted(r.tid for r in queries.skyline(constraint, subspace))
+                want = sorted(
+                    r.tid
+                    for r in contextual_skyline(
+                        engine.table, constraint, subspace
+                    )
+                )
+                assert got == want, (kind, mapping, measures)
+                prom = queries.prominence(constraint, subspace)
+                assert prom is None or prom >= 1.0
+
+
+# ----------------------------------------------------------------------
+# Identical output across compositions
+# ----------------------------------------------------------------------
+class TestOutputEquivalence:
+    @pytest.mark.parametrize("kind", KINDS)
+    def test_shared_stream_property_identical(self, kind):
+        reference = FactDiscoverer(SCHEMA, algorithm="stopdown", config=CONFIG)
+        want = run_stream(reference, ROWS)
+        with open_engine(ENGINE_SPECS[kind]()) as engine:
+            got = run_stream(engine, ROWS)
+            assert got == want
+            assert counters_total(engine) == counters_total(reference)
+
+    @pytest.mark.parametrize("kind", ["single-svec", "sharded-serial",
+                                      "sharded-process", "windowed"])
+    def test_deletion_interleaved_property_identical(self, kind):
+        reference = FactDiscoverer(SCHEMA, algorithm="stopdown", config=CONFIG)
+        want = run_stream(reference, ROWS, delete_every=5)
+        with open_engine(ENGINE_SPECS[kind]()) as engine:
+            got = run_stream(engine, ROWS, delete_every=5)
+            assert got == want
+            assert counters_total(engine) == counters_total(reference)
+
+    @pytest.mark.parametrize(
+        "kind", ["single-stopdown", "single-svec", "sharded-serial",
+                 "windowed"]
+    )
+    def test_snapshot_restored_engine_is_identical(self, kind, tmp_path):
+        """spec → snapshot → restore mid-stream equals the uninterrupted
+        engine: same remaining-stream facts and same counter totals."""
+        path = str(tmp_path / "mid.json")
+        uninterrupted = open_engine(ENGINE_SPECS[kind]())
+        want_head = run_stream(uninterrupted, ROWS[:20])
+        with open_engine(ENGINE_SPECS[kind]()) as engine:
+            assert run_stream(engine, ROWS[:20]) == want_head
+            engine.snapshot(path)
+        restored = restore(path)
+        assert restored.spec.to_dict() == uninterrupted.spec.to_dict()
+        assert run_stream(restored, ROWS[20:]) == run_stream(
+            uninterrupted, ROWS[20:]
+        )
+        assert counters_total(restored) == counters_total(uninterrupted)
+        restored.close()
+        uninterrupted.close()
+
+
+# ----------------------------------------------------------------------
+# Middleware semantics (windowed / aggregate)
+# ----------------------------------------------------------------------
+class TestWindowedSemantics:
+    def test_equivalent_to_manual_eviction(self):
+        window = 6
+        spec = EngineSpec(SCHEMA, "stopdown", CONFIG, window=window)
+        reference = FactDiscoverer(SCHEMA, algorithm="stopdown", config=CONFIG)
+        live = []
+        with open_engine(spec) as engine:
+            for row in ROWS:
+                while len(live) >= window:
+                    reference.delete(live.pop(0))
+                want = [fact_key(f) for f in reference.observe(row)]
+                table = reference.table
+                live.append(table[len(table) - 1].tid)
+                got = [fact_key(f) for f in engine.observe(row)]
+                assert got == want
+            assert len(engine) == window
+            assert engine.live_tids == live
+            assert counters_total(engine) == counters_total(reference)
+
+    def test_windowed_sharded_composition(self):
+        """A window layered over a *sharded* engine — composable for the
+        first time through the facade."""
+        spec = EngineSpec(
+            SCHEMA, "svec", CONFIG, sharding=ShardingSpec(2, "serial"),
+            window=5,
+        )
+        single = EngineSpec(SCHEMA, "stopdown", CONFIG, window=5)
+        with open_engine(spec) as sharded, open_engine(single) as reference:
+            for row in ROWS[:25]:
+                got = [fact_key(f) for f in sharded.observe(row)]
+                want = [fact_key(f) for f in reference.observe(row)]
+                assert got == want
+            assert len(sharded) == 5
+
+
+AGG = GroupSpec(
+    ("d0",), {"total": ("m0", "sum"), "games": ("m0", "count"),
+              "best": ("m1", "max")}
+)
+
+
+class TestAggregateSemantics:
+    def _reference(self):
+        """Hand-wired aggregate reference: fold + retract + observe."""
+        agg_schema = AGG.discovery_schema()
+        ref = FactDiscoverer(agg_schema, algorithm="stopdown", config=CONFIG)
+        sums, counts, best, live = {}, {}, {}, {}
+
+        def push(row):
+            key = row["d0"]
+            sums[key] = sums.get(key, 0.0) + row["m0"]
+            counts[key] = counts.get(key, 0) + 1
+            best[key] = max(best.get(key, float("-inf")), row["m1"])
+            if key in live:
+                ref.delete(live[key])
+            facts = ref.observe({
+                "d0": key, "total": sums[key],
+                "games": float(counts[key]), "best": float(best[key]),
+            })
+            live[key] = ref.table[len(ref.table) - 1].tid
+            return facts
+
+        return ref, push
+
+    def test_equivalent_to_manual_fold(self):
+        spec = EngineSpec(SCHEMA, "stopdown", CONFIG, aggregate=AGG)
+        ref, push = self._reference()
+        with open_engine(spec) as engine:
+            for row in ROWS:
+                got = [fact_key(f) for f in engine.observe(row)]
+                want = [fact_key(f) for f in push(row)]
+                assert got == want
+            assert len(engine) == len(ref.table)
+            assert counters_total(engine) == counters_total(ref)
+            # Schemas split: validation on base rows, facts on aggregates.
+            assert engine.schema.dimensions == SCHEMA.dimensions
+            assert engine.discovery_schema.measures == ("total", "games", "best")
+
+    def test_aggregate_journal_opt_out(self):
+        """journal=False trades snapshot support for O(groups) memory."""
+        from repro.api import AggregateMiddleware
+
+        inner = FactDiscoverer(
+            AGG.discovery_schema(), algorithm="stopdown", config=CONFIG
+        )
+        engine = AggregateMiddleware(inner, AGG, base_schema=SCHEMA,
+                                     journal=False)
+        for row in ROWS[:8]:
+            engine.observe(row)
+        assert "base_rows" not in engine.stats()
+        with pytest.raises(RuntimeError, match="journal"):
+            engine.snapshot_rows()
+
+    def test_aggregate_delete_is_rejected(self):
+        spec = EngineSpec(SCHEMA, "stopdown", CONFIG, aggregate=AGG)
+        with open_engine(spec) as engine:
+            engine.observe(ROWS[0])
+            with pytest.raises(RuntimeError, match="group"):
+                engine.delete(0)
+
+    def test_aggregate_snapshot_replays_base_rows(self, tmp_path):
+        """v3 persists the base-row journal, not the derived aggregates
+        — restoring and continuing matches the uninterrupted fold."""
+        spec = EngineSpec(SCHEMA, "stopdown", CONFIG, aggregate=AGG)
+        path = str(tmp_path / "agg.json")
+        uninterrupted = open_engine(spec)
+        with open_engine(spec) as engine:
+            for row in ROWS[:20]:
+                engine.observe(row)
+                uninterrupted.observe(row)
+            engine.snapshot(path)
+        doc = json.load(open(path))
+        assert doc["format_version"] == 3
+        assert len(doc["rows"]) == 20  # journal: every base row
+        restored = restore(path)
+        for row in ROWS[20:]:
+            got = [fact_key(f) for f in restored.observe(row)]
+            want = [fact_key(f) for f in uninterrupted.observe(row)]
+            assert got == want
+        assert restored.group_count() == uninterrupted.group_count()
+        restored.close()
+        uninterrupted.close()
+
+
+# ----------------------------------------------------------------------
+# Sharded query parity (the historical gap)
+# ----------------------------------------------------------------------
+class TestShardedQueryParity:
+    def test_skyline_prominence_skyband_match_single(self):
+        spec = EngineSpec(
+            SCHEMA, "svec", CONFIG, sharding=ShardingSpec(3, "serial")
+        )
+        single = FactDiscoverer(SCHEMA, algorithm="stopdown", config=CONFIG)
+        with open_engine(spec) as sharded:
+            sharded.observe_many(ROWS)
+            single.observe_many(ROWS)
+            q_sharded, q_single = sharded.query(), single.query()
+            cases = [
+                (Constraint.from_mapping(SCHEMA, {}), ("m0", "m1")),
+                (Constraint.from_mapping(SCHEMA, {"d0": "a0"}), ("m0",)),
+                (Constraint.from_mapping(SCHEMA, {"d0": "a2", "d1": "b1"}),
+                 ("m1",)),
+            ]
+            for constraint, measures in cases:
+                subspace = SCHEMA.measure_mask(measures)
+                assert sorted(
+                    r.tid for r in q_sharded.skyline(constraint, subspace)
+                ) == sorted(
+                    r.tid for r in q_single.skyline(constraint, subspace)
+                )
+                assert q_sharded.prominence(
+                    constraint, subspace
+                ) == q_single.prominence(constraint, subspace)
+                assert sorted(
+                    r.tid for r in q_sharded.skyband(constraint, subspace, 2)
+                ) == sorted(
+                    r.tid for r in q_single.skyband(constraint, subspace, 2)
+                )
+                assert q_sharded.context_size(
+                    constraint
+                ) == q_single.context_size(constraint)
+
+    def test_sharded_query_closed_engine_raises(self):
+        spec = EngineSpec(
+            SCHEMA, "svec", CONFIG, sharding=ShardingSpec(2, "serial")
+        )
+        engine = open_engine(spec)
+        engine.close()
+        with pytest.raises(RuntimeError, match="closed"):
+            engine.query()
+
+
+# ----------------------------------------------------------------------
+# Spec validation and serialisation
+# ----------------------------------------------------------------------
+class TestEngineSpec:
+    @pytest.mark.parametrize(
+        "spec",
+        [
+            EngineSpec(SCHEMA),
+            EngineSpec(SCHEMA, "svec", CONFIG, score=False),
+            EngineSpec(SCHEMA, "svec", sharding=ShardingSpec(4, "process", 32)),
+            EngineSpec(SCHEMA, window=7),
+            EngineSpec(SCHEMA, aggregate=AGG),
+            EngineSpec(SCHEMA, checkpoint=CheckpointPolicy("x.json", 1.5)),
+        ],
+    )
+    def test_json_round_trip(self, spec):
+        doc = json.loads(json.dumps(spec.to_dict()))
+        assert EngineSpec.from_dict(doc).to_dict() == spec.to_dict()
+
+    def test_window_and_aggregate_mutually_exclusive(self):
+        with pytest.raises(ValueError, match="not supported"):
+            EngineSpec(SCHEMA, window=3, aggregate=AGG)
+
+    def test_sharding_requires_svec(self):
+        with pytest.raises(ValueError, match="svec"):
+            EngineSpec(SCHEMA, "stopdown", sharding=ShardingSpec(2))
+
+    def test_unscored_with_reporting_policy_rejected(self):
+        with pytest.raises(ValueError, match="score=False"):
+            EngineSpec(SCHEMA, config=DiscoveryConfig(tau=2.0), score=False)
+
+    def test_aggregate_attrs_must_exist_in_base_schema(self):
+        with pytest.raises(ValueError, match="missing"):
+            EngineSpec(
+                SCHEMA,
+                aggregate=GroupSpec(("nope",), {"t": ("m0", "sum")}),
+            )
+
+    def test_bad_sharding_mode(self):
+        with pytest.raises(ValueError, match="mode"):
+            ShardingSpec(2, "gpu")
+
+    def test_checkpoint_policy_drives_default_snapshot(self, tmp_path):
+        path = str(tmp_path / "auto.json")
+        spec = EngineSpec(SCHEMA, checkpoint=CheckpointPolicy(path))
+        with open_engine(spec) as engine:
+            engine.observe_many(ROWS[:5])
+            assert engine.snapshot() == path  # no explicit path needed
+        restored = restore(path)
+        assert len(restored) == 5
+        restored.close()
+
+
+# ----------------------------------------------------------------------
+# Serving any composition
+# ----------------------------------------------------------------------
+class TestServerTakesAnyEngine:
+    def _serve(self, spec, rows):
+        from repro.service import StreamServer
+
+        async def run():
+            engine = open_engine(spec)
+            server = StreamServer(engine, batch_max=8)
+            await server.start()
+            events = []
+            for row in rows:
+                events.append(await server.ingest_wait(row))
+            await server.stop()
+            engine.close()
+            return engine, events
+
+        return asyncio.run(run())
+
+    def test_windowed_engine_is_servable(self):
+        spec = EngineSpec(SCHEMA, "stopdown", CONFIG, window=5)
+        engine, events = self._serve(spec, ROWS[:12])
+        assert len(events) == 12
+        assert len(engine) == 5  # eviction kept running under the server
+
+    def test_aggregate_engine_is_servable(self):
+        spec = EngineSpec(SCHEMA, "stopdown", CONFIG, aggregate=AGG)
+        engine, events = self._serve(spec, ROWS[:12])
+        assert len(events) == 12
+        # Events carry aggregate-relation records (discovery schema).
+        assert set(events[0].record.as_dict(engine.discovery_schema)) == {
+            "d0", "total", "games", "best",
+        }
+        assert engine.group_count() == len({r["d0"] for r in ROWS[:12]})

@@ -59,11 +59,19 @@ class TestWindowed:
         }
         assert got == expected
 
-    def test_observe_all(self):
+    def test_observe_many(self):
         engine = WindowedFactDiscoverer(SCHEMA, window=2)
-        outs = engine.observe_all(
+        outs = engine.observe_many(
             {"d": "x", "m1": i, "m2": i} for i in range(4)
         )
+        assert len(outs) == 4
+
+    def test_observe_all_deprecated(self):
+        engine = WindowedFactDiscoverer(SCHEMA, window=2)
+        with pytest.warns(DeprecationWarning, match="observe_many"):
+            outs = engine.observe_all(
+                [{"d": "x", "m1": i, "m2": i} for i in range(4)]
+            )
         assert len(outs) == 4
 
 

@@ -219,9 +219,10 @@ class TestCheckpointing:
         assert server.stats.checkpoints >= 1
         with open(path) as fh:
             doc = json.load(fh)
-        assert doc["format_version"] == 2
-        assert doc["meta"]["engine"] == "sharded"
-        assert doc["meta"]["score"] is True
+        assert doc["format_version"] == 3
+        assert doc["spec"]["sharding"]["workers"] == 2
+        assert doc["spec"]["sharding"]["mode"] == "serial"
+        assert doc["spec"]["score"] is True
         restored = load_engine(path)
         assert isinstance(restored, ShardedDiscoverer)
         assert len(restored.table) == len(engine.table)
@@ -269,7 +270,43 @@ class TestSnapshotVersions:
             fact_key(f) for f in engine.observe(probe)
         ]
 
-    def test_v2_meta_score_flag_round_trips(self, tmp_path):
+    def test_v2_snapshot_still_loads(self, tmp_path):
+        """Version-2 files (``meta`` section) load, sharded meta
+        restoring a sharded engine."""
+        engine = ShardedDiscoverer(SCHEMA, n_workers=2, mode="serial")
+        rows = make_rows(5)
+        engine.observe_many(rows)
+        doc = {
+            "format_version": 2,
+            "algorithm": "svec",
+            "meta": {"score": True, "engine": "sharded",
+                     "n_workers": 2, "mode": "serial"},
+            "schema": {
+                "dimensions": list(SCHEMA.dimensions),
+                "measures": list(SCHEMA.measures),
+                "preferences": {},
+            },
+            "config": {
+                "max_bound_dims": None,
+                "max_measure_dims": None,
+                "tau": None,
+                "top_k": None,
+            },
+            "rows": [r.as_dict(SCHEMA) for r in engine.table],
+        }
+        path = tmp_path / "v2.json"
+        path.write_text(json.dumps(doc))
+        loaded = load_engine(str(path))
+        assert isinstance(loaded, ShardedDiscoverer)
+        assert loaded.n_workers == 2 and loaded.mode == "serial"
+        probe = {"d0": "q", "d1": "b1", "m0": 4, "m1": 4}
+        assert [fact_key(f) for f in loaded.observe(probe)] == [
+            fact_key(f) for f in engine.observe(probe)
+        ]
+        loaded.close()
+        engine.close()
+
+    def test_v3_score_flag_round_trips(self, tmp_path):
         from repro.extensions.snapshot import save_engine
 
         engine = FactDiscoverer(SCHEMA, algorithm="svec", score=False)
@@ -277,8 +314,9 @@ class TestSnapshotVersions:
         path = str(tmp_path / "unscored.json")
         save_engine(engine, path)
         doc = json.loads(open(path).read())
-        assert doc["format_version"] == 2
-        assert doc["meta"] == {"score": False, "engine": "single"}
+        assert doc["format_version"] == 3
+        assert doc["spec"]["score"] is False
+        assert doc["spec"]["algorithm"] == "svec"
         loaded = load_engine(path)
         assert loaded.score is False
         # Explicit override still wins.
