@@ -61,6 +61,9 @@ def _base_engine(spec: EngineSpec) -> Engine:
             mode=spec.sharding.mode,
             score=spec.score,
             chunk_size=spec.sharding.chunk_size,
+            supervise=spec.sharding.supervise,
+            op_timeout=spec.sharding.op_timeout,
+            max_restarts=spec.sharding.max_restarts,
         )
     from ..core.engine import FactDiscoverer
 

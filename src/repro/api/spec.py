@@ -46,11 +46,27 @@ class ShardingSpec:
     chunk_size:
         Pipelining granularity of batched ingestion (rows per worker
         round-trip).
+    supervise:
+        Supervise process-mode workers: detect crashes, restart with
+        backoff, and rebuild their state deterministically from the
+        router's committed op prefix (ignored for serial/thread modes,
+        whose workers share the router's fate).
+    op_timeout:
+        Seconds the router waits on any single worker pipe round-trip
+        before treating the worker as hung (and crashing/restarting
+        it under supervision).
+    max_restarts:
+        Circuit breaker: after this many restarts of a single worker
+        the pool degrades to serial in-router execution instead of
+        restarting forever.
     """
 
     workers: int
     mode: str = "serial"
     chunk_size: int = 96
+    supervise: bool = True
+    op_timeout: float = 60.0
+    max_restarts: int = 3
 
     def __post_init__(self) -> None:
         if self.workers < 1:
@@ -62,6 +78,10 @@ class ShardingSpec:
             )
         if self.chunk_size < 1:
             raise ValueError("sharding.chunk_size must be >= 1")
+        if self.op_timeout <= 0:
+            raise ValueError("sharding.op_timeout must be > 0 seconds")
+        if self.max_restarts < 0:
+            raise ValueError("sharding.max_restarts must be >= 0")
 
 
 @dataclass(frozen=True)
@@ -71,16 +91,36 @@ class CheckpointPolicy:
     ``path`` is the default target of :meth:`Engine.snapshot`;
     ``interval`` (seconds) activates periodic checkpointing when the
     engine runs behind a :class:`~repro.service.server.StreamServer`.
+
+    ``journal_dir`` activates the write-ahead journal
+    (:mod:`repro.service.journal`): every accepted ingest/delete is
+    framed and appended there before its event is acknowledged, so a
+    crash loses nothing past the last commit.  ``journal_fsync`` picks
+    the durability/throughput trade-off (``"never"`` / ``"batch"`` /
+    ``"always"``) and ``journal_segment_bytes`` the segment-rotation
+    threshold.
     """
 
     path: str
     interval: Optional[float] = None
+    journal_dir: Optional[str] = None
+    journal_fsync: str = "batch"
+    journal_segment_bytes: int = 16 * 1024 * 1024
 
     def __post_init__(self) -> None:
         if not self.path:
             raise ValueError("checkpoint.path must be non-empty")
         if self.interval is not None and self.interval <= 0:
             raise ValueError("checkpoint.interval must be > 0 seconds")
+        if self.journal_fsync not in ("never", "batch", "always"):
+            raise ValueError(
+                "checkpoint.journal_fsync must be 'never', 'batch' or "
+                f"'always', got {self.journal_fsync!r}"
+            )
+        if self.journal_segment_bytes < 1024:
+            raise ValueError(
+                "checkpoint.journal_segment_bytes must be >= 1024"
+            )
 
 
 @dataclass(frozen=True)

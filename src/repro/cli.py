@@ -142,6 +142,13 @@ def _spec_from_args(args) -> EngineSpec:
         checkpoint = CheckpointPolicy(
             path=args.checkpoint,
             interval=getattr(args, "checkpoint_interval", None),
+            journal_dir=getattr(args, "journal_dir", None),
+            journal_fsync=getattr(args, "journal_fsync", None) or "batch",
+        )
+    elif getattr(args, "journal_dir", None):
+        raise ValueError(
+            "--journal-dir needs --checkpoint: recovery replays the "
+            "journal suffix on top of the latest snapshot"
         )
     return EngineSpec(
         schema=_schema_from_args(args),
@@ -275,16 +282,43 @@ def cmd_demo(args) -> int:
 def cmd_serve(args) -> int:
     import asyncio
     import json
+    import os
 
     from .datasets.loader import load_rows
-    from .service import StreamServer
+    from .metrics.service import ServiceStats
+    from .service import StreamServer, recover_engine
+    from .service import faults as faults_mod
 
     try:
+        # Chaos/CI hook: REPRO_FAULTS arms the fault-injection registry
+        # (forwarded into shard-worker processes via their spawn spec).
+        faults_mod.install_from_env()
         spec = _spec_from_args(args)
-        engine = open_engine(spec)
+        policy = spec.checkpoint
+        recovery = None
+        if policy is not None and (
+            os.path.exists(policy.path)
+            or (policy.journal_dir and os.path.isdir(policy.journal_dir))
+        ):
+            # Crash recovery: latest snapshot + journal suffix replay.
+            engine, recovery = recover_engine(spec)
+        else:
+            engine = open_engine(spec)
     except ValueError as exc:
         print(f"error: {exc}", file=sys.stderr)
         return 2
+    stats = ServiceStats()
+    if recovery is not None:
+        stats.ops_replayed = recovery.ops_replayed
+        note = (
+            f"# recovered from {recovery.source}: "
+            f"{recovery.ops_replayed} journal ops replayed"
+        )
+        if recovery.torn_tail:
+            note += " (torn journal tail dropped)"
+        if recovery.replay_errors:
+            note += f"; {len(recovery.replay_errors)} ops failed to re-apply"
+        print(note, file=sys.stderr, flush=True)
     sink_name, sink = _resolve_sink(args, engine.discovery_schema)
 
     async def run() -> int:
@@ -297,6 +331,11 @@ def cmd_serve(args) -> int:
             batch_window=args.batch_window,
             checkpoint_path=args.checkpoint,
             checkpoint_interval=args.checkpoint_interval,
+            journal_dir=getattr(args, "journal_dir", None),
+            journal_fsync=getattr(args, "journal_fsync", None),
+            dead_letter_path=getattr(args, "dead_letter", None),
+            conn_timeout=getattr(args, "conn_timeout", None),
+            stats=stats,
         )
         await server.start()
         listener = None
@@ -476,6 +515,17 @@ def build_parser() -> argparse.ArgumentParser:
                    help="periodic snapshot path (see --checkpoint-interval)")
     p.add_argument("--checkpoint-interval", type=float, default=None,
                    help="seconds between snapshot checkpoints")
+    p.add_argument("--journal-dir", default=None,
+                   help="write-ahead journal directory (crash recovery "
+                        "= --checkpoint snapshot + journal replay)")
+    p.add_argument("--journal-fsync", default=None,
+                   choices=("never", "batch", "always"),
+                   help="journal durability policy (default: batch)")
+    p.add_argument("--dead-letter", default=None, metavar="FILE",
+                   help="NDJSON file receiving quarantined poison rows")
+    p.add_argument("--conn-timeout", type=float, default=None,
+                   help="per-connection read timeout in seconds for the "
+                        "TCP front-end (default: none)")
     p.add_argument("--json", action="store_true",
                    help="emit one JSON object per fact (NDJSON)")
     p.set_defaults(fn=cmd_serve)

@@ -142,6 +142,13 @@ class EngineBase:
         """
         return self.schema
 
+    @property
+    def arrivals(self) -> int:
+        """Monotone count of tuples ever observed (deletions do not
+        decrease it) — the serving layer's applied-prefix marker when a
+        batch fails midway."""
+        return self.table.arrivals
+
     # -- spec / persistence ---------------------------------------------
     #: Set by :func:`repro.api.open_engine` (and the middleware layers)
     #: so the exact opening spec — checkpoint policy included — is

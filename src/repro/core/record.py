@@ -147,6 +147,14 @@ class Table:
         """All records in arrival order (read-only view)."""
         return tuple(self._records)
 
+    @property
+    def arrivals(self) -> int:
+        """Total tuples ever appended (monotone: deletions do not
+        decrease it).  The serving layer uses the delta across a failed
+        batch to tell exactly which rows were applied before the
+        failure."""
+        return self._next_tid
+
     def sigma(self, predicate: Callable[[Record], bool]) -> List[Record]:
         """Relational selection ``σ``: records satisfying ``predicate``."""
         return [rec for rec in self._records if predicate(rec)]

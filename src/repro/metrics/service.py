@@ -39,6 +39,16 @@ class ServiceStats:
     #: Cumulative busy seconds per shard (mirrors
     #: :meth:`ShardedDiscoverer.utilization`; empty for unsharded).
     shard_busy_seconds: List[float] = field(default_factory=list)
+    #: Shard-worker processes restarted by the supervisor.
+    worker_restarts: int = 0
+    #: Ingest chunks re-sent to a restarted/rebuilt worker.
+    chunks_retried: int = 0
+    #: Poison rows quarantined to the dead-letter file.
+    rows_quarantined: int = 0
+    #: Journal ops replayed during crash recovery at startup.
+    ops_replayed: int = 0
+    #: 1 once the worker pool degraded to in-router serial execution.
+    degraded: int = 0
 
     def note_enqueue(self, queue_depth: int) -> None:
         self.enqueued += 1
@@ -78,6 +88,11 @@ class ServiceStats:
             "deletes": self.deletes,
             "checkpoints": self.checkpoints,
             "facts_emitted": self.facts_emitted,
+            "worker_restarts": self.worker_restarts,
+            "chunks_retried": self.chunks_retried,
+            "rows_quarantined": self.rows_quarantined,
+            "ops_replayed": self.ops_replayed,
+            "degraded": self.degraded,
         }
         if busy:
             total = sum(busy)

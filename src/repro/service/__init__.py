@@ -10,19 +10,34 @@ turns it into a *service*:
 * :mod:`repro.service.server` — :class:`StreamServer`, an asyncio
   front-end with a bounded ingest queue, adaptive micro-batching,
   backpressure, fact subscriptions, periodic snapshot checkpointing and
-  graceful drain, plus an optional NDJSON-over-TCP listener.
+  graceful drain, plus an optional NDJSON-over-TCP listener;
+* :mod:`repro.service.journal` — the append-only write-ahead journal
+  of accepted ops; recovery = latest snapshot + journal suffix;
+* :mod:`repro.service.supervisor` — crash detection, restart with
+  backoff, and deterministic state rebuild for process-mode workers;
+* :mod:`repro.service.faults` — the spec/env-driven fault-injection
+  registry the chaos tests (and the CI chaos job) drive.
 """
 
+from .journal import JournalWriter, RecoveryReport, recover_engine
 from .sharding import (
     ShardedDiscoverer,
     canonical_subspace_keys,
     partition_subspaces,
 )
 from .server import StreamServer
+from .supervisor import SupervisedWorker, SupervisorPolicy, WorkerCrashed, WorkerGaveUp
 
 __all__ = [
+    "JournalWriter",
+    "RecoveryReport",
     "ShardedDiscoverer",
     "StreamServer",
+    "SupervisedWorker",
+    "SupervisorPolicy",
+    "WorkerCrashed",
+    "WorkerGaveUp",
     "canonical_subspace_keys",
     "partition_subspaces",
+    "recover_engine",
 ]

@@ -38,7 +38,7 @@ from __future__ import annotations
 
 import asyncio
 import json
-import os
+import time
 from dataclasses import dataclass, field
 from typing import List, Mapping, Optional, Sequence
 
@@ -138,6 +138,20 @@ class StreamServer:
         Periodic engine snapshots (both must be set to activate);
         defaults to the engine spec's
         :class:`~repro.api.spec.CheckpointPolicy` when one is set.
+    journal_dir / journal_fsync / journal_segment_bytes:
+        Write-ahead journal of accepted ops
+        (:mod:`repro.service.journal`); defaults come from the spec's
+        checkpoint policy.  With a journal active, every ingest/delete
+        is framed and appended *before* its event is acknowledged, so a
+        killed server recovers exactly (snapshot + journal suffix).
+    dead_letter_path:
+        NDJSON file receiving quarantined poison rows — rows that crash
+        discovery are retried individually and, still failing, recorded
+        here with their error context instead of aborting the batch.
+    conn_timeout:
+        Per-connection read timeout (seconds) on the TCP front-end; an
+        idle or wedged client is disconnected instead of holding its
+        handler forever.  ``None`` disables.
     """
 
     def __init__(
@@ -149,28 +163,50 @@ class StreamServer:
         batch_window: float = 0.002,
         checkpoint_path: Optional[str] = None,
         checkpoint_interval: Optional[float] = None,
+        journal_dir: Optional[str] = None,
+        journal_fsync: Optional[str] = None,
+        journal_segment_bytes: Optional[int] = None,
+        dead_letter_path: Optional[str] = None,
+        conn_timeout: Optional[float] = None,
         stats: Optional[ServiceStats] = None,
     ) -> None:
         if queue_limit < 1:
             raise ValueError("queue_limit must be >= 1")
         if batch_max < 1:
             raise ValueError("batch_max must be >= 1")
+        if conn_timeout is not None and conn_timeout <= 0:
+            raise ValueError("conn_timeout must be > 0 seconds")
         self.engine = engine
-        if checkpoint_path is None:
-            # The engine spec's checkpoint policy is the default.
-            try:
-                policy = engine.spec.checkpoint
-            except (AttributeError, NotImplementedError):
-                policy = None
-            if policy is not None:
-                checkpoint_path = policy.path
-                if checkpoint_interval is None:
-                    checkpoint_interval = policy.interval
+        # The engine spec's checkpoint policy is the default.
+        try:
+            policy = engine.spec.checkpoint
+        except (AttributeError, NotImplementedError):
+            policy = None
+        if checkpoint_path is None and policy is not None:
+            checkpoint_path = policy.path
+            if checkpoint_interval is None:
+                checkpoint_interval = policy.interval
+        if journal_dir is None and policy is not None:
+            journal_dir = policy.journal_dir
+        if journal_fsync is None:
+            journal_fsync = policy.journal_fsync if policy else "batch"
+        if journal_segment_bytes is None:
+            journal_segment_bytes = (
+                policy.journal_segment_bytes if policy else 16 * 1024 * 1024
+            )
         self.queue_limit = queue_limit
         self.batch_max = batch_max
         self.batch_window = batch_window
         self.checkpoint_path = checkpoint_path
         self.checkpoint_interval = checkpoint_interval
+        self.journal_dir = journal_dir
+        self.journal_fsync = journal_fsync
+        self.journal_segment_bytes = journal_segment_bytes
+        self.dead_letter_path = dead_letter_path
+        self.conn_timeout = conn_timeout
+        #: Live :class:`~repro.service.journal.JournalWriter` while
+        #: running (``None`` without ``journal_dir``).
+        self.journal = None
         self.stats = stats or ServiceStats()
         self._queue: Optional[asyncio.Queue] = None
         self._consumer: Optional[asyncio.Task] = None
@@ -193,6 +229,16 @@ class StreamServer:
         """Spin up the consumer (and the checkpointer, if configured)."""
         if self._running:
             raise RuntimeError("StreamServer already started")
+        if self.journal_dir:
+            from .journal import JournalWriter
+
+            # Resumes sequence numbering past any existing segments
+            # (truncating a torn tail a previous crash left behind).
+            self.journal = JournalWriter(
+                self.journal_dir,
+                fsync=self.journal_fsync,
+                segment_max_bytes=self.journal_segment_bytes,
+            )
         self._queue = asyncio.Queue(maxsize=self.queue_limit)
         self._engine_lock = asyncio.Lock()
         self._stopped.clear()
@@ -221,6 +267,9 @@ class StreamServer:
         self._consumer = None
         if drain and self.checkpoint_path:
             await self._checkpoint()
+        if self.journal is not None:
+            self.journal.close()
+            self.journal = None
         for sub in list(self._subscriptions):
             sub.close()
         for server in self._tcp_servers:
@@ -281,13 +330,21 @@ class StreamServer:
         return subscription
 
     def stats_snapshot(self) -> dict:
-        """Current service metrics (queue/batch/shard counters)."""
+        """Current service metrics (queue/batch/shard/fault counters)."""
         utilization = getattr(self.engine, "utilization", None)
         if callable(utilization):
             self.stats.note_shard_utilization(utilization())
+        fault_counters = getattr(self.engine, "fault_counters", None)
+        if callable(fault_counters):
+            tallies = fault_counters()
+            self.stats.worker_restarts = tallies["worker_restarts"]
+            self.stats.chunks_retried = tallies["chunks_retried"]
+            self.stats.degraded = tallies["degraded"]
         snap = self.stats.snapshot()
         snap["table_rows"] = len(self.engine.table)
         snap["queue_depth"] = self._queue.qsize() if self._queue else 0
+        if self.journal is not None:
+            snap["journal_seq"] = self.journal.last_seq
         if self.last_error is not None:
             snap["last_error"] = str(self.last_error)
         return snap
@@ -343,7 +400,7 @@ class StreamServer:
         rows = [row for _, row, _ in batch]
         config = engine.config
 
-        def discover():
+        def discover(subset):
             # facts_for_many (not observe_many): each FactSet carries
             # the record it was discovered for, so the server never
             # reaches into the table — windowed/aggregate engines, whose
@@ -352,33 +409,130 @@ class StreamServer:
             # ranking) runs here too, off the event loop.
             return [
                 (factset, select_reportable(factset, config))
-                for factset in engine.facts_for_many(rows)
+                for factset in engine.facts_for_many(subset)
             ]
 
-        try:
-            async with self._engine_lock:
-                results = await loop.run_in_executor(None, discover)
-        except Exception as exc:
-            # Keep the consumer alive: deliver the failure to waiting
-            # callers and record it for fire-and-forget producers
-            # (killing the loop here would deadlock later drain()s).
-            self.last_error = exc
-            for _, _, future in batch:
-                if future is not None and not future.done():
-                    future.set_exception(exc)
-            for _ in batch:
-                self._queue.task_done()
-            return
+        async with self._engine_lock:
+            before = getattr(engine, "arrivals", None)
+            try:
+                results = await loop.run_in_executor(None, discover, rows)
+                outcomes = [("ok", result) for result in results]
+            except Exception as exc:
+                # Salvage instead of aborting: quarantine the poison
+                # row(s) and keep every healthy one (killing the loop
+                # here would also deadlock later drain()s).
+                self.last_error = exc
+                outcomes = await self._salvage_batch(
+                    loop, discover, rows, before
+                )
         emitted = 0
-        for (_, _, future), (factset, facts) in zip(batch, results):
-            event = FactEvent(factset.record, facts)
-            emitted += len(facts)
+        accepted = 0
+        for (_, row, future), outcome in zip(batch, outcomes):
+            kind, result = outcome
+            if kind == "quarantined":
+                self._dead_letter(row, result)
+                if future is not None and not future.done():
+                    future.set_exception(result)
+                self._queue.task_done()
+                continue
+            accepted += 1
+            if self.journal is not None:
+                self.journal.append_ingest(
+                    row if isinstance(row, Mapping) else dict(row)
+                )
+        if self.journal is not None and accepted:
+            # One durability point per micro-batch (group commit): an
+            # event is only acknowledged once its op is journaled.
+            self.journal.commit()
+        for (_, row, future), outcome in zip(batch, outcomes):
+            kind, result = outcome
+            if kind == "quarantined":
+                continue
+            if kind == "lost":
+                # Applied to the engine before a later row failed, but
+                # its facts are unrecoverable: acknowledge with an
+                # empty fact set (the op is journaled; state is exact).
+                event = FactEvent(result, [])
+            else:
+                factset, facts = result
+                event = FactEvent(factset.record, facts)
+                emitted += len(facts)
             if future is not None and not future.done():
                 future.set_result(event)
             for subscription in list(self._subscriptions):
                 subscription._publish(event)
             self._queue.task_done()
-        self.stats.note_batch(len(batch), emitted)
+        self.stats.note_batch(accepted, emitted)
+
+    async def _salvage_batch(self, loop, discover, rows, before):
+        """Recover from a mid-batch discovery failure.
+
+        The engine's monotone ``arrivals`` counter (read into ``before``
+        just before the failed call) tells exactly how many rows of the
+        batch were applied before the failure — their states are in,
+        only their fact sets are lost.  The remaining rows are retried
+        one at a time, so one poison row costs itself — not its
+        batch-mates.  Returns one outcome per row: ``("ok", (factset,
+        facts))``, ``("lost", record)`` for applied rows with lost
+        facts, or ``("quarantined", error)``.
+        """
+        engine = self.engine
+        applied = 0
+        if before is not None:
+            applied = max(
+                0, min(getattr(engine, "arrivals", before) - before, len(rows))
+            )
+        outcomes = []
+        for index, row in enumerate(rows):
+            if index < applied:
+                tid = before + index if before is not None else -1
+                outcomes.append(("lost", self._record_for(row, tid)))
+                continue
+            pre = getattr(engine, "arrivals", None)
+            try:
+                (result,) = await loop.run_in_executor(
+                    None, discover, [row]
+                )
+            except Exception as row_exc:
+                if (
+                    pre is not None
+                    and getattr(engine, "arrivals", pre) > pre
+                ):
+                    # Applied but its facts were lost mid-flight.
+                    outcomes.append(("lost", self._record_for(row, pre)))
+                else:
+                    self.stats.rows_quarantined += 1
+                    outcomes.append(("quarantined", row_exc))
+            else:
+                outcomes.append(("ok", result))
+        return outcomes
+
+    def _record_for(self, row, tid: int) -> Record:
+        """A best-effort :class:`Record` for an applied row whose fact
+        set was lost (only its identity reaches subscribers)."""
+        try:
+            made = self.engine.table.make_record(row)
+            return Record(tid, made.dims, made.values, made.raw)
+        except Exception:  # pragma: no cover - schema-less duck engine
+            return Record(tid, (), (), ())
+
+    def _dead_letter(self, row, error: Exception) -> None:
+        """Append one quarantined row to the dead-letter NDJSON file
+        (best-effort: quarantine must never take the consumer down)."""
+        if not self.dead_letter_path:
+            return
+        entry = {
+            "time": time.time(),
+            "error": str(error),
+            "error_type": type(error).__name__,
+            "row": row if isinstance(row, Mapping) else repr(row),
+        }
+        try:
+            with open(self.dead_letter_path, "a") as fh:
+                fh.write(json.dumps(entry, default=repr) + "\n")
+                fh.flush()
+        except OSError:  # pragma: no cover - disk trouble
+            pass
 
     async def _apply_delete(self, item) -> None:
         _, tid, future = item
@@ -392,6 +546,9 @@ class StreamServer:
             if future is not None and not future.done():
                 future.set_exception(exc)
         else:
+            if self.journal is not None:
+                self.journal.append_delete(tid)
+                self.journal.commit()
             self.stats.deletes += 1
             if future is not None and not future.done():
                 future.set_result(removed)
@@ -411,14 +568,27 @@ class StreamServer:
 
         loop = asyncio.get_running_loop()
         path = self.checkpoint_path
-        tmp = f"{path}.tmp"
 
-        def write() -> None:
-            save_engine(self.engine, tmp)
-            os.replace(tmp, path)
+        def write() -> Optional[int]:
+            # save_engine writes crash-consistently (temp + fsync +
+            # atomic replace + directory fsync): an interruption at any
+            # byte leaves the previous checkpoint untouched.
+            seq = self.journal.last_seq if self.journal is not None else None
+            save_engine(self.engine, path, journal_seq=seq)
+            return seq
 
-        async with self._engine_lock:
-            await loop.run_in_executor(None, write)
+        try:
+            async with self._engine_lock:
+                seq = await loop.run_in_executor(None, write)
+        except Exception as exc:
+            # A failed checkpoint must not kill the service: the
+            # previous one is intact and the journal keeps growing.
+            self.last_error = exc
+            return
+        if self.journal is not None and seq is not None:
+            # Anchor segment rotation: ops <= seq are now durable in
+            # the snapshot, their segments can be pruned.
+            self.journal.checkpoint(seq)
         self.stats.checkpoints += 1
 
     # ------------------------------------------------------------------
@@ -447,7 +617,17 @@ class StreamServer:
 
         try:
             while True:
-                line = await reader.readline()
+                if self.conn_timeout is not None:
+                    try:
+                        line = await asyncio.wait_for(
+                            reader.readline(), self.conn_timeout
+                        )
+                    except asyncio.TimeoutError:
+                        # Idle/wedged client: free the handler instead
+                        # of holding it (and its buffers) forever.
+                        break
+                else:
+                    line = await reader.readline()
                 if not line:
                     break
                 line = line.strip()
@@ -474,6 +654,12 @@ class StreamServer:
                         # TypeError: non-mapping row (e.g. a bare int).
                         await reply({"error": str(exc)})
                         continue
+                    except Exception as exc:
+                        # A quarantined poison row surfaces its original
+                        # discovery error here; the connection (and the
+                        # batch-mates) live on.
+                        await reply({"error": str(exc), "quarantined": True})
+                        continue
                     await reply(
                         {
                             "tid": event.tid,
@@ -492,6 +678,21 @@ class StreamServer:
                     await reply({"deleted": int(message["tid"])})
                 elif op == "stats":
                     await reply({"stats": self.stats_snapshot()})
+                elif op == "health":
+                    health = {
+                        "ok": bool(self._running),
+                        "running": bool(self._running),
+                        "table_rows": len(self.engine.table),
+                        "queue_depth": (
+                            self._queue.qsize() if self._queue else 0
+                        ),
+                        "degraded": bool(
+                            getattr(self.engine, "degraded", False)
+                        ),
+                    }
+                    if self.last_error is not None:
+                        health["last_error"] = str(self.last_error)
+                    await reply(health)
                 elif op == "ping":
                     await reply({"ok": True})
                 elif op == "shutdown":

@@ -39,6 +39,8 @@ ingestion is pipelined chunk-wise: while the workers chew on chunk
 from __future__ import annotations
 
 import itertools
+import os
+import time
 from collections import deque
 from dataclasses import asdict
 from time import perf_counter
@@ -54,6 +56,8 @@ from ..core.record import Record, Table
 from ..core.schema import TableSchema
 from ..metrics.counters import OpCounters
 from ..query.contextual import ContextualQueryEngine
+from . import faults
+from .supervisor import SupervisedWorker, SupervisorPolicy, WorkerGaveUp
 
 Row = Union[Mapping[str, object], Record]
 
@@ -211,24 +215,67 @@ def _build_shard_engine(spec: Mapping[str, object]) -> _ShardEngine:
     )
 
 
+def _apply_worker_fault(fault) -> bool:
+    """Act on a fired fault inside a worker process; returns True when
+    the current op/reply must be swallowed (``drop``)."""
+    if fault is None:
+        return False
+    if fault.action == "crash":
+        # A real crash, not an orderly unwind: skip every finaliser.
+        os._exit(fault.exit_code)
+    if fault.action == "delay":
+        time.sleep(fault.delay)
+        return False
+    return fault.action == "drop"
+
+
 def _shard_worker_main(conn, spec) -> None:
-    """Entry point of one shard process: serve ops off the pipe FIFO."""
+    """Entry point of one shard process: serve ops off the pipe FIFO.
+
+    ``spec`` may carry ``worker_index`` (fault scoping) and ``faults``
+    (the router's armed fault list, forwarded so injection behaves the
+    same under ``fork`` — which would otherwise inherit router state —
+    and ``spawn``, which would otherwise have none).
+    """
+    index = spec.get("worker_index")
+    faults.clear()
+    if spec.get("faults"):
+        faults.install(spec["faults"])
     engine = _build_shard_engine(spec)
     while True:
         try:
             op, payload = conn.recv()
         except EOFError:
             break
+        if _apply_worker_fault(faults.fire("worker.op", worker=index, op=op)):
+            continue  # dropped op: the router sees silence
         if op == "rows":
-            conn.send(engine.ingest(payload))
+            reply = engine.ingest(payload)
         elif op == "delete":
             engine.delete(payload)
+            reply = ("ok", payload)
         elif op == "counters":
-            conn.send(engine.counters())
+            reply = engine.counters()
         elif op == "skyline":
-            conn.send(engine.skyline_tids(*payload))
+            reply = engine.skyline_tids(*payload)
+        elif op == "replay":
+            # Deterministic state rebuild after a restart: re-observe a
+            # slice of the router's committed op prefix.
+            for kind, data in payload:
+                if kind == "rows":
+                    engine.ingest(data)
+                else:
+                    engine.delete(data)
+            reply = ("replayed", len(payload))
         elif op == "stop":
             break
+        else:  # pragma: no cover - protocol guard
+            reply = ("error", f"unknown op {op!r}")
+        if _apply_worker_fault(
+            faults.fire("worker.reply", worker=index, op=op)
+        ):
+            continue  # dropped reply
+        conn.send(reply)
     conn.close()
 
 
@@ -324,6 +371,7 @@ class _ProcessWorker:
 
     def delete(self, tid: int) -> None:
         self._conn.send(("delete", tid))
+        self._conn.recv()
 
     def counters(self) -> Dict[str, int]:
         self._conn.send(("counters", None))
@@ -334,15 +382,38 @@ class _ProcessWorker:
         return self._conn.recv()
 
     def close(self) -> None:
+        """Shut down without ever hanging, even on an already-dead or
+        wedged child: polite stop with a bounded grace period (keeping
+        the pipe drained so a child blocked mid-send can progress to
+        the stop op), then escalate terminate → kill."""
+        process, conn = self._process, self._conn
         try:
-            self._conn.send(("stop", None))
-        except (OSError, ValueError):
+            conn.send(("stop", None))
+        except (BrokenPipeError, OSError, ValueError):
             pass
-        self._process.join(timeout=5)
-        if self._process.is_alive():  # pragma: no cover - defensive
-            self._process.terminate()
-            self._process.join(timeout=5)
-        self._conn.close()
+        deadline = time.monotonic() + 5.0
+        while process.is_alive() and time.monotonic() < deadline:
+            try:
+                while conn.poll(0):
+                    conn.recv()
+            except (EOFError, OSError):
+                break
+            process.join(timeout=0.05)
+        if process.is_alive():  # pragma: no cover - defensive
+            process.terminate()
+            process.join(timeout=5)
+        if process.is_alive():  # pragma: no cover - defensive
+            getattr(process, "kill", process.terminate)()
+            process.join(timeout=5)
+        try:
+            while conn.poll(0):
+                conn.recv()
+        except (EOFError, OSError):
+            pass
+        try:
+            conn.close()
+        except OSError:  # pragma: no cover - already closed
+            pass
 
 
 # ----------------------------------------------------------------------
@@ -383,9 +454,15 @@ class ShardedQueryEngine(ContextualQueryEngine):
         sharded._check_open()
         owner = sharded._shard_of.get(subspace)
         if owner is not None:
-            tids = sharded._workers[owner].skyline(
-                tuple(constraint.values), subspace
-            )
+            try:
+                tids = sharded._workers[owner].skyline(
+                    tuple(constraint.values), subspace
+                )
+            except WorkerGaveUp as crash:
+                sharded._degrade(crash)
+                tids = sharded._workers[owner].skyline(
+                    tuple(constraint.values), subspace
+                )
             by_tid = {record.tid: record for record in sharded.table}
             return [by_tid[tid] for tid in tids if tid in by_tid]
         from ..core.skyline import contextual_skyline
@@ -412,6 +489,21 @@ class ShardedDiscoverer(EngineBase):
     chunk_size:
         Pipelining granularity of the batched API (rows per worker
         round-trip).
+    supervise:
+        Supervise process-mode workers (crash detection, restart with
+        backoff, deterministic rebuild from the router's committed op
+        log; see :mod:`repro.service.supervisor`).  Ignored for
+        serial/thread modes, whose workers share the router's fate.
+        Supervision keeps the full arrival/deletion op log in router
+        memory (the rebuild source), roughly doubling row storage.
+    op_timeout:
+        Seconds to wait on any single worker pipe round-trip before the
+        worker is treated as hung.
+    max_restarts:
+        Per-worker circuit breaker: one more crash after this many
+        restarts degrades the whole pool to in-router serial execution
+        (``degraded`` flips True; service keeps answering) instead of
+        dying.
     """
 
     kind = "sharded"
@@ -424,11 +516,18 @@ class ShardedDiscoverer(EngineBase):
         mode: str = "process",
         score: bool = True,
         chunk_size: int = _PIPELINE_CHUNK,
+        supervise: bool = True,
+        op_timeout: float = 60.0,
+        max_restarts: int = 3,
     ) -> None:
         if mode not in _MODES:
             raise ValueError(f"mode must be one of {_MODES}, got {mode!r}")
         if chunk_size < 1:
             raise ValueError("chunk_size must be >= 1")
+        if op_timeout <= 0:
+            raise ValueError("op_timeout must be > 0 seconds")
+        if max_restarts < 0:
+            raise ValueError("max_restarts must be >= 0")
         config = config or DiscoveryConfig()
         if not score and (config.tau is not None or config.top_k is not None):
             raise ValueError(
@@ -440,6 +539,20 @@ class ShardedDiscoverer(EngineBase):
         self.score = score
         self.mode = mode
         self.chunk_size = chunk_size
+        self.supervise = supervise
+        self.op_timeout = op_timeout
+        self.max_restarts = max_restarts
+        #: True once the circuit breaker fell back to in-router serial
+        #: execution (the pool keeps serving, just without parallelism).
+        self.degraded = False
+        #: Committed arrival/deletion ops in order — the deterministic
+        #: rebuild source for restarted/degraded workers.  Maintained
+        #: only under supervision (it is the memory cost of it).
+        self._oplog: List[Tuple[str, object]] = []
+        self._track_oplog = mode == "process" and supervise
+        #: Fault counters of workers discarded by a degrade.
+        self._restart_base = 0
+        self._retry_base = 0
         self.table = Table(schema)
         self.context_counter = ColumnarContextCounter(
             schema.n_dimensions, config.max_bound_dims
@@ -463,9 +576,31 @@ class ShardedDiscoverer(EngineBase):
 
             method = "fork" if "fork" in mp.get_all_start_methods() else "spawn"
             ctx = mp.get_context(method)
+            if self.supervise:
+                policy = SupervisorPolicy(
+                    op_timeout=self.op_timeout,
+                    max_restarts=self.max_restarts,
+                )
+                return [
+                    SupervisedWorker(
+                        w,
+                        self._worker_spec(shard, w),
+                        _shard_worker_main,
+                        ctx,
+                        self._oplog,
+                        policy,
+                    )
+                    for w, shard in enumerate(self.shards)
+                ]
             return [
-                _ProcessWorker(self._worker_spec(shard), ctx)
-                for shard in self.shards
+                _ProcessWorker(
+                    dict(
+                        self._worker_spec(shard, w),
+                        faults=faults.active_dicts(),
+                    ),
+                    ctx,
+                )
+                for w, shard in enumerate(self.shards)
             ]
         engines = [
             _ShardEngine(self.schema, self.config, shard, self.score)
@@ -474,7 +609,9 @@ class ShardedDiscoverer(EngineBase):
         cls = _ThreadWorker if self.mode == "thread" else _InlineWorker
         return [cls(engine) for engine in engines]
 
-    def _worker_spec(self, shard: Sequence[int]) -> Dict[str, object]:
+    def _worker_spec(
+        self, shard: Sequence[int], index: Optional[int] = None
+    ) -> Dict[str, object]:
         """Pickle-light worker description (spawn-safe)."""
         return {
             "dimensions": tuple(self.schema.dimensions),
@@ -483,6 +620,7 @@ class ShardedDiscoverer(EngineBase):
             "config": asdict(self.config),
             "shard": list(shard),
             "score": self.score,
+            "worker_index": index,
         }
 
     # ------------------------------------------------------------------
@@ -500,7 +638,7 @@ class ShardedDiscoverer(EngineBase):
         self._check_open()
         out: List[FactSet] = []
         rows = iter(rows)
-        pending: Optional[List[Record]] = None
+        pending: Optional[Tuple[List[Record], List[Mapping[str, object]]]] = None
         while True:
             try:
                 chunk = list(itertools.islice(rows, self.chunk_size))
@@ -511,24 +649,35 @@ class ShardedDiscoverer(EngineBase):
                 # router, counter and workers stay consistent, exactly
                 # like the unsharded engine raising mid-stream.
                 if pending is not None:
-                    self._merge_chunk(pending)
+                    self._merge_committed(pending)
                 raise
             if chunk:
                 for worker in self._workers:
                     worker.submit_rows(payload)
             if pending is not None:
-                out.extend(self._merge_chunk(pending))
+                out.extend(self._merge_committed(pending))
             if not chunk:
                 break
-            pending = records
+            pending = (records, payload)
         return out
 
     def delete(self, tid: int) -> Record:
         """Remove a previously observed tuple on every shard (§VIII)."""
         self._check_open()
         removed = self.table.delete(tid)
-        for worker in self._workers:
-            worker.delete(tid)
+        try:
+            for worker in self._workers:
+                worker.delete(tid)
+        except WorkerGaveUp as crash:
+            # The degraded replacements rebuilt from the oplog *before*
+            # this deletion (it commits below), so every one of them —
+            # including those that acked over the pipe pre-crash, now
+            # rebuilt fresh — needs it applied exactly once here.
+            self._degrade(crash)
+            for worker in self._workers:
+                worker.delete(tid)
+        if self._track_oplog:
+            self._oplog.append(("delete", int(removed.tid)))
         self.context_counter.unregister(removed)
         return removed
 
@@ -575,7 +724,23 @@ class ShardedDiscoverer(EngineBase):
             cached = self._cons_memo[record.dims] = {}
         return cached
 
-    def _merge_chunk(self, records: List[Record]) -> List[FactSet]:
+    def _merge_committed(
+        self, pending: Tuple[List[Record], List[Mapping[str, object]]]
+    ) -> List[FactSet]:
+        """Merge one chunk, then commit it to the op log — from this
+        point a restarted worker rebuilds *with* the chunk and is never
+        re-sent it (exactly-once across crashes)."""
+        records, payload = pending
+        facts = self._merge_chunk(records, payload)
+        if self._track_oplog:
+            self._oplog.append(("rows", payload))
+        return facts
+
+    def _merge_chunk(
+        self,
+        records: List[Record],
+        payload: Optional[List[Mapping[str, object]]] = None,
+    ) -> List[FactSet]:
         """Recombine one chunk's worker replies in canonical order.
 
         Each worker emits its facts subspace-major in *its* key order,
@@ -584,7 +749,16 @@ class ShardedDiscoverer(EngineBase):
         and within a segment the worker's ``masks_top_down`` order is
         already the scalar engine's.
         """
-        replies = [worker.result() for worker in self._workers]
+        replies = []
+        for w in range(len(self._workers)):
+            try:
+                replies.append(self._workers[w].result())
+            except WorkerGaveUp as crash:
+                # Workers 0..w-1 already delivered this (uncommitted)
+                # chunk, so their degraded replacements must replay it;
+                # the rest still hold it pending and answer it live.
+                self._degrade(crash, merging=payload, delivered=w)
+                replies.append(self._workers[w].result())
         rank = self._rank
         score = self.score
         counter = self.context_counter
@@ -634,6 +808,72 @@ class ShardedDiscoverer(EngineBase):
         return out
 
     # ------------------------------------------------------------------
+    # Degraded mode (circuit breaker)
+    # ------------------------------------------------------------------
+    def _degrade(
+        self,
+        crash: WorkerGaveUp,
+        merging: Optional[List[Mapping[str, object]]] = None,
+        delivered: int = 0,
+    ) -> None:
+        """Fall back to in-router serial execution after a worker spent
+        its restart budget (see :class:`~repro.service.supervisor.\
+WorkerGaveUp`): every shard is rebuilt deterministically from the
+        committed op log into an :class:`_InlineWorker`, preserving
+        utilization tallies and the submitted-unmerged chunks each dead
+        worker still owed.  The pool keeps answering — just without
+        parallelism — instead of dying mid-stream.
+
+        ``merging``/``delivered`` describe a merge in progress: workers
+        ``< delivered`` already delivered the currently-merging (hence
+        uncommitted) chunk, so their replacements replay it; the others
+        still hold it pending and will answer it live.
+        """
+        old = self._workers
+        self._restart_base += sum(getattr(w, "restarts", 0) for w in old)
+        self._retry_base += sum(getattr(w, "chunks_retried", 0) for w in old)
+        pendings = [
+            getattr(w, "pending_ops", lambda: [])() for w in old
+        ]
+        busys = [w.busy_seconds for w in old]
+        for worker in old:
+            try:
+                worker.close()
+            except Exception:  # pragma: no cover - already dead/wedged
+                pass
+        replacements = []
+        for w, shard in enumerate(self.shards):
+            engine = _ShardEngine(self.schema, self.config, shard, self.score)
+            for kind, data in self._oplog:
+                if kind == "rows":
+                    engine.ingest(data)
+                else:
+                    engine.delete(data)
+            if merging is not None and w < delivered:
+                engine.ingest(merging)
+            worker = _InlineWorker(engine)
+            worker.busy_seconds = busys[w]
+            for payload in pendings[w]:
+                worker.submit_rows(payload)
+            replacements.append(worker)
+        self._workers = replacements
+        self.degraded = True
+        # Inline workers share the router's fate: the rebuild source is
+        # no longer needed, free it.
+        self._track_oplog = False
+        self._oplog = []
+
+    def fault_counters(self) -> Dict[str, int]:
+        """Supervision tallies (surfaced through ``ServiceStats``)."""
+        return {
+            "worker_restarts": self._restart_base
+            + sum(getattr(w, "restarts", 0) for w in self._workers),
+            "chunks_retried": self._retry_base
+            + sum(getattr(w, "chunks_retried", 0) for w in self._workers),
+            "degraded": int(self.degraded),
+        }
+
+    # ------------------------------------------------------------------
     # Introspection / lifecycle
     # ------------------------------------------------------------------
     @property
@@ -642,8 +882,12 @@ class ShardedDiscoverer(EngineBase):
         unsharded engine's totals — the subspace keys partition)."""
         self._check_open()
         total = OpCounters()
-        for worker in self._workers:
-            snap = worker.counters()
+        for w in range(len(self._workers)):
+            try:
+                snap = self._workers[w].counters()
+            except WorkerGaveUp as crash:
+                self._degrade(crash)
+                snap = self._workers[w].counters()
             total.comparisons += snap["comparisons"]
             total.traversed_constraints += snap["traversed_constraints"]
             total.stored_tuples += snap["stored_tuples"]
@@ -669,6 +913,9 @@ class ShardedDiscoverer(EngineBase):
                 workers=self.n_workers,
                 mode=self.mode,
                 chunk_size=self.chunk_size,
+                supervise=self.supervise,
+                op_timeout=self.op_timeout,
+                max_restarts=self.max_restarts,
             ),
         )
 
@@ -684,6 +931,7 @@ class ShardedDiscoverer(EngineBase):
         out["workers"] = self.n_workers
         out["mode"] = self.mode
         out["utilization"] = self.utilization()
+        out.update(self.fault_counters())
         return out
 
     def utilization(self) -> List[float]:

@@ -1,0 +1,327 @@
+"""Supervision of process-mode shard workers.
+
+A SIGKILLed worker process used to deadlock the router forever on a
+pipe ``recv`` that could never complete.  :class:`SupervisedWorker`
+wraps the worker process + pipe with the full crash loop:
+
+* **detection** — every pipe round-trip polls with a deadline; a dead
+  child (pipe EOF, ``BrokenPipeError``, exitcode) or a hung one (no
+  reply within ``op_timeout``) raises :class:`WorkerCrashed` instead of
+  blocking;
+* **restart** — exponential backoff with jitter, then a fresh process;
+* **rebuild** — the discovery state of a shard is a deterministic
+  function of the arrival/deletion prefix, so the replacement simply
+  re-observes the router's *committed* op log (rows and deletions in
+  original order), then has the submitted-but-unmerged chunks re-sent;
+* **retry** — the op the crash interrupted is retried exactly once
+  (the rebuild erased any partial application, so the resend cannot
+  double-apply); a second crash on the same op means the op itself is
+  the trigger, and the worker gives up rather than loop;
+* **circuit breaker** — after ``max_restarts`` restarts the worker
+  raises :class:`WorkerGaveUp`; the router's answer is to *degrade* the
+  pool to in-router serial execution (see
+  :meth:`~repro.service.sharding.ShardedDiscoverer`) instead of dying.
+
+The wrapper exposes the same surface as the plain worker classes in
+:mod:`repro.service.sharding` (``submit_rows`` / ``result`` /
+``delete`` / ``counters`` / ``skyline`` / ``close`` /
+``busy_seconds``), so the router's pipelining logic stays mode-blind.
+"""
+
+from __future__ import annotations
+
+import random
+import time
+from collections import deque
+from dataclasses import dataclass
+from typing import Callable, Deque, List, Mapping, Optional, Sequence, Tuple
+
+#: One committed router op: ``("rows", [row, ...])`` or ``("delete", tid)``.
+OplogEntry = Tuple[str, object]
+
+#: Ops per ``replay`` pipe message (bounds message size on long logs).
+_REPLAY_SLICE = 128
+
+#: Poll granularity while waiting on a reply (seconds).
+_POLL_STEP = 0.05
+
+
+class WorkerCrashed(RuntimeError):
+    """A shard worker died or hung mid-op (recoverable by restart)."""
+
+    def __init__(self, index: int, reason: str) -> None:
+        super().__init__(f"shard worker {index} crashed: {reason}")
+        self.index = index
+        self.reason = reason
+
+
+class WorkerGaveUp(WorkerCrashed):
+    """The circuit breaker tripped — the router should degrade."""
+
+
+@dataclass(frozen=True)
+class SupervisorPolicy:
+    """Restart behaviour knobs (derived from
+    :class:`~repro.api.spec.ShardingSpec`)."""
+
+    op_timeout: float = 60.0
+    max_restarts: int = 3
+    backoff_base: float = 0.05
+    backoff_max: float = 2.0
+    jitter: float = 0.25
+
+    def backoff(self, attempt: int, rng: random.Random) -> float:
+        """Delay before restart ``attempt`` (1-based): exponential,
+        capped, with up to ``jitter`` relative noise so a pool of
+        crashed workers does not restart in lockstep."""
+        base = min(self.backoff_max, self.backoff_base * (2.0 ** (attempt - 1)))
+        return base * (1.0 + self.jitter * rng.random())
+
+
+class SupervisedWorker:
+    """One supervised shard-worker process (see module docstring).
+
+    Parameters
+    ----------
+    index:
+        Worker position in the pool (fault scoping, diagnostics).
+    spec:
+        Pickle-light worker description passed to ``target`` — the
+        *base* spec; active faults are attached on the first spawn only
+        (a restarted worker starts fault-free, as a freshly rebooted
+        real one would).
+    target:
+        Worker entry point, ``target(conn, spec)``.
+    ctx:
+        ``multiprocessing`` context to spawn under.
+    oplog:
+        Live reference to the router's committed op list; replayed into
+        every replacement process before pending chunks are re-sent.
+    policy:
+        Timeouts / restart budget.
+    """
+
+    def __init__(
+        self,
+        index: int,
+        spec: Mapping[str, object],
+        target: Callable,
+        ctx,
+        oplog: Sequence[OplogEntry],
+        policy: SupervisorPolicy,
+    ) -> None:
+        from . import faults
+
+        self.index = index
+        self._spec = dict(spec)
+        self._target = target
+        self._ctx = ctx
+        self._oplog = oplog
+        self.policy = policy
+        self.busy_seconds = 0.0
+        #: Restarts performed (counted into ``ServiceStats``).
+        self.restarts = 0
+        #: Chunks re-sent to a replacement worker after a crash.
+        self.chunks_retried = 0
+        #: Submitted ``rows`` payloads whose replies are not yet
+        #: delivered — the exact set a replacement must be re-sent.
+        self._pending: Deque[List[Mapping[str, object]]] = deque()
+        self._rng = random.Random(0x5EED ^ index)
+        self._process = None
+        self._conn = None
+        self._spawn(dict(self._spec, faults=faults.active_dicts()))
+
+    # ------------------------------------------------------------------
+    # Process lifecycle
+    # ------------------------------------------------------------------
+    def _spawn(self, spec: Mapping[str, object]) -> None:
+        self._conn, child = self._ctx.Pipe()
+        self._process = self._ctx.Process(
+            target=self._target, args=(child, spec), daemon=True
+        )
+        self._process.start()
+        child.close()
+
+    def _abandon(self) -> None:
+        """Dispose of a crashed/hung process and its pipe, escalating
+        terminate → kill so a wedged child cannot block the router."""
+        process, conn = self._process, self._conn
+        if process is not None and process.is_alive():
+            process.terminate()
+            process.join(timeout=2)
+            if process.is_alive():  # pragma: no cover - stubborn child
+                kill = getattr(process, "kill", process.terminate)
+                kill()
+                process.join(timeout=2)
+        if conn is not None:
+            try:
+                while conn.poll(0):
+                    conn.recv()
+            except (EOFError, OSError):
+                pass
+            try:
+                conn.close()
+            except OSError:  # pragma: no cover - already closed
+                pass
+        self._process = None
+        self._conn = None
+
+    def _restart(self, crash: WorkerCrashed) -> None:
+        """Backoff, respawn, rebuild state from the committed oplog,
+        re-send pending chunks.  Raises :class:`WorkerGaveUp` once the
+        restart budget is spent."""
+        self.restarts += 1
+        if self.restarts > self.policy.max_restarts:
+            raise WorkerGaveUp(
+                self.index,
+                f"circuit breaker after {self.restarts - 1} restarts "
+                f"(last crash: {crash.reason})",
+            )
+        self._abandon()
+        time.sleep(self.policy.backoff(self.restarts, self._rng))
+        self._spawn(self._spec)  # restarted workers carry no faults
+        self._replay()
+
+    def _replay(self) -> None:
+        """Deterministically rebuild the replacement's shard state: the
+        committed prefix first (acked slice-wise), then the pending
+        chunks whose normal replies the router still awaits."""
+        ops = list(self._oplog)
+        for start in range(0, len(ops), _REPLAY_SLICE):
+            self._conn.send(("replay", ops[start : start + _REPLAY_SLICE]))
+            self._recv(liveness_only=True)
+        for payload in self._pending:
+            self._conn.send(("rows", payload))
+        if self._pending:
+            self.chunks_retried += len(self._pending)
+
+    # ------------------------------------------------------------------
+    # Pipe round-trips with crash detection
+    # ------------------------------------------------------------------
+    def _recv(self, liveness_only: bool = False):
+        """Receive one reply, or raise :class:`WorkerCrashed`.
+
+        Polls in small steps so a dead child is noticed immediately
+        (pipe EOF / exitcode) and a silent one is abandoned at
+        ``op_timeout`` (unless ``liveness_only`` — replay of a long
+        oplog legitimately exceeds a per-op budget, so there only death
+        is a failure)."""
+        deadline = time.monotonic() + self.policy.op_timeout
+        while True:
+            try:
+                if self._conn.poll(_POLL_STEP):
+                    return self._conn.recv()
+            except (EOFError, OSError) as exc:
+                raise WorkerCrashed(
+                    self.index,
+                    f"pipe closed mid-reply ({type(exc).__name__}; "
+                    f"exitcode={self._process.exitcode})",
+                ) from None
+            if not self._process.is_alive():
+                # Drain any reply that raced the death notice.
+                try:
+                    if self._conn.poll(0):
+                        return self._conn.recv()
+                except (EOFError, OSError):
+                    pass
+                raise WorkerCrashed(
+                    self.index,
+                    f"process died (exitcode={self._process.exitcode})",
+                )
+            if not liveness_only and time.monotonic() >= deadline:
+                self._abandon()
+                raise WorkerCrashed(
+                    self.index,
+                    f"no reply within op_timeout={self.policy.op_timeout}s "
+                    f"(worker abandoned)",
+                )
+
+    def _send(self, message) -> None:
+        """Best-effort send; a send on a dead pipe is deferred to the
+        next ``_recv``, which detects and recovers the crash."""
+        try:
+            self._conn.send(message)
+        except (BrokenPipeError, OSError, ValueError):
+            pass
+
+    # ------------------------------------------------------------------
+    # Worker surface (mode-blind, mirrors _ProcessWorker)
+    # ------------------------------------------------------------------
+    def submit_rows(self, rows: List[Mapping[str, object]]) -> None:
+        self._pending.append(rows)
+        self._send(("rows", rows))
+
+    def result(self):
+        attempts = 0
+        while True:
+            try:
+                reply = self._recv()
+            except WorkerCrashed as crash:
+                attempts += 1
+                if attempts > 1:
+                    # The re-sent chunk crashed the rebuilt worker too:
+                    # the op itself is the trigger; stop retrying.
+                    raise WorkerGaveUp(
+                        self.index,
+                        f"chunk crashed the worker twice ({crash.reason})",
+                    )
+                self._restart(crash)
+                continue
+            self._pending.popleft()
+            self.busy_seconds += reply[4]
+            return reply
+
+    def _sync_op(self, op: str, payload):
+        """Send one op and await its reply, restarting through crashes;
+        the rebuild erases partial application, so one retry is safe."""
+        attempts = 0
+        while True:
+            self._send((op, payload))
+            try:
+                return self._recv()
+            except WorkerCrashed as crash:
+                attempts += 1
+                if attempts > 1:
+                    raise WorkerGaveUp(
+                        self.index,
+                        f"op {op!r} crashed the worker twice "
+                        f"({crash.reason})",
+                    )
+                self._restart(crash)
+
+    def delete(self, tid: int) -> None:
+        self._sync_op("delete", int(tid))
+
+    def counters(self):
+        return self._sync_op("counters", None)
+
+    def skyline(self, values, subspace: int):
+        return self._sync_op("skyline", (values, subspace))
+
+    def pending_ops(self) -> List[List[Mapping[str, object]]]:
+        """Submitted-unmerged chunks, oldest first — what a degraded
+        replacement must still answer for."""
+        return list(self._pending)
+
+    def close(self) -> None:
+        """Shut down without ever hanging: polite stop with a short
+        grace period (draining replies so a blocked child can make
+        progress), then terminate → kill."""
+        process, conn = self._process, self._conn
+        if process is None:
+            return
+        try:
+            conn.send(("stop", None))
+        except (BrokenPipeError, OSError, ValueError):
+            pass
+        deadline = time.monotonic() + 2.0
+        while process.is_alive() and time.monotonic() < deadline:
+            # Keep the pipe drained: a child mid-reply on a full pipe
+            # buffer cannot reach the stop op until someone reads.
+            try:
+                while conn.poll(0):
+                    conn.recv()
+            except (EOFError, OSError):
+                break
+            process.join(timeout=_POLL_STEP)
+        self._abandon()

@@ -1,0 +1,608 @@
+"""Chaos suite: crash-safe serving end to end.
+
+Every scenario compares a *faulted* run against an unfaulted reference
+and requires property-identity — same facts (constraint, subspace,
+prominence), same op counters, no accepted row lost or double-applied:
+
+* supervised shard workers surviving injected crashes and a real
+  ``SIGKILL`` mid-chunk, with deletions interleaved;
+* hung workers abandoned at ``op_timeout`` and rebuilt;
+* the circuit breaker degrading the pool to in-router execution;
+* server "kill" + write-ahead-journal replay (full replay, checkpoint +
+  suffix, torn tail);
+* poison rows quarantined to the dead-letter file exactly once while
+  batch-mates survive;
+* checkpoint writes that stay crash-consistent (an interrupted write
+  never damages the previous snapshot).
+"""
+
+import asyncio
+import json
+import os
+import signal
+
+import pytest
+
+from repro import DiscoveryConfig, FactDiscoverer, TableSchema
+from repro.api import CheckpointPolicy, EngineSpec
+from repro.extensions.snapshot import load_engine, save_engine
+from repro.service import (
+    JournalWriter,
+    ShardedDiscoverer,
+    StreamServer,
+    recover_engine,
+)
+from repro.service import faults
+from repro.service.journal import JournalCorruptError, read_ops
+
+SCHEMA = TableSchema(("d0", "d1"), ("m0", "m1"))
+
+
+def make_rows(n, start=0):
+    return [
+        {"d0": f"a{i % 3}", "d1": f"b{i % 2}", "m0": i % 5, "m1": (7 - i) % 5}
+        for i in range(start, start + n)
+    ]
+
+
+def fact_key(fact):
+    return (fact.constraint.values, fact.subspace, fact.prominence)
+
+
+def fact_keys(factsets):
+    return [[fact_key(f) for f in fs] for fs in factsets]
+
+
+@pytest.fixture(autouse=True)
+def _clean_faults():
+    faults.clear()
+    yield
+    faults.clear()
+
+
+def reference_run(rows, deletes=()):
+    """Unfaulted single-engine run: facts per arrival + final counters."""
+    engine = FactDiscoverer(SCHEMA, algorithm="svec")
+    facts = fact_keys(engine.observe_many(rows))
+    for tid in deletes:
+        engine.delete(tid)
+    return facts, engine.counters.snapshot(), engine
+
+
+# ----------------------------------------------------------------------
+# Supervised workers
+# ----------------------------------------------------------------------
+class TestWorkerCrashRecovery:
+    def test_injected_crash_mid_stream_is_invisible(self):
+        rows = make_rows(60)
+        expected, expected_counters, ref = reference_run(rows)
+        faults.install(
+            [
+                {
+                    "point": "worker.op",
+                    "action": "crash",
+                    "worker": 1,
+                    "op": "rows",
+                    "after": 2,
+                }
+            ]
+        )
+        engine = ShardedDiscoverer(
+            SCHEMA, n_workers=2, mode="process", chunk_size=16, op_timeout=15
+        )
+        try:
+            got = fact_keys(engine.observe_many(rows))
+            assert got == expected
+            assert engine.counters.snapshot() == expected_counters
+            tally = engine.fault_counters()
+            assert tally["worker_restarts"] == 1
+            assert tally["chunks_retried"] >= 1
+            assert not tally["degraded"]
+        finally:
+            engine.close()
+            ref.close()
+
+    def test_sigkill_mid_chunk_recovers_exactly(self):
+        rows = make_rows(80)
+        first, rest = rows[:40], rows[40:]
+        expected, expected_counters, ref = reference_run(rows, deletes=(3, 17))
+        engine = ShardedDiscoverer(
+            SCHEMA, n_workers=2, mode="process", chunk_size=16, op_timeout=15
+        )
+        try:
+            got = fact_keys(engine.observe_many(first))
+            victim = engine._workers[0]._process
+            os.kill(victim.pid, signal.SIGKILL)
+            victim.join(timeout=10)
+            assert not victim.is_alive()
+            # The next chunks land on a dead pipe mid-submit: the
+            # supervisor must notice, restart, replay the committed
+            # prefix, and re-send the in-flight chunk exactly once.
+            got += fact_keys(engine.observe_many(rest))
+            engine.delete(3)
+            engine.delete(17)
+            assert got == expected
+            assert engine.counters.snapshot() == expected_counters
+            assert engine.fault_counters()["worker_restarts"] >= 1
+        finally:
+            engine.close()
+            ref.close()
+
+    def test_crash_during_delete_applies_once(self):
+        rows = make_rows(36)
+        expected, expected_counters, ref = reference_run(rows, deletes=(5,))
+        faults.install(
+            [
+                {
+                    "point": "worker.op",
+                    "action": "crash",
+                    "worker": 0,
+                    "op": "delete",
+                    "after": 1,
+                }
+            ]
+        )
+        engine = ShardedDiscoverer(
+            SCHEMA, n_workers=2, mode="process", chunk_size=12, op_timeout=15
+        )
+        try:
+            got = fact_keys(engine.observe_many(rows))
+            engine.delete(5)
+            assert got == expected
+            assert engine.counters.snapshot() == expected_counters
+            assert engine.fault_counters()["worker_restarts"] == 1
+        finally:
+            engine.close()
+            ref.close()
+
+    def test_hung_worker_abandoned_at_op_timeout(self):
+        rows = make_rows(24)
+        expected, expected_counters, ref = reference_run(rows)
+        faults.install(
+            [
+                {
+                    "point": "worker.op",
+                    "action": "delay",
+                    "worker": 1,
+                    "op": "rows",
+                    "delay": 30.0,
+                    "after": 1,
+                }
+            ]
+        )
+        engine = ShardedDiscoverer(
+            SCHEMA, n_workers=2, mode="process", chunk_size=12, op_timeout=0.5
+        )
+        try:
+            got = fact_keys(engine.observe_many(rows))
+            assert got == expected
+            assert engine.counters.snapshot() == expected_counters
+            assert engine.fault_counters()["worker_restarts"] >= 1
+        finally:
+            engine.close()
+            ref.close()
+
+    def test_dropped_reply_is_recovered(self):
+        # A dropped reply models a hang (pipes cannot lose a message
+        # without dying), so it is injected on a sync op — the router
+        # blocks on the missing ack, times out, rebuilds and retries
+        # the delete exactly once.
+        rows = make_rows(24)
+        expected, expected_counters, ref = reference_run(rows, deletes=(9,))
+        faults.install(
+            [
+                {
+                    "point": "worker.reply",
+                    "action": "drop",
+                    "worker": 0,
+                    "op": "delete",
+                    "after": 1,
+                }
+            ]
+        )
+        engine = ShardedDiscoverer(
+            SCHEMA, n_workers=2, mode="process", chunk_size=12, op_timeout=0.5
+        )
+        try:
+            got = fact_keys(engine.observe_many(rows))
+            engine.delete(9)
+            assert got == expected
+            assert engine.counters.snapshot() == expected_counters
+            assert engine.fault_counters()["worker_restarts"] >= 1
+        finally:
+            engine.close()
+            ref.close()
+
+
+class TestCircuitBreakerDegrade:
+    def test_degrades_to_in_router_execution(self):
+        rows = make_rows(48)
+        expected, expected_counters, ref = reference_run(rows, deletes=(7,))
+        # Every restart budget is zero: the first crash trips the
+        # breaker and the pool must degrade, not die.
+        faults.install(
+            [
+                {
+                    "point": "worker.op",
+                    "action": "crash",
+                    "worker": 1,
+                    "op": "rows",
+                    "after": 2,
+                }
+            ]
+        )
+        engine = ShardedDiscoverer(
+            SCHEMA,
+            n_workers=2,
+            mode="process",
+            chunk_size=12,
+            op_timeout=15,
+            max_restarts=0,
+        )
+        try:
+            got = fact_keys(engine.observe_many(rows))
+            engine.delete(7)
+            assert engine.degraded
+            assert engine.fault_counters()["degraded"]
+            assert got == expected
+            assert engine.counters.snapshot() == expected_counters
+            # Degraded pool keeps serving new arrivals correctly.
+            more = make_rows(12, start=48)
+            ref_more = fact_keys(ref.observe_many(more))
+            assert fact_keys(engine.observe_many(more)) == ref_more
+        finally:
+            engine.close()
+            ref.close()
+
+    def test_degrade_during_delete(self):
+        rows = make_rows(30)
+        expected, expected_counters, ref = reference_run(rows, deletes=(2, 11))
+        faults.install(
+            [
+                {
+                    "point": "worker.op",
+                    "action": "crash",
+                    "worker": 0,
+                    "op": "delete",
+                    "after": 1,
+                }
+            ]
+        )
+        engine = ShardedDiscoverer(
+            SCHEMA,
+            n_workers=2,
+            mode="process",
+            chunk_size=10,
+            op_timeout=15,
+            max_restarts=0,
+        )
+        try:
+            got = fact_keys(engine.observe_many(rows))
+            engine.delete(2)
+            engine.delete(11)
+            assert engine.degraded
+            assert got == expected
+            assert engine.counters.snapshot() == expected_counters
+        finally:
+            engine.close()
+            ref.close()
+
+
+# ----------------------------------------------------------------------
+# Journal replay
+# ----------------------------------------------------------------------
+def service_spec(tmp_path, name="ckpt.snap"):
+    return EngineSpec(
+        SCHEMA,
+        algorithm="svec",
+        checkpoint=CheckpointPolicy(
+            path=str(tmp_path / name),
+            journal_dir=str(tmp_path / "wal"),
+        ),
+    )
+
+
+class TestJournalRecovery:
+    def test_journal_round_trip(self, tmp_path):
+        rows = make_rows(40)
+        spec = service_spec(tmp_path)
+        with JournalWriter(str(tmp_path / "wal")) as journal:
+            for row in rows:
+                journal.append_ingest(row)
+            journal.append_delete(4)
+            journal.commit()
+        engine, report = recover_engine(spec)
+        expected, expected_counters, ref = reference_run(rows, deletes=(4,))
+        try:
+            assert report.source == "journal"
+            assert report.ops_replayed == len(rows) + 1
+            assert not report.torn_tail
+            probe = make_rows(1, start=99)
+            assert fact_keys(engine.observe_many(probe)) == fact_keys(
+                ref.observe_many(probe)
+            )
+        finally:
+            engine.close()
+            ref.close()
+
+    def test_server_kill_then_replay(self, tmp_path):
+        rows = make_rows(50)
+        spec = service_spec(tmp_path)
+        expected, expected_counters, ref = reference_run(rows, deletes=(6,))
+
+        async def faulted_session():
+            from repro.api import open_engine
+
+            server = StreamServer(
+                open_engine(EngineSpec(SCHEMA, algorithm="svec")),
+                journal_dir=str(tmp_path / "wal"),
+                batch_max=8,
+            )
+            await server.start()
+            await server.ingest_many(rows)
+            await server.delete(6)
+            await server.drain()
+            # Simulated kill: no final checkpoint is ever written.
+            await server.stop(drain=False)
+            server.engine.close()
+
+        asyncio.run(faulted_session())
+        assert not os.path.exists(spec.checkpoint.path)
+        engine, report = recover_engine(spec)
+        try:
+            assert report.source == "journal"
+            assert report.ops_replayed == len(rows) + 1
+            assert engine.counters.snapshot() == expected_counters
+            probe = make_rows(3, start=77)
+            assert fact_keys(engine.observe_many(probe)) == fact_keys(
+                ref.observe_many(probe)
+            )
+        finally:
+            engine.close()
+            ref.close()
+
+    def test_checkpoint_plus_journal_suffix(self, tmp_path):
+        rows1, rows2 = make_rows(30), make_rows(20, start=30)
+        spec = service_spec(tmp_path)
+        expected, expected_counters, ref = reference_run(rows1 + rows2)
+
+        async def session_one():
+            from repro.api import open_engine
+
+            server = StreamServer(open_engine(spec), batch_max=8)
+            await server.start()
+            await server.ingest_many(rows1)
+            await server.stop()  # graceful: checkpoint + journal prune
+            server.engine.close()
+
+        async def session_two():
+            engine, report = recover_engine(spec)
+            assert report.source == "checkpoint"
+            server = StreamServer(engine, batch_max=8)
+            await server.start()
+            await server.ingest_many(rows2)
+            await server.drain()
+            await server.stop(drain=False)  # killed before checkpointing
+            engine.close()
+
+        asyncio.run(session_one())
+        asyncio.run(session_two())
+        engine, report = recover_engine(spec)
+        try:
+            assert report.source == "checkpoint+journal"
+            assert report.checkpoint_seq == len(rows1)
+            assert report.ops_replayed == len(rows2)
+            assert engine.counters.snapshot() == expected_counters
+            probe = make_rows(2, start=88)
+            assert fact_keys(engine.observe_many(probe)) == fact_keys(
+                ref.observe_many(probe)
+            )
+        finally:
+            engine.close()
+            ref.close()
+
+    def test_torn_tail_is_dropped_and_reported(self, tmp_path):
+        rows = make_rows(25)
+        spec = service_spec(tmp_path)
+        with JournalWriter(str(tmp_path / "wal")) as journal:
+            for row in rows:
+                journal.append_ingest(row)
+        segments = sorted((tmp_path / "wal").iterdir())
+        with open(segments[-1], "ab") as fh:
+            fh.write(b"\x40\x00\x00\x00\x99")  # crash mid-append
+        engine, report = recover_engine(spec)
+        expected, expected_counters, ref = reference_run(rows)
+        try:
+            assert report.torn_tail
+            assert report.ops_replayed == len(rows)
+            assert engine.counters.snapshot() == expected_counters
+        finally:
+            engine.close()
+            ref.close()
+        # The resumed writer truncates the torn tail and appends after
+        # the last intact record.
+        with JournalWriter(str(tmp_path / "wal")) as journal:
+            assert journal.last_seq == len(rows)
+            journal.append_ingest(make_rows(1, start=99)[0])
+        ops, torn = read_ops(str(tmp_path / "wal"))
+        assert not torn
+        assert len(ops) == len(rows) + 1
+
+
+# ----------------------------------------------------------------------
+# Poison rows / dead-letter quarantine
+# ----------------------------------------------------------------------
+class PoisonEngine(FactDiscoverer):
+    """Applies rows one at a time; rows marked ``d0 == "POISON"`` raise
+    before touching the table, so a poison row costs itself only."""
+
+    def facts_for_many(self, rows):
+        out = []
+        for row in rows:
+            if row.get("d0") == "POISON":
+                raise ValueError(f"poison row rejected: {row!r}")
+            out.extend(super().facts_for_many([row]))
+        return out
+
+
+class TestPoisonRows:
+    def test_quarantined_exactly_once_others_survive(self, tmp_path):
+        healthy = make_rows(30)
+        poison = [
+            {"d0": "POISON", "d1": "b0", "m0": 1, "m1": 1},
+            {"d0": "POISON", "d1": "b1", "m0": 2, "m1": 2},
+        ]
+        rows = healthy[:10] + poison[:1] + healthy[10:20] + poison[1:] + healthy[20:]
+        spec = service_spec(tmp_path)
+        dead = tmp_path / "dead.ndjson"
+        expected, expected_counters, ref = reference_run(healthy, deletes=(3,))
+
+        async def run():
+            server = StreamServer(
+                PoisonEngine(SCHEMA, algorithm="svec"),
+                journal_dir=str(tmp_path / "wal"),
+                dead_letter_path=str(dead),
+                batch_max=8,
+            )
+            await server.start()
+            for row in rows:
+                await server.ingest(row)
+            await server.delete(3)
+            await server.drain()
+            stats = server.stats
+            live_counters = server.engine.counters.snapshot()
+            await server.stop(drain=False)
+            server.engine.close()
+            return stats, live_counters
+
+        stats, live_counters = asyncio.run(run())
+        assert stats.rows_quarantined == len(poison)
+        assert stats.processed_rows == len(healthy)
+        # Each poison row lands in the dead-letter file exactly once,
+        # with enough context to retry it by hand.
+        entries = [json.loads(line) for line in dead.read_text().splitlines()]
+        assert [e["row"] for e in entries] == poison
+        assert all(e["error_type"] == "ValueError" for e in entries)
+        # Accepted rows were neither lost nor double-applied: the live
+        # state and the journal-recovered state both equal the
+        # poison-free reference.
+        assert live_counters == expected_counters
+        engine, report = recover_engine(spec)
+        try:
+            assert report.ops_replayed == len(healthy) + 1
+            assert not report.replay_errors
+            assert engine.counters.snapshot() == expected_counters
+            probe = make_rows(2, start=55)
+            assert fact_keys(engine.observe_many(probe)) == fact_keys(
+                ref.observe_many(probe)
+            )
+        finally:
+            engine.close()
+            ref.close()
+
+    def test_poison_rows_never_reach_the_journal(self, tmp_path):
+        rows = make_rows(6) + [{"d0": "POISON", "d1": "b0", "m0": 0, "m1": 0}]
+
+        async def run():
+            server = StreamServer(
+                PoisonEngine(SCHEMA, algorithm="svec"),
+                journal_dir=str(tmp_path / "wal"),
+                batch_max=4,
+            )
+            await server.start()
+            for row in rows:
+                await server.ingest(row)
+            await server.drain()
+            await server.stop(drain=False)
+            server.engine.close()
+
+        asyncio.run(run())
+        ops, _ = read_ops(str(tmp_path / "wal"))
+        assert len(ops) == 6
+        assert all(op["row"]["d0"] != "POISON" for op in ops)
+
+
+# ----------------------------------------------------------------------
+# Crash-consistent checkpoints
+# ----------------------------------------------------------------------
+class TestCheckpointCrashConsistency:
+    def test_interrupted_write_keeps_previous_snapshot(self, tmp_path):
+        path = str(tmp_path / "engine.snap")
+        engine = FactDiscoverer(SCHEMA, algorithm="svec")
+        engine.observe_many(make_rows(12))
+        save_engine(engine, path)
+        golden = engine.counters.snapshot()
+
+        engine.observe_many(make_rows(12, start=12))
+        faults.install(
+            [{"point": "checkpoint.write", "action": "corrupt", "after": 1}]
+        )
+        with pytest.raises(OSError):
+            save_engine(engine, path)
+        # The torn temp file is cleaned up and the previous snapshot
+        # still loads, bit-for-bit usable.
+        assert [p for p in tmp_path.iterdir() if ".tmp." in p.name] == []
+        restored = load_engine(path)
+        assert restored.counters.snapshot() == golden
+        restored.close()
+
+        # With the fault spent, the very next save succeeds.
+        save_engine(engine, path)
+        restored = load_engine(path)
+        assert restored.counters.snapshot() == engine.counters.snapshot()
+        restored.close()
+        engine.close()
+
+    def test_truncated_snapshot_never_loads_partially(self, tmp_path):
+        path = tmp_path / "engine.snap"
+        engine = FactDiscoverer(SCHEMA, algorithm="svec")
+        engine.observe_many(make_rows(10))
+        save_engine(engine, str(path))
+        engine.close()
+        data = path.read_bytes()
+        # An interruption at *any* byte boundary must yield a loud
+        # ValueError, never a silently partial restore.
+        for cut in (1, len(data) // 4, len(data) // 2, len(data) - 2):
+            torn = tmp_path / f"torn-{cut}.snap"
+            torn.write_bytes(data[:cut])
+            with pytest.raises(ValueError):
+                load_engine(str(torn))
+
+
+# ----------------------------------------------------------------------
+# Fault registry plumbing
+# ----------------------------------------------------------------------
+class TestFaultRegistry:
+    def test_after_and_times_arming(self):
+        faults.install(
+            [{"point": "worker.op", "action": "drop", "after": 2, "times": 1}]
+        )
+        assert faults.fire("worker.op") is None  # seen 1 < after 2
+        fault = faults.fire("worker.op")
+        assert fault is not None and fault.action == "drop"
+        assert faults.fire("worker.op") is None  # times budget spent
+
+    def test_scoping_by_worker_and_op(self):
+        faults.install(
+            [{"point": "worker.op", "action": "drop", "worker": 1, "op": "rows"}]
+        )
+        assert faults.fire("worker.op", worker=0, op="rows") is None
+        assert faults.fire("worker.op", worker=1, op="delete") is None
+        assert faults.fire("worker.op", worker=1, op="rows") is not None
+
+    def test_install_from_env(self, monkeypatch):
+        monkeypatch.setenv(
+            faults.ENV_VAR,
+            json.dumps({"point": "journal.append", "action": "corrupt"}),
+        )
+        faults.install_from_env()
+        active = faults.active_dicts()
+        assert len(active) == 1
+        assert active[0]["point"] == "journal.append"
+        monkeypatch.setenv(faults.ENV_VAR, "{not json")
+        with pytest.raises(ValueError):
+            faults.install_from_env()
+
+    def test_unknown_point_rejected(self):
+        with pytest.raises(ValueError):
+            faults.install([{"point": "bogus.place"}])
