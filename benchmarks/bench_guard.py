@@ -16,18 +16,23 @@ of ``baselinevec`` is a stable ceiling across machines — scalar
 ratio tripwires cover the scored path (vs the unscored one) and the
 PR-3 bitset lattice walker (vs the pinned PR-2 per-visit pass).
 
-The ratio guards write their measurements into ``BENCH_PR3.json`` and
-the journal-overhead guard into ``BENCH_PR6.json`` (both uploaded as CI
-artifacts) so the perf trajectory is tracked as data.
+The ratio guards write their measurements into ``BENCH_PR3.json``, the
+journal-overhead guard into ``BENCH_PR6.json``, and the sweep-index
+guard into ``BENCH_PR7.json`` (all uploaded as CI artifacts) so the
+perf trajectory is tracked as data.
 
 Run with ``pytest benchmarks/bench_guard.py``; part of the bench suite,
 not of tier-1 (timing asserts do not belong in unit CI).
 """
 
+import random
 import tempfile
 import time
 
+import numpy as np
+
 from repro import FactDiscoverer, make_algorithm
+from repro.algorithms.s_vectorized import SVectorized
 from repro.datasets.synthetic import synthetic_rows, synthetic_schema
 from repro.service.journal import JournalWriter
 
@@ -55,6 +60,16 @@ SCORED_MULTIPLE = 2.5
 #: buffered JSON+CRC frame write per row plus one flush per batch —
 #: microseconds against a millisecond-scale discovery marginal.
 JOURNAL_OVERHEAD = 0.05
+
+#: The indexed dominance partition may cost at most this fraction of
+#: the dense per-arrival sweep at n=10k.  The indexed walker consumes
+#: *packed* prefix partitions — rank lookups into the sorted measure
+#: orderings, pre-packed suffix bitsets and posting-bitset ANDs, a few
+#: hundred uint64 words — plus a dense pass over the short un-folded
+#: suffix, while the dense sweep re-compares all n stored rows per
+#: probe.  Measured ~0.05-0.2x; an index that silently stops
+#: short-circuiting the prefix lands at ~1x.
+SWEEP_INDEX_FRACTION = 0.6
 
 #: The bitset lattice walker may cost at most this fraction of the
 #: pinned PR-2 per-visit pass per tuple.  Measured ~0.55-0.7x; a walker
@@ -148,6 +163,115 @@ def test_lattice_walker_stays_vectorized():
         f"per-visit pass (ceiling {WALKER_FRACTION}x) — the walk has "
         f"likely fallen back to scalar; see benchmarks/bench_lattice.py "
         f"for the full stage isolation"
+    )
+
+
+def test_sweep_index_stays_sublinear():
+    """The PR-7 sweep index must keep beating the dense dominance sweep
+    — and must keep matching it bit for bit.
+
+    One deletion-heavy anticorrelated stream (every 6th arrival
+    retracts a random live tuple, so tombstones, anchor invalidation
+    and deferred compaction are all in play) warms a single ``svec``
+    store to n=10k.  Probe records then time the store's
+    ``partition_bitmasks`` with the index active vs the dense fallback
+    on the *same* store, asserting both the latency fraction and exact
+    array equality of the lt/gt/agree columns.
+    """
+    n, probes = 10_000, 60
+    schema = synthetic_schema(D, M)
+    rows = synthetic_rows(
+        n + probes, D, M, distribution="anticorrelated", seed=29
+    )
+    algo = SVectorized(schema, sweep_index="on")
+    rng = random.Random(31)
+    live = []
+    for i, row in enumerate(rows[:n]):
+        algo.process(row)
+        live.append(i)
+        if i % 6 == 5 and len(live) > 2:
+            algo.retract(live.pop(rng.randrange(len(live))))
+    store = algo.store
+    sweep = store.sweep_index()
+    assert sweep is not None and sweep.active, (
+        "sweep index never activated on a 10k stream — the fold "
+        "trigger is broken"
+    )
+    records = [algo.table.make_record(row) for row in rows[n:]]
+    probes = [
+        (np.asarray(r.values, dtype=np.float64), store.intern_dims(r.dims))
+        for r in records
+    ]
+
+    def measure():
+        # Time the probe work the indexed walker consumes per arrival:
+        # packed per-measure partitions, posting-bitset lookups per
+        # bound dimension, and the dense pass over the un-folded suffix.
+        w, total = sweep.watermark, store.n_rows
+        start = time.perf_counter()
+        for values, dims in probes:
+            sweep.measure_partitions(values)
+            for j, vid in enumerate(dims):
+                sweep.posting(j, int(vid))
+            store.partition_suffix(values, dims, w, total)
+        indexed = (time.perf_counter() - start) / len(probes)
+        store._sweep = None  # pin the dense sweep on the same store
+        try:
+            start = time.perf_counter()
+            for r in records:
+                store.partition_bitmasks(r)
+            dense = (time.perf_counter() - start) / len(records)
+        finally:
+            store._sweep = sweep
+        return indexed, dense
+
+    # Exactness first: the full indexed reconstruction must equal the
+    # dense sweep bit for bit on every probe (untimed — reconstruction
+    # unpacks to dense columns, which the walker itself never pays for).
+    for r in records:
+        got = store.partition_bitmasks(r)
+        store._sweep = None
+        try:
+            want = store.partition_bitmasks(r)
+        finally:
+            store._sweep = sweep
+        for g, w in zip(got, want):
+            assert np.array_equal(g, w), (
+                "indexed partition_bitmasks diverged from the dense "
+                "sweep under a deletion-heavy stream — the index is "
+                "returning stale or mis-invalidated partitions"
+            )
+
+    indexed, dense = measure()
+    ratio = indexed / dense
+    if ratio > SWEEP_INDEX_FRACTION:  # one retry: scheduler bursts
+        retry = measure()
+        if retry[0] / retry[1] < ratio:
+            indexed, dense = retry
+            ratio = indexed / dense
+    print(
+        f"\nper-probe @ n={n} (deletion-heavy): dense={1e3 * dense:.3f}ms "
+        f"indexed={1e3 * indexed:.3f}ms ratio={ratio:.2f}x "
+        f"(ceiling {SWEEP_INDEX_FRACTION}x)"
+    )
+    update_results(
+        "sweep_guard",
+        {
+            "n": n,
+            "dense_ms": round(1e3 * dense, 4),
+            "indexed_ms": round(1e3 * indexed, 4),
+            "indexed_over_dense": round(ratio, 2),
+            "ceiling": SWEEP_INDEX_FRACTION,
+            "watermark": sweep.watermark,
+            "folds": sweep.folds,
+        },
+        filename="BENCH_PR7.json",
+    )
+    assert ratio <= SWEEP_INDEX_FRACTION, (
+        f"indexed dominance partition costs {ratio:.2f}x the dense sweep "
+        f"per probe (ceiling {SWEEP_INDEX_FRACTION}x) — the stable-prefix "
+        f"short-circuit has likely regressed; see "
+        f"benchmarks/bench_lattice.py::test_sweep_index_marginal_near_flat"
     )
 
 

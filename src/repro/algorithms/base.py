@@ -154,6 +154,16 @@ class DiscoveryAlgorithm(abc.ABC):
         self._repair_after_retract(removed)
         return removed
 
+    def retract_many(self, tids) -> List[Record]:
+        """Grouped :meth:`retract`: removed records in argument order.
+
+        Repair is inherently sequential (each retraction must observe
+        the state the previous one left), so the default loops;
+        store-maintaining algorithms override to batch the physical
+        reclamation around the loop.
+        """
+        return [self.retract(tid) for tid in tids]
+
     def _repair_after_retract(self, removed: Record) -> None:
         """Fix any materialised state after ``removed`` left the table."""
 

@@ -94,11 +94,17 @@ class SVectorized(STopDown):
         counters: Optional[OpCounters] = None,
         store: Optional[ColumnarSkylineStore] = None,
         shard_subspaces: Optional[Sequence[int]] = None,
+        sweep_index: str = "auto",
     ) -> None:
         if store is not None and not isinstance(store, ColumnarSkylineStore):
             raise TypeError(
                 "svec needs a ColumnarSkylineStore; got "
                 f"{type(store).__name__}"
+            )
+        if sweep_index not in ("auto", "on", "off"):
+            raise ValueError(
+                f"sweep_index must be 'auto', 'on' or 'off'; got "
+                f"{sweep_index!r}"
             )
         super().__init__(schema, config, counters, store)
         if store is None:
@@ -107,6 +113,15 @@ class SVectorized(STopDown):
                 n_dimensions=schema.n_dimensions,
                 n_measures=schema.n_measures,
             )
+        #: ``auto``/``on`` arm the store's incremental sweep index (PR
+        #: 7): probes against the stable prefix become packed-bitset
+        #: lookups once a fold batch of history accumulates; ``off``
+        #: pins every sweep to the dense elementwise path.  ``auto``
+        #: currently behaves like ``on`` (the index activation threshold
+        #: is its fold batch); the distinct value is reserved for
+        #: workload-adaptive heuristics.
+        self.sweep_index_mode = sweep_index
+        self.store.set_sweep_mode("off" if sweep_index == "off" else "on")
         # Subspace-axis sharding (the service layer's parallel unit):
         # when ``shard_subspaces`` is given, this instance maintains only
         # that subset of the measure-subspace keys.  Sound because every
@@ -192,6 +207,14 @@ class SVectorized(STopDown):
             if self._has_root:
                 report[0, 0] = self.config.allows_subspace(self.full_space)
             self._report_col = report
+            #: Indexed-walker tables: constraint-mask bit weights (the
+            #: packed pruned matrix folds back into per-key bitsets) and
+            #: the subspace keys as a gather index into the measure-mask
+            #: subset DP.
+            self._mask_weights = 1 << np.arange(
+                1 << schema.n_dimensions, dtype=np.int64
+            )
+            self._keys_index = np.asarray(self._subspace_keys, dtype=np.int64)
 
     def maintained_subspaces(self):
         """Shard-restricted instances maintain exactly their keys; the
@@ -236,6 +259,13 @@ class SVectorized(STopDown):
             )
         self.store.unregister(record.tid)
 
+    def retract_many(self, tids) -> List[Record]:
+        # Repair stays sequential (each retraction must see the state
+        # the previous one left) but the store's tombstone compaction is
+        # deferred to one grouped pass at the end.
+        with self.store.deferred_compaction():
+            return [self.retract(tid) for tid in tids]
+
     # ------------------------------------------------------------------
     # Discovery — bitset-matrix walker
     # ------------------------------------------------------------------
@@ -248,6 +278,12 @@ class SVectorized(STopDown):
             or (store.n_rows and not store.anchor_bits_supported)
         ):
             return self._discover_scalar_passes(record)
+        if self.sweep_index_mode != "off":
+            sweep = store.sweep_index(create=True)
+            if sweep is not None:
+                sweep.ensure_folded()
+                if sweep.active:
+                    return self._discover_indexed(record, sweep)
         facts = FactSet(record)
         constraints = self.constraint_cache(record)
         n = store.n_rows
@@ -388,6 +424,295 @@ class SVectorized(STopDown):
                     agree,
                 )
         return facts
+
+    # ------------------------------------------------------------------
+    # Discovery — sweep-indexed walker (O(Δ) prefix probes)
+    # ------------------------------------------------------------------
+    def _discover_indexed(self, record: Record, sweep) -> FactSet:
+        """The bitset-matrix walk over the sweep index's packed prefix.
+
+        Output-identical to :meth:`_discover` (facts, store state, op
+        counters), with every O(n) dense stage replaced by packed-bitset
+        arithmetic over the rows below the index watermark plus a dense
+        pass over the short un-indexed suffix:
+
+        * per-subspace dominator/demotable row bitsets come from a
+          subset-DP union of the per-measure rank partitions;
+        * Prop. 4 pruning intersects those with the per-(subspace, mask)
+          anchor planes — exact by the Invariant-2 covering argument:
+          a dominator ``r`` in context ``C^t_m`` is dominated-or-
+          equalled by a tuple ``s`` of that context's skyline, and ``s``
+          is anchored at an ancestor constraint along ``C^t`` (its
+          anchor binds a submask of ``m``, where its values coincide
+          with the probe's), so a dominator exists iff an *anchored*
+          dominator with agreement ⊇ ``m`` does;
+        * the comparison counter reads µ bucket sizes along ``C^t``
+          directly (bucket membership at ``(C^t_m, M)`` ⟺ anchored at
+          ``m`` with ``m ⊆ agree`` — the identity behind the dense
+          met-matrix popcounts), and the demotion candidates are the
+          nonzero words of (anchor planes ∩ agreement ∩ demotable).
+        """
+        store = self.store
+        facts = FactSet(record)
+        constraints = self.constraint_cache(record)
+        keys = self._subspace_keys
+        n_keys = len(keys)
+        cons_seq = tuple(constraints[m] for m in self.masks_top_down)
+        n = store.n_rows
+        w = sweep.watermark
+        probe_values = np.asarray(record.values, dtype=np.float64)
+        probe_dims = store.intern_dims(record.dims)
+
+        sweep.ensure_planes(keys)
+        packed_lt, packed_gt = sweep.measure_partitions(probe_values)
+        dom, dem = self._packed_dominators(packed_lt, packed_gt)
+        agreement = self._packed_agreement(sweep, probe_dims)
+        planes = sweep.anchor_planes(keys)
+        # met_any[k] = OR_mask(planes[k, mask] & agreement[mask]),
+        # reduced one subspace at a time so the full
+        # (keys × masks × words) tensor is never materialised — at
+        # n = 30k it is ~1 MB and streaming it through memory several
+        # times per arrival was the last O(n) term with a visible
+        # constant.  The per-k temporary stays cache-resident.
+        cap = planes.shape[2]
+        met_any = np.empty((n_keys, cap), dtype=np.uint64)
+        for k in range(n_keys):
+            np.bitwise_or.reduce(
+                planes[k] & agreement, axis=0, out=met_any[k]
+            )
+        # Prop. 4 pruning from the met dominators.  met_dom is genuinely
+        # dense under anticorrelated streams (hundreds of occupied words
+        # per arrival), so this reduction stays vectorised — only the
+        # (keys × masks × words) tensor above was worth breaking up.
+        met_dom = met_any & dom
+        pruned_cell = (
+            np.bitwise_or.reduce(
+                met_dom[:, None, :] & agreement[None, :, :], axis=2
+            )
+            != 0
+        )
+        pruned_vec = (pruned_cell @ self._mask_weights).astype(
+            self._bitset_dtype
+        )
+
+        # Dense pass over the un-indexed suffix [w, n): a suffix
+        # dominator prunes its own agreement closure directly, so the
+        # prefix/suffix union reproduces the dense pruned bits exactly.
+        delta = n - w
+        closure_s = demote_s = None
+        if delta:
+            lt_s, gt_s, agree_s = store.partition_suffix(
+                probe_values, probe_dims, w, n
+            )
+            keys_col = self._keys_column
+            lt_hit = (lt_s & keys_col) != 0
+            gt_hit = (gt_s & keys_col) != 0
+            dominated_s = lt_hit & ~gt_hit
+            demote_s = gt_hit & ~lt_hit
+            closure_s = self._closure_arr[agree_s]
+            pruned_vec |= np.bitwise_or.reduce(
+                closure_s * dominated_s, axis=1
+            )
+
+        masks_arr = self._masks_arr
+        pruned_bit = ((pruned_vec[:, None] >> masks_arr[None, :]) & 1) != 0
+        survive = ~pruned_bit
+        if self._has_root:
+            traversed = masks_arr.shape[0] + survive[1:].sum()
+        else:
+            traversed = survive.sum()
+        self.counters.traversed_constraints += int(traversed)
+
+        emit = survive & self._report_col
+        ks, cs = np.nonzero(emit)
+        if ks.size:
+            facts.add_pairs(
+                [cons_seq[i] for i in cs.tolist()],
+                [keys[k] for k in ks.tolist()],
+            )
+
+        visited = ~pruned_vec
+        if self._has_root:
+            visited[0] = -1
+
+        # Comparisons: µ bucket sizes along C^t over the visited cells,
+        # snapshotted before this arrival's own store mutations.
+        comparisons = 0
+        td = self.masks_top_down
+        for k in range(n_keys):
+            submap = store.submap(keys[k])
+            if not submap:
+                continue
+            vis = int(visited[k])
+            for i, mask in enumerate(td):
+                if (vis >> mask) & 1:
+                    bucket = submap.get(cons_seq[i])
+                    if bucket:
+                        comparisons += len(bucket)
+        self.counters.comparisons += comparisons
+
+        # Demotion candidates — prefix from the packed planes, suffix
+        # from the dense met-matrix over the delta rows.
+        repairs_by_key: List[Optional[List[Tuple[int, int]]]] = [None] * n_keys
+        order = self._mask_order
+        met_dem = met_any & dem
+        dk, dw = np.nonzero(met_dem)
+        if dk.size > 512:
+            met_cell = (planes & agreement[None, :, :]) & dem[:, None, :]
+            hit_k, hit_m, hit_w = np.nonzero(met_cell)
+            for k, mask, word_at in zip(
+                hit_k.tolist(), hit_m.tolist(), hit_w.tolist()
+            ):
+                if not (int(visited[k]) >> mask) & 1:
+                    continue
+                pairs = repairs_by_key[k]
+                if pairs is None:
+                    pairs = repairs_by_key[k] = []
+                word = int(met_cell[k, mask, word_at])
+                base_row = word_at << 6
+                position = int(order[mask])
+                while word:
+                    bit = word & -word
+                    word ^= bit
+                    pairs.append(
+                        (position, base_row + bit.bit_length() - 1)
+                    )
+        else:
+            for k, word_at in zip(dk.tolist(), dw.tolist()):
+                vis = int(visited[k])
+                cell = planes[k, :, word_at] & agreement[:, word_at]
+                cell &= met_dem[k, word_at]
+                base_row = word_at << 6
+                for mask in np.flatnonzero(cell).tolist():
+                    if not (vis >> mask) & 1:
+                        continue
+                    pairs = repairs_by_key[k]
+                    if pairs is None:
+                        pairs = repairs_by_key[k] = []
+                    word = int(cell[mask])
+                    position = int(order[mask])
+                    while word:
+                        bit = word & -word
+                        word ^= bit
+                        pairs.append(
+                            (position, base_row + bit.bit_length() - 1)
+                        )
+        if delta and demote_s.any():
+            anchor_bits = store.anchor_bits
+            met_suffix = np.zeros((n_keys, delta), dtype=self._bitset_dtype)
+            occupied = False
+            for k in range(n_keys):
+                bits = anchor_bits(keys[k], n)
+                if bits is not None:
+                    met_suffix[k] = bits[w:n]
+                    occupied = True
+            if occupied:
+                met_suffix &= closure_s[None, :]
+                met_suffix &= visited[:, None]
+                met_flat = met_suffix.reshape(-1)
+                hits = np.flatnonzero(
+                    (met_flat != 0) & demote_s.reshape(-1)
+                )
+                for index in hits.tolist():
+                    k, r = divmod(index, delta)
+                    remaining = int(met_flat[index])
+                    pairs = repairs_by_key[k]
+                    if pairs is None:
+                        pairs = repairs_by_key[k] = []
+                    while remaining:
+                        bit = remaining & -remaining
+                        remaining ^= bit
+                        pairs.append(
+                            (int(order[bit.bit_length() - 1]), w + r)
+                        )
+
+        maximal = survive & (
+            (pruned_vec[:, None] & self._parent_bits[None, :])
+            == self._parent_bits[None, :]
+        )
+        mk, mc = np.nonzero(maximal)
+        if mk.size:
+            store.insert_new_many(
+                record,
+                [
+                    (cons_seq[i], keys[k])
+                    for k, i in zip(mk.tolist(), mc.tolist())
+                ],
+            )
+
+        # Agreement bitmasks only for the handful of repair rows (the
+        # dense walker has the whole agree column; here it would cost
+        # the O(n) pass the index exists to avoid).
+        agree_of: Dict[int, int] = {}
+        for pairs in repairs_by_key:
+            if pairs:
+                for _, row in pairs:
+                    agree_of[row] = 0
+        if agree_of:
+            rows_arr = np.fromiter(
+                agree_of.keys(), dtype=np.int64, count=len(agree_of)
+            )
+            agree_vals = store.agree_bits_rows(rows_arr, probe_dims)
+            agree_of = dict(zip(rows_arr.tolist(), agree_vals.tolist()))
+        for k, pairs in enumerate(repairs_by_key):
+            if pairs:
+                pairs.sort()
+                self._flush_repairs(
+                    record,
+                    keys[k],
+                    [(r, cons_seq[oi]) for oi, r in pairs],
+                    agree_of,
+                )
+        return facts
+
+    def _packed_dominators(self, packed_lt, packed_gt):
+        """Per-subspace packed dominator/demotable row bitsets: with
+        ``U_k = ∪_{i∈k} lt_i`` and ``V_k = ∪_{i∈k} gt_i``, a row
+        dominates the probe in subspace ``k`` iff it wins some measure
+        of ``k`` and loses none (``U & ~V``) — and the probe dominates
+        it under the converse.  Subset DP over the measure masks, then
+        one gather into walker key order."""
+        n_measures = self.schema.n_measures
+        cap = packed_lt.shape[1]
+        if n_measures <= 6:
+            size = 1 << n_measures
+            wins = np.zeros((size, cap), dtype=np.uint64)
+            loses = np.zeros((size, cap), dtype=np.uint64)
+            for mask in range(1, size):
+                j = (mask & -mask).bit_length() - 1
+                wins[mask] = wins[mask & (mask - 1)] | packed_lt[j]
+                loses[mask] = loses[mask & (mask - 1)] | packed_gt[j]
+            wins = wins[self._keys_index]
+            loses = loses[self._keys_index]
+        else:
+            n_keys = len(self._subspace_keys)
+            wins = np.zeros((n_keys, cap), dtype=np.uint64)
+            loses = np.zeros((n_keys, cap), dtype=np.uint64)
+            for k, key in enumerate(self._subspace_keys):
+                bits = key
+                while bits:
+                    low = bits & -bits
+                    bits ^= low
+                    j = low.bit_length() - 1
+                    wins[k] |= packed_lt[j]
+                    loses[k] |= packed_gt[j]
+        return wins & ~loses, loses & ~wins
+
+    def _packed_agreement(self, sweep, probe_dims):
+        """``A[m]`` = packed prefix rows agreeing with the probe on every
+        position of constraint mask ``m``: subset DP down the walked
+        lattice over the index's posting bitsets (masks outside the
+        walk stay zero — no anchors exist there, so every consumer
+        intersects them away)."""
+        agreement = np.zeros((sweep.n_masks, sweep.cap_words), dtype=np.uint64)
+        agreement[0] = ~np.uint64(0)
+        for mask in self.masks_top_down:
+            if mask:
+                j = (mask & -mask).bit_length() - 1
+                agreement[mask] = agreement[mask & (mask - 1)] & sweep.posting(
+                    j, int(probe_dims[j])
+                )
+        return agreement
 
     # ------------------------------------------------------------------
     # Discovery — scalar per-visit passes (fallback: unbindable arrival

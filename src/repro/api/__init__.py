@@ -34,6 +34,7 @@ from .registry import (
 )
 from .spec import (
     AGGREGATES,
+    SWEEP_INDEX_MODES,
     CheckpointPolicy,
     EngineSpec,
     GroupSpec,
@@ -48,6 +49,7 @@ __all__ = [
     "CheckpointPolicy",
     "GroupSpec",
     "AGGREGATES",
+    "SWEEP_INDEX_MODES",
     "open_engine",
     "restore",
     "EngineMiddleware",

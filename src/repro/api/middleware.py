@@ -78,6 +78,9 @@ class EngineMiddleware(EngineBase):
     def delete(self, tid: int) -> Record:
         return self.inner.delete(tid)
 
+    def delete_many(self, tids: Iterable[int]) -> List[Record]:
+        return self.inner.delete_many(tids)
+
     def query(self):
         return self.inner.query()
 
@@ -135,8 +138,13 @@ class WindowMiddleware(EngineMiddleware):
         overflows (eviction happens *before* discovery so the new tuple
         is compared only against live ones)."""
         inner = self.inner
-        while len(self._live) >= self.window:
-            inner.delete(self._live.popleft())
+        if len(self._live) >= self.window:
+            evicted = []
+            while len(self._live) >= self.window:
+                evicted.append(self._live.popleft())
+            # One grouped retraction: the inner store compacts (at most)
+            # once for the whole eviction burst, not once per tuple.
+            inner.delete_many(evicted)
         facts = inner.facts_for(row)
         table = inner.table
         self._live.append(table[len(table) - 1].tid)
@@ -146,6 +154,14 @@ class WindowMiddleware(EngineMiddleware):
         """Explicitly retract a live tuple ahead of its eviction."""
         removed = self.inner.delete(tid)
         self._live.remove(tid)
+        return removed
+
+    def delete_many(self, tids: Iterable[int]) -> List[Record]:
+        """Grouped explicit retraction (window bookkeeping included)."""
+        tids = list(tids)
+        removed = self.inner.delete_many(tids)
+        for tid in tids:
+            self._live.remove(tid)
         return removed
 
     @property

@@ -30,6 +30,9 @@ SHARDING_MODES = ("serial", "thread", "process")
 #: Supported aggregate functions over a base measure.
 AGGREGATES = ("sum", "max", "min", "count", "avg")
 
+#: Modes of the columnar store's incremental sweep index.
+SWEEP_INDEX_MODES = ("auto", "on", "off")
+
 
 @dataclass(frozen=True)
 class ShardingSpec:
@@ -219,6 +222,14 @@ class EngineSpec:
     checkpoint:
         Default snapshot path / periodic-checkpoint interval, or
         ``None``.
+    sweep_index:
+        The ``svec`` columnar store's incremental sweep index:
+        ``"auto"`` (default — the engine decides; currently enabled
+        once a stream is long enough to fold), ``"on"`` (force the
+        indexed dominance-partition path) or ``"off"`` (pin the dense
+        per-arrival sweep).  Dense and indexed paths produce
+        bit-identical facts, scores and op counters; the knob only
+        trades index maintenance against per-arrival sweep cost.
     """
 
     schema: TableSchema
@@ -229,6 +240,7 @@ class EngineSpec:
     window: Optional[int] = None
     aggregate: Optional[GroupSpec] = None
     checkpoint: Optional[CheckpointPolicy] = None
+    sweep_index: str = "auto"
 
     def __post_init__(self) -> None:
         if not isinstance(self.algorithm, str):
@@ -240,6 +252,17 @@ class EngineSpec:
             raise ValueError(
                 "sharded engines run the 'svec' algorithm on every "
                 f"worker; set algorithm='svec' (got {self.algorithm!r})"
+            )
+        if self.sweep_index not in SWEEP_INDEX_MODES:
+            raise ValueError(
+                f"sweep_index must be one of {SWEEP_INDEX_MODES}, "
+                f"got {self.sweep_index!r}"
+            )
+        if self.sweep_index != "auto" and self.algorithm != "svec":
+            raise ValueError(
+                "sweep_index is a property of the 'svec' columnar store; "
+                f"algorithm {self.algorithm!r} has no sweep to index "
+                "(leave it 'auto')"
             )
         if self.window is not None and self.window < 1:
             raise ValueError("window must be >= 1")
@@ -288,6 +311,7 @@ class EngineSpec:
             "window": self.window,
             "aggregate": self.aggregate.to_dict() if self.aggregate else None,
             "checkpoint": asdict(self.checkpoint) if self.checkpoint else None,
+            "sweep_index": self.sweep_index,
         }
 
     @classmethod
@@ -312,6 +336,7 @@ class EngineSpec:
             window=doc.get("window"),
             aggregate=GroupSpec.from_dict(aggregate) if aggregate else None,
             checkpoint=CheckpointPolicy(**checkpoint) if checkpoint else None,
+            sweep_index=doc.get("sweep_index", "auto"),
         )
 
     def with_score(self, score: Optional[bool]) -> "EngineSpec":

@@ -196,6 +196,21 @@ class FactDiscoverer(EngineBase):
         self.context_counter.unregister(removed, self._constraints_of(removed))
         return removed
 
+    def delete_many(self, tids: Iterable[int]) -> List[Record]:
+        """Grouped :meth:`delete` (window eviction, bulk expiry).
+
+        Skyline repair stays per-tuple — each retraction must see the
+        state the previous one left — but the columnar store defers its
+        physical compaction to one pass over the whole group, so
+        deleting ``k`` tuples costs one row-slide instead of ``k``.
+        """
+        removed = self.algorithm.retract_many(list(tids))
+        for record in removed:
+            self.context_counter.unregister(
+                record, self._constraints_of(record)
+            )
+        return removed
+
     def update(self, tid: int, row: Mapping[str, object]) -> List[SituationalFact]:
         """Replace a previously observed tuple (§VIII "update of data").
 
@@ -231,6 +246,7 @@ class FactDiscoverer(EngineBase):
             algorithm=self.algorithm.name,
             config=self.config,
             score=self.score,
+            sweep_index=getattr(self.algorithm, "sweep_index_mode", "auto"),
         )
 
     def stats(self) -> dict:

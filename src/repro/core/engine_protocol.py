@@ -18,6 +18,8 @@ Member                 Contract
 ``facts_for(row)``     One arrival → the full (scored) ``S_t`` FactSet.
 ``facts_for_many``     Batched ``facts_for``.
 ``delete(tid)``        §VIII retraction; returns the removed Record.
+``delete_many(tids)``  Grouped retraction; one store compaction pass
+                       for the whole group instead of per tid.
 ``update(tid, row)``   Retract-then-observe replacement.
 ``query()``            A contextual query engine over the live state
                        (forward skyline / skyband / prominence).
@@ -89,6 +91,8 @@ class Engine(Protocol):
 
     def delete(self, tid: int) -> Record: ...
 
+    def delete_many(self, tids: Iterable[int]) -> List[Record]: ...
+
     def update(self, tid: int, row: Mapping[str, object]) -> List[SituationalFact]: ...
 
     def query(self) -> "ContextualQueryEngine": ...
@@ -125,6 +129,13 @@ class EngineBase:
             select_reportable(facts, self.config)
             for facts in self.facts_for_many(rows)
         ]
+
+    def delete_many(self, tids: Iterable[int]) -> List[Record]:
+        """Grouped :meth:`delete`: retract several tuples, returning the
+        removed records in argument order.  Engines whose storage can
+        batch the physical reclamation (the columnar store's deferred
+        compaction) override this; the default simply loops."""
+        return [self.delete(tid) for tid in tids]
 
     def update(self, tid: int, row: Mapping[str, object]) -> List[SituationalFact]:
         """Replace a previously observed tuple (retract-then-observe)."""

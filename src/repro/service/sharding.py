@@ -153,10 +153,13 @@ class _ShardEngine:
         config: DiscoveryConfig,
         shard: Sequence[int],
         score: bool,
+        sweep_index: str = "auto",
     ) -> None:
         from ..algorithms.s_vectorized import SVectorized
 
-        self.algorithm = SVectorized(schema, config, shard_subspaces=shard)
+        self.algorithm = SVectorized(
+            schema, config, shard_subspaces=shard, sweep_index=sweep_index
+        )
         self.score = score
 
     def ingest(self, rows: List[Mapping[str, object]]) -> IngestReply:
@@ -212,6 +215,7 @@ def _build_shard_engine(spec: Mapping[str, object]) -> _ShardEngine:
         DiscoveryConfig(**spec["config"]),
         list(spec["shard"]),
         bool(spec["score"]),
+        sweep_index=str(spec.get("sweep_index", "auto")),
     )
 
 
@@ -519,9 +523,15 @@ class ShardedDiscoverer(EngineBase):
         supervise: bool = True,
         op_timeout: float = 60.0,
         max_restarts: int = 3,
+        sweep_index: str = "auto",
     ) -> None:
         if mode not in _MODES:
             raise ValueError(f"mode must be one of {_MODES}, got {mode!r}")
+        if sweep_index not in ("auto", "on", "off"):
+            raise ValueError(
+                "sweep_index must be 'auto', 'on' or 'off', "
+                f"got {sweep_index!r}"
+            )
         if chunk_size < 1:
             raise ValueError("chunk_size must be >= 1")
         if op_timeout <= 0:
@@ -542,6 +552,7 @@ class ShardedDiscoverer(EngineBase):
         self.supervise = supervise
         self.op_timeout = op_timeout
         self.max_restarts = max_restarts
+        self.sweep_index = sweep_index
         #: True once the circuit breaker fell back to in-router serial
         #: execution (the pool keeps serving, just without parallelism).
         self.degraded = False
@@ -603,7 +614,9 @@ class ShardedDiscoverer(EngineBase):
                 for w, shard in enumerate(self.shards)
             ]
         engines = [
-            _ShardEngine(self.schema, self.config, shard, self.score)
+            _ShardEngine(
+                self.schema, self.config, shard, self.score, self.sweep_index
+            )
             for shard in self.shards
         ]
         cls = _ThreadWorker if self.mode == "thread" else _InlineWorker
@@ -620,6 +633,7 @@ class ShardedDiscoverer(EngineBase):
             "config": asdict(self.config),
             "shard": list(shard),
             "score": self.score,
+            "sweep_index": self.sweep_index,
             "worker_index": index,
         }
 
@@ -909,6 +923,7 @@ WorkerGaveUp`): every shard is rebuilt deterministically from the
             algorithm="svec",
             config=self.config,
             score=self.score,
+            sweep_index=self.sweep_index,
             sharding=ShardingSpec(
                 workers=self.n_workers,
                 mode=self.mode,

@@ -6,6 +6,7 @@ from .codec import DimensionInterner, RecordCodec
 from .columnar_store import ColumnarSkylineStore, grow_2d
 from .file_store import FileSkylineStore
 from .memory_store import MemorySkylineStore
+from .sweep_index import SweepIndex
 
 __all__ = [
     "PairKey",
@@ -13,6 +14,7 @@ __all__ = [
     "MemorySkylineStore",
     "FileSkylineStore",
     "ColumnarSkylineStore",
+    "SweepIndex",
     "RecordCodec",
     "DimensionInterner",
     "grow_2d",

@@ -36,6 +36,7 @@ from __future__ import annotations
 
 import sys
 from collections import defaultdict
+from contextlib import contextmanager
 from operator import itemgetter
 from typing import Dict, Iterator, List, Optional, Tuple
 
@@ -45,6 +46,7 @@ from ..core.constraint import Constraint
 from ..core.lattice import supermask_closure_table
 from ..core.record import Record
 from .base import PairKey, SkylineStore
+from .sweep_index import SweepIndex
 
 _INITIAL_CAPACITY = 256
 _POINTER_BYTES = 8
@@ -75,6 +77,13 @@ def lattice_bitset_dtype(n_dimensions: int):
     if n_dimensions > _MAX_BITSET_DIMENSIONS:
         return None
     return np.int32 if n_dimensions <= 4 else np.int64
+
+#: Deferred-compaction policy for tombstoned rows: compact once more
+#: than this many rows are dead *and* they outnumber a quarter of the
+#: column length.  Keeps retraction O(1) amortised without letting a
+#: deletion-heavy stream grow the columns unboundedly.
+_COMPACT_MIN_DEAD = 64
+_COMPACT_DEAD_FRACTION = 4
 
 #: Shared empty row-index array returned for pairs that hold nothing.
 _EMPTY_ROWS = np.empty(0, dtype=np.int64)
@@ -237,6 +246,13 @@ class ColumnarSkylineStore(SkylineStore):
         # repeat constantly; bounded FIFO caps adversarial streams).
         self._flip_masks: Dict[int, Tuple[int, ...]] = {}
         self._total = 0
+        # Sweep-index companion (PR 7): maintained only when an owner
+        # opts in (``set_sweep_mode``); tombstoned-row bookkeeping for
+        # the deferred compaction that replaced the per-tid row-slide.
+        self._sweep: Optional[SweepIndex] = None
+        self._sweep_mode = "off"
+        self._dead_count = 0
+        self._compaction_deferred = False
         if n_dimensions is not None and n_measures is not None:
             self._allocate(n_dimensions, n_measures)
 
@@ -268,7 +284,10 @@ class ColumnarSkylineStore(SkylineStore):
 
     @property
     def n_rows(self) -> int:
-        """Number of registered records (rows in the column arrays)."""
+        """Number of rows in the column arrays — live registrations plus
+        any retraction tombstones awaiting compaction (tombstoned rows
+        carry sentinels no sweep can match, so callers may treat the
+        range as dense)."""
         return len(self._records)
 
     def register(self, record: Record) -> int:
@@ -291,32 +310,107 @@ class ColumnarSkylineStore(SkylineStore):
         self._row_of[record.tid] = row
         return row
 
-    def unregister(self, tid: int) -> None:
+    def unregister(self, tid: int, compact: bool = True) -> None:
         """Drop a registered record's row from the columns (retraction).
 
         The caller must already have removed the tuple from every pair
-        (retraction repair does).  Rows above the removed one slide down
-        one slot; bucket row references are remapped.  O(n + stored) —
-        retraction is the rare path, arrival sweeps stay dense.
+        (retraction repair does).  The row is *tombstoned*, not slid
+        out: the record reference is dropped, the measures become NaN
+        and the dimension ids ``-1`` — sentinels no probe can match, so
+        dense sweeps need no alive-masking — and the sweep index (when
+        present) marks the row dead.  Column space is reclaimed by one
+        grouped compaction once enough tombstones accumulate
+        (:meth:`compact`), so a retraction is O(stored-per-tid)
+        amortised instead of the old O(n + stored) row-slide per tid.
         """
         row = self._row_of.pop(tid, None)
         if row is None:
             return
-        del self._records[row]
-        n = len(self._records)
-        self._values[row:n] = self._values[row + 1 : n + 1]
-        self._dims[row:n] = self._dims[row + 1 : n + 1]
-        for record in self._records[row:]:
-            self._row_of[record.tid] -= 1
+        self._records[row] = None
+        self._values[row] = np.nan
+        self._dims[row] = -1
+        self._dead_count += 1
+        sweep = self._sweep
+        for subspace, bits in self._anchor_bits.items():
+            # Repair removes the tuple from every pair first, so these
+            # are already zero; clearing defensively keeps the "dead
+            # rows are never anchored" invariant that lets stale packed
+            # bits in the sweep index stay harmless.
+            if bits.shape[0] > row and bits[row]:
+                if sweep is not None:
+                    sweep.anchor_sync(subspace, row, int(bits[row]), 0)
+                bits[row] = 0
+        if sweep is not None:
+            sweep.on_unregister(row)
+        if compact:
+            self._maybe_compact()
+
+    def unregister_many(self, tids) -> None:
+        """Grouped :meth:`unregister`: tombstone every tid, then run the
+        deferred-compaction check once for the whole batch (bulk
+        retraction was paying the old row-slide per tid)."""
+        for tid in tids:
+            self.unregister(tid, compact=False)
+        self._maybe_compact()
+
+    @contextmanager
+    def deferred_compaction(self):
+        """Suspend compaction for a grouped mutation sequence.
+
+        Retraction repair interleaves pair surgery with
+        :meth:`unregister` per tid; a mid-group compaction would be
+        wasted work (more tombstones are coming).  Inside this context
+        every compaction check is a no-op; one check runs at exit.
+        """
+        self._compaction_deferred = True
+        try:
+            yield self
+        finally:
+            self._compaction_deferred = False
+            self._maybe_compact()
+
+    def _maybe_compact(self) -> None:
+        if (
+            not self._compaction_deferred
+            and self._dead_count > _COMPACT_MIN_DEAD
+            and self._dead_count * _COMPACT_DEAD_FRACTION > len(self._records)
+        ):
+            self.compact()
+
+    def compact(self) -> None:
+        """Slide live rows over the tombstones and remap every row
+        reference (buckets, tid map, anchor-bitset columns) in one
+        grouped pass; the sweep index resets and rebuilds from the
+        compacted columns at its next fold."""
+        if not self._dead_count:
+            return
+        records = self._records
+        keep = [row for row, record in enumerate(records) if record is not None]
+        n = len(keep)
+        if n:
+            index = np.asarray(keep, dtype=np.int64)
+            self._values[:n] = self._values[index]
+            self._dims[:n] = self._dims[index]
+        self._records = [records[row] for row in keep]
+        remap = {old: new for new, old in enumerate(keep)}
+        self._row_of = {
+            record.tid: row for row, record in enumerate(self._records)
+        }
         for space in self._spaces.values():
             for bucket in space.values():
-                for t, r in bucket.items():
-                    if r > row:
-                        bucket[t] = r - 1
-        for bits in self._anchor_bits.values():
-            if bits.shape[0] > row:
-                bits[row:-1] = bits[row + 1 :]
-                bits[-1] = 0
+                for tid, row in bucket.items():
+                    bucket[tid] = remap[row]
+        for subspace, bits in self._anchor_bits.items():
+            packed = np.zeros_like(bits)
+            covered = [old for old in keep if old < bits.shape[0]]
+            if covered:
+                packed[: len(covered)] = bits[
+                    np.asarray(covered, dtype=np.int64)
+                ]
+            self._anchor_bits[subspace] = packed
+        self._dead_count = 0
+        if self._sweep is not None:
+            self._sweep.reset()
 
     def reserve(self, extra: int) -> None:
         """Pre-grow the columns for ``extra`` imminent registrations."""
@@ -361,15 +455,111 @@ class ColumnarSkylineStore(SkylineStore):
         scalar fallback, and columnar retraction — orientation fixes
         land everywhere at once.
         """
-        values = self.values_matrix()
-        dims = self.dims_matrix()
         probe_values = np.asarray(record.values, dtype=np.float64)
         probe_dims = self.intern_dims(record.dims)
+        sweep = self.sweep_index()
+        if sweep is not None:
+            sweep.ensure_folded()
+            if sweep.active:
+                return self._partition_indexed(sweep, probe_values, probe_dims)
+        values = self.values_matrix()
+        dims = self.dims_matrix()
         measure_bits, dim_bits = self._sweep_bit_weights()
         lt = (values > probe_values) @ measure_bits
         gt = (values < probe_values) @ measure_bits
         agree = (dims == probe_dims) @ dim_bits
         return lt, gt, agree
+
+    def _partition_indexed(
+        self,
+        sweep: SweepIndex,
+        probe_values: np.ndarray,
+        probe_dims: np.ndarray,
+    ):
+        """Indexed :meth:`partition_bitmasks`: prefix bits come from the
+        sweep index's packed partitions (unpacked back into the dense
+        bitmask columns), only the suffix past the watermark is compared
+        elementwise.  Tombstoned prefix rows are masked out — the dense
+        path zeroes them via the NaN/``-1`` sentinels instead."""
+        n = len(self._records)
+        w = sweep.watermark
+        measure_bits, dim_bits = self._sweep_bit_weights()
+        lt = np.zeros(n, dtype=measure_bits.dtype)
+        gt = np.zeros(n, dtype=measure_bits.dtype)
+        agree = np.zeros(n, dtype=dim_bits.dtype)
+        packed_lt, packed_gt = sweep.measure_partitions(probe_values)
+        prefix_lt, prefix_gt, prefix_agree = lt[:w], gt[:w], agree[:w]
+        for i in range(self._n_measures):
+            prefix_lt |= sweep.unpack(packed_lt[i]).astype(
+                measure_bits.dtype
+            ) << np.int32(i)
+            prefix_gt |= sweep.unpack(packed_gt[i]).astype(
+                measure_bits.dtype
+            ) << np.int32(i)
+        for j in range(self._n_dimensions):
+            prefix_agree |= sweep.unpack(
+                sweep.posting(j, int(probe_dims[j]))
+            ).astype(dim_bits.dtype) << np.int32(j)
+        dead = sweep.dead_mask_u8()
+        if dead is not None:
+            alive = dead == 0
+            prefix_lt *= alive
+            prefix_gt *= alive
+            prefix_agree *= alive
+        if n > w:
+            suffix_lt, suffix_gt, suffix_agree = self.partition_suffix(
+                probe_values, probe_dims, w, n
+            )
+            lt[w:] = suffix_lt
+            gt[w:] = suffix_gt
+            agree[w:] = suffix_agree
+        return lt, gt, agree
+
+    def partition_suffix(
+        self,
+        probe_values: np.ndarray,
+        probe_dims: np.ndarray,
+        lo: int,
+        hi: int,
+    ):
+        """Dense ``(lt, gt, agree)`` bitmask columns over rows
+        ``[lo, hi)`` only — the un-indexed suffix of a sweep."""
+        measure_bits, dim_bits = self._sweep_bit_weights()
+        values = self._values[lo:hi]
+        dims = self._dims[lo:hi]
+        lt = (values > probe_values) @ measure_bits
+        gt = (values < probe_values) @ measure_bits
+        agree = (dims == probe_dims) @ dim_bits
+        return lt, gt, agree
+
+    def agree_bits_rows(
+        self, rows: np.ndarray, probe_dims: np.ndarray
+    ) -> np.ndarray:
+        """Agreement bitmasks of specific ``rows`` against a probe."""
+        dim_bits = self._sweep_bit_weights()[1]
+        return (self._dims[rows] == probe_dims) @ dim_bits
+
+    # ------------------------------------------------------------------
+    # Sweep-index lifecycle
+    # ------------------------------------------------------------------
+    def set_sweep_mode(self, mode: str) -> None:
+        """Opt this store in (``"on"``/``"auto"``) or out (``"off"``) of
+        the incremental sweep index.  Owned by the algorithm that runs
+        the sweeps; the index itself is created lazily on the discovery
+        path (:meth:`sweep_index` with ``create=True``)."""
+        self._sweep_mode = mode
+        if mode == "off":
+            self._sweep = None
+
+    def sweep_index(self, create: bool = False) -> Optional[SweepIndex]:
+        """The live :class:`SweepIndex`, or ``None`` when the store is
+        opted out / beyond the anchor-bitset dimensionality cap."""
+        if self._sweep_mode == "off" or not self._bits_ok:
+            return None
+        sweep = self._sweep
+        if sweep is None and create:
+            sweep = self._sweep = SweepIndex(self)
+        return sweep
 
     def _sweep_bit_weights(self):
         """Per-axis bit weights for :meth:`partition_bitmasks`, int32
@@ -389,8 +579,9 @@ class ColumnarSkylineStore(SkylineStore):
             )
         return weights
 
-    def record_at(self, row: int) -> Record:
-        """The registered record living at ``row``."""
+    def record_at(self, row: int) -> Optional[Record]:
+        """The registered record living at ``row`` (``None`` when the
+        row is a retraction tombstone awaiting compaction)."""
         return self._records[row]
 
     def row_of(self, tid: int) -> Optional[int]:
@@ -452,6 +643,10 @@ class ColumnarSkylineStore(SkylineStore):
                 self._bits_column(subspace, row)[row] |= (
                     1 << constraint.bound_mask
                 )
+                if self._sweep is not None:
+                    self._sweep.anchor_set(
+                        subspace, constraint.bound_mask, row
+                    )
 
     def delete(self, constraint: Constraint, subspace: int, record: Record) -> None:
         space = self._spaces.get(subspace)
@@ -463,6 +658,10 @@ class ColumnarSkylineStore(SkylineStore):
                 bits = self._anchor_bits.get(subspace)
                 if bits is not None and bits.shape[0] > row:
                     bits[row] &= ~(1 << constraint.bound_mask)
+                if self._sweep is not None:
+                    self._sweep.anchor_clear(
+                        subspace, constraint.bound_mask, row
+                    )
             self._total -= 1
             self.counters.stored_tuples = self._total
             if not bucket:
@@ -647,6 +846,10 @@ class ColumnarSkylineStore(SkylineStore):
         spaces = self._spaces
         anchors_map = self._anchors
         bits_ok = self._bits_ok
+        # Arrivals register past the sweep-index watermark, so the index
+        # picks these anchors up at the next fold; the sync below only
+        # fires on the (defensive) re-anchor-of-an-old-row case.
+        sweep = self._sweep
         score = self._score_index is not None and self._up_table is not None
         up_table = self._up_table
         added = 0
@@ -675,6 +878,11 @@ class ColumnarSkylineStore(SkylineStore):
                     self._score_bump(last_subspace, dims, pending_flips, 1)
                     pending_flips = 0
                 if pending_bits:
+                    if sweep is not None and row < sweep.watermark:
+                        old = int(bits[row])
+                        sweep.anchor_sync(
+                            last_subspace, row, old, old | pending_bits
+                        )
                     bits[row] |= pending_bits
                     pending_bits = 0
                 last_subspace = subspace
@@ -700,6 +908,9 @@ class ColumnarSkylineStore(SkylineStore):
         if pending_flips:
             self._score_bump(last_subspace, dims, pending_flips, 1)
         if pending_bits:
+            if sweep is not None and row < sweep.watermark:
+                old = int(bits[row])
+                sweep.anchor_sync(last_subspace, row, old, old | pending_bits)
             bits[row] |= pending_bits
         if added:
             self._total += added
@@ -771,10 +982,13 @@ class ColumnarSkylineStore(SkylineStore):
                 self._score_bump(subspace, record.dims, lost, -1)
         if self._bits_ok:
             bits = self._bits_column(subspace, row)
-            bitset = int(bits[row]) & ~(1 << removed_mask)
+            old_bitset = int(bits[row])
+            bitset = old_bitset & ~(1 << removed_mask)
             for child in children:
                 bitset |= 1 << child._mask
             bits[row] = bitset
+            if self._sweep is not None:
+                self._sweep.anchor_sync(subspace, row, old_bitset, bitset)
         if not anchors:
             del self._anchors[key]
         self._total += added - 1
@@ -832,6 +1046,8 @@ class ColumnarSkylineStore(SkylineStore):
         self._mask_keys = None
         self._flip_masks = {}
         self._total = 0
+        self._sweep = None
+        self._dead_count = 0
         self.counters.stored_tuples = 0
         if self._n_dimensions is not None and self._n_measures is not None:
             self._allocate(self._n_dimensions, self._n_measures)

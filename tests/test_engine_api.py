@@ -76,8 +76,18 @@ def counters_total(engine):
 ENGINE_SPECS = {
     "single-stopdown": lambda: EngineSpec(SCHEMA, "stopdown", CONFIG),
     "single-svec": lambda: EngineSpec(SCHEMA, "svec", CONFIG),
+    "single-svec-dense": lambda: EngineSpec(
+        SCHEMA, "svec", CONFIG, sweep_index="off"
+    ),
+    "single-svec-indexed": lambda: EngineSpec(
+        SCHEMA, "svec", CONFIG, sweep_index="on"
+    ),
     "sharded-serial": lambda: EngineSpec(
         SCHEMA, "svec", CONFIG, sharding=ShardingSpec(2, "serial")
+    ),
+    "sharded-serial-indexed": lambda: EngineSpec(
+        SCHEMA, "svec", CONFIG, sharding=ShardingSpec(2, "serial"),
+        sweep_index="on",
     ),
     "sharded-thread": lambda: EngineSpec(
         SCHEMA, "svec", CONFIG, sharding=ShardingSpec(3, "thread")
@@ -85,10 +95,28 @@ ENGINE_SPECS = {
     "sharded-process": lambda: EngineSpec(
         SCHEMA, "svec", CONFIG, sharding=ShardingSpec(2, "process")
     ),
+    "sharded-process-indexed": lambda: EngineSpec(
+        SCHEMA, "svec", CONFIG, sharding=ShardingSpec(2, "process"),
+        sweep_index="on",
+    ),
     "windowed": lambda: EngineSpec(SCHEMA, "stopdown", CONFIG, window=4096),
+    "windowed-svec-indexed": lambda: EngineSpec(
+        SCHEMA, "svec", CONFIG, window=4096, sweep_index="on"
+    ),
 }
 
 KINDS = sorted(ENGINE_SPECS)
+
+
+@pytest.fixture(autouse=True)
+def _small_fold_batch(monkeypatch):
+    """Fold the sweep index every 8 arrivals so the 40-row shared stream
+    actually exercises the indexed dominance-partition path (the default
+    batch of 256 would leave every probe on the dense suffix).  Dense
+    and indexed paths are required to be property-identical, so the
+    non-indexed kinds are unaffected by construction — which is exactly
+    what the equivalence matrix proves."""
+    monkeypatch.setenv("REPRO_SWEEP_FOLD_BATCH", "8")
 
 
 def run_stream(engine, rows, delete_every=0):
@@ -180,8 +208,11 @@ class TestOutputEquivalence:
             assert got == want
             assert counters_total(engine) == counters_total(reference)
 
-    @pytest.mark.parametrize("kind", ["single-svec", "sharded-serial",
-                                      "sharded-process", "windowed"])
+    @pytest.mark.parametrize("kind", ["single-svec", "single-svec-indexed",
+                                      "sharded-serial",
+                                      "sharded-serial-indexed",
+                                      "sharded-process", "windowed",
+                                      "windowed-svec-indexed"])
     def test_deletion_interleaved_property_identical(self, kind):
         reference = FactDiscoverer(SCHEMA, algorithm="stopdown", config=CONFIG)
         want = run_stream(reference, ROWS, delete_every=5)

@@ -1,0 +1,283 @@
+"""Incremental sweep index (``repro.storage.sweep_index``).
+
+The index answers per-arrival dominance partitions from sorted measure
+orderings + interned-value posting bitsets, valid up to a stable-prefix
+watermark, with a dense pass over the un-indexed suffix.  Its one
+correctness obligation is *bit-identity*: every fact, score and op
+counter must match the dense sweep exactly, on any stream — deletions
+interleaved, ``None`` dimension values, windowed eviction, sharded.
+These tests fuzz that property and pin the tombstone/compaction
+mechanics the index's invalidation story rests on.
+"""
+
+import random
+
+import numpy as np
+import pytest
+
+from repro import DiscoveryConfig, FactDiscoverer, TableSchema
+from repro.algorithms.s_vectorized import SVectorized
+from repro.api import EngineSpec, open_engine
+from repro.core.record import Record
+from repro.datasets.synthetic import synthetic_rows, synthetic_schema
+from repro.storage import ColumnarSkylineStore
+
+
+@pytest.fixture(autouse=True)
+def _small_fold_batch(monkeypatch):
+    # Default fold batch is 256; short test streams must still cross
+    # the watermark for the indexed path to activate at all.
+    monkeypatch.setenv("REPRO_SWEEP_FOLD_BATCH", "8")
+
+
+def fact_key(fact):
+    return (
+        fact.constraint.values,
+        fact.subspace,
+        fact.context_size,
+        fact.skyline_size,
+    )
+
+
+def run_scored_stream(schema, rows, sweep_index, algorithm="svec",
+                      delete_every=0, seed=5):
+    """Feed ``rows`` through a scored engine, interleaving deletions of
+    random live tuples; returns (per-arrival fact keys, counter snapshot).
+    """
+    engine = FactDiscoverer(
+        schema, algorithm=algorithm, score=True,
+        **({"sweep_index": sweep_index} if algorithm == "svec" else {}),
+    )
+    rng = random.Random(seed)
+    out = []
+    live = []
+    for i, row in enumerate(rows):
+        out.append([fact_key(f) for f in engine.facts_for(row)])
+        live.append(engine.table[len(engine.table) - 1].tid)
+        if delete_every and i % delete_every == delete_every - 1 and len(live) > 2:
+            engine.delete(live.pop(rng.randrange(len(live))))
+    return out, engine.counters.snapshot()
+
+
+# ----------------------------------------------------------------------
+# Property: indexed ≡ dense, bit for bit
+# ----------------------------------------------------------------------
+class TestIndexedDenseEquivalence:
+    @pytest.mark.parametrize("distribution", ["anticorrelated", "independent"])
+    def test_scored_stream_identical(self, distribution):
+        schema = synthetic_schema(3, 3)
+        rows = synthetic_rows(180, 3, 3, distribution=distribution, seed=11)
+        want = run_scored_stream(schema, rows, "off")
+        assert run_scored_stream(schema, rows, "on") == want
+        assert run_scored_stream(schema, rows, "auto") == want
+
+    def test_deletion_interleaved_identical(self):
+        schema = synthetic_schema(4, 4)
+        rows = synthetic_rows(160, 4, 4, distribution="anticorrelated", seed=3)
+        want = run_scored_stream(schema, rows, "off", delete_every=4)
+        assert run_scored_stream(schema, rows, "on", delete_every=4) == want
+
+    def test_matches_stopdown_reference(self):
+        # The dense sweep is itself equivalence-tested against stopdown
+        # elsewhere; assert the indexed path directly against the scalar
+        # reference too, so a correlated dense+indexed bug cannot hide.
+        schema = synthetic_schema(3, 2)
+        rows = synthetic_rows(120, 3, 2, distribution="anticorrelated", seed=9)
+        facts_ref, _ = run_scored_stream(
+            schema, rows, None, algorithm="stopdown", delete_every=6
+        )
+        facts_idx, _ = run_scored_stream(schema, rows, "on", delete_every=6)
+        assert facts_idx == facts_ref
+
+    def test_none_dimension_values_identical(self):
+        # None dims force the scalar fallback per-arrival; mixed streams
+        # exercise fallback and indexed probes against shared state.
+        schema = synthetic_schema(3, 3)
+        rows = synthetic_rows(150, 3, 3, distribution="independent", seed=2)
+        rng = random.Random(4)
+        for row in rows:
+            if rng.random() < 0.2:
+                row[f"d{rng.randrange(3)}"] = None
+        want = run_scored_stream(schema, rows, "off", delete_every=7)
+        assert run_scored_stream(schema, rows, "on", delete_every=7) == want
+
+    def test_partition_bitmasks_bit_identical(self):
+        """The store-level contract: indexed reconstruction of the
+        lt/gt/agree partition columns equals the dense sweep exactly,
+        probe by probe, under interleaved deletions."""
+        schema = synthetic_schema(4, 4)
+        rows = synthetic_rows(300, 4, 4, distribution="anticorrelated", seed=7)
+        algo = SVectorized(schema, sweep_index="on")
+        rng = random.Random(13)
+        live = []
+        checked = 0
+        for i, row in enumerate(rows):
+            algo.process(row)
+            live.append(i)
+            if i % 5 == 2 and len(live) > 3:
+                algo.retract(live.pop(rng.randrange(len(live))))
+            if i % 9 == 0 and i > 40:
+                store = algo.store
+                probe = algo.table.make_record(rows[(i * 17) % len(rows)])
+                got = store.partition_bitmasks(probe)
+                sweep, store._sweep = store._sweep, None
+                want = store.partition_bitmasks(probe)
+                store._sweep = sweep
+                for g, w in zip(got, want):
+                    assert np.array_equal(g, w), f"mismatch at arrival {i}"
+                checked += 1
+        assert checked > 10
+        assert algo.store._sweep.active
+
+    def test_windowed_eviction_identical(self):
+        schema = synthetic_schema(3, 2)
+        rows = synthetic_rows(120, 3, 2, distribution="anticorrelated", seed=21)
+
+        def run(mode):
+            spec = EngineSpec(schema, "svec", DiscoveryConfig(),
+                              window=30, sweep_index=mode)
+            with open_engine(spec) as engine:
+                return [
+                    [fact_key(f) for f in engine.facts_for(row)]
+                    for row in rows
+                ]
+
+        assert run("on") == run("off")
+
+
+# ----------------------------------------------------------------------
+# Tombstones, grouped unregister, compaction
+# ----------------------------------------------------------------------
+def _store_with_rows(n, n_dims=2, n_measures=2, seed=1):
+    schema = synthetic_schema(n_dims, n_measures)
+    algo = SVectorized(schema, sweep_index="off")
+    for row in synthetic_rows(n, n_dims, n_measures,
+                              distribution="anticorrelated", seed=seed):
+        algo.process(row)
+    return algo
+
+
+class TestTombstonesAndCompaction:
+    def test_unregister_tombstones_not_slides(self):
+        algo = _store_with_rows(50)
+        store = algo.store
+        n_before = store.n_rows
+        row = store._row_of[10]
+        algo.retract(10)
+        # The row is neutralised in place: no slide, sentinel columns.
+        assert store.n_rows == n_before
+        assert store.record_at(row) is None
+        assert np.all(np.isnan(store._values[row]))
+        assert np.all(store._dims[row] == -1)
+        assert 10 not in store._row_of
+
+    def test_unregister_many_single_compaction_check(self):
+        algo = _store_with_rows(40)
+        store = algo.store
+        tids = [5, 7, 11, 13]
+        store.unregister_many(tids)
+        assert store._dead_count == len(tids)
+        for tid in tids:
+            assert tid not in store._row_of
+
+    def test_deferred_compaction_context(self):
+        algo = _store_with_rows(300)
+        store = algo.store
+        with store.deferred_compaction():
+            for tid in range(200):
+                algo.retract(tid)
+            # Well past the threshold, yet nothing compacted mid-group.
+            assert store._dead_count == 200
+        # One grouped pass at exit reclaimed every tombstone.
+        assert store._dead_count == 0
+        assert store.n_rows == 100
+
+    def test_retract_many_equals_retract_loop(self):
+        schema = synthetic_schema(3, 3)
+        rows = synthetic_rows(90, 3, 3, distribution="anticorrelated", seed=6)
+        a, b = (SVectorized(schema, sweep_index=m) for m in ("on", "off"))
+        for algo in (a, b):
+            for row in rows:
+                algo.process(row)
+        doomed = [3, 8, 15, 40, 41, 42, 77]
+        removed = a.retract_many(doomed)
+        for tid in doomed:
+            b.retract(tid)
+        assert [r.tid for r in removed] == doomed
+        tail = synthetic_rows(20, 3, 3, distribution="anticorrelated", seed=8)
+        for row in tail:
+            fa = [fact_key(f) for f in a.process(row)]
+            fb = [fact_key(f) for f in b.process(row)]
+            assert fa == fb
+        assert a.counters.snapshot() == b.counters.snapshot()
+
+    def test_compaction_resets_and_rebuilds_sweep(self):
+        schema = synthetic_schema(2, 2)
+        algo = SVectorized(schema, sweep_index="on")
+        rows = synthetic_rows(400, 2, 2, distribution="anticorrelated", seed=4)
+        for row in rows:
+            algo.process(row)
+        store = algo.store
+        assert store._sweep is not None and store._sweep.active
+        algo.retract_many(list(range(300)))
+        # The dead fraction crossed the threshold: rows slid, watermark
+        # reset; the index folds again as the stream continues.
+        assert store._dead_count == 0
+        assert store.n_rows == 100
+        for row in synthetic_rows(40, 2, 2,
+                                  distribution="anticorrelated", seed=12):
+            algo.process(row)
+        assert store._sweep.active
+        assert store._sweep.watermark <= store.n_rows
+
+
+# ----------------------------------------------------------------------
+# Spec / knob plumbing
+# ----------------------------------------------------------------------
+class TestSweepIndexKnob:
+    def test_spec_round_trip(self):
+        schema = TableSchema(("d",), ("m",))
+        for mode in ("auto", "on", "off"):
+            spec = EngineSpec(schema, "svec", sweep_index=mode)
+            doc = spec.to_dict()
+            assert doc["sweep_index"] == mode
+            assert EngineSpec.from_dict(doc) == spec
+        # Absent field defaults to auto (older persisted specs).
+        doc = EngineSpec(schema, "svec").to_dict()
+        del doc["sweep_index"]
+        assert EngineSpec.from_dict(doc).sweep_index == "auto"
+
+    def test_spec_rejects_bad_values(self):
+        schema = TableSchema(("d",), ("m",))
+        with pytest.raises(ValueError, match="sweep_index"):
+            EngineSpec(schema, "svec", sweep_index="maybe")
+        with pytest.raises(ValueError, match="svec"):
+            EngineSpec(schema, "stopdown", sweep_index="on")
+
+    def test_algorithm_rejects_bad_mode(self):
+        schema = synthetic_schema(2, 2)
+        with pytest.raises(ValueError):
+            SVectorized(schema, sweep_index="fast")
+
+    def test_off_pins_dense(self):
+        schema = synthetic_schema(2, 2)
+        algo = SVectorized(schema, sweep_index="off")
+        for row in synthetic_rows(60, 2, 2,
+                                  distribution="anticorrelated", seed=5):
+            algo.process(row)
+        assert algo.store.sweep_index() is None
+
+    def test_on_activates_index(self):
+        schema = synthetic_schema(2, 2)
+        algo = SVectorized(schema, sweep_index="on")
+        for row in synthetic_rows(60, 2, 2,
+                                  distribution="anticorrelated", seed=5):
+            algo.process(row)
+        sweep = algo.store.sweep_index()
+        assert sweep is not None and sweep.active
+        assert sweep.watermark > 0
+
+    def test_derived_spec_carries_mode(self):
+        schema = synthetic_schema(2, 2)
+        engine = FactDiscoverer(schema, algorithm="svec", sweep_index="on")
+        assert engine.spec.sweep_index == "on"
