@@ -31,9 +31,12 @@ import time
 
 import numpy as np
 
-from repro import FactDiscoverer, make_algorithm
+from repro import Constraint, DiscoveryConfig, FactDiscoverer, make_algorithm
 from repro.algorithms.s_vectorized import SVectorized
+from repro.api import EngineSpec, open_engine
+from repro.core.constraint import UNBOUND
 from repro.datasets.synthetic import synthetic_rows, synthetic_schema
+from repro.query.contextual import ContextualQueryEngine
 from repro.service.journal import JournalWriter
 
 from _results import update_results
@@ -77,6 +80,21 @@ SWEEP_INDEX_FRACTION = 0.6
 #: the scalar pass plus walker bookkeeping), so 0.85x separates the
 #: regimes hardware-independently.
 WALKER_FRACTION = 0.85
+
+#: The columnar k-skyband kernel may cost at most this fraction of the
+#: scalar double loop at n=10k.  The kernel is one chunked dominance-
+#: count reduction over the selection; the scalar path re-walks the
+#: whole context per member.  Measured ~0.03-0.05x; a kernel that
+#: silently falls back to the scalar loop lands at ~1x, so 0.5x
+#: separates the regimes on any hardware.
+SKYBAND_FRACTION = 0.5
+
+#: A fully cached repeat read pass may cost at most this fraction of
+#: the uncached first pass.  A hit is an LRU probe plus a list copy
+#: against a kernel reduction over thousands of rows — measured
+#: ~0.005x; a cache that silently stops hitting (key drift, version
+#: mismatches) lands at ~1x.
+CACHE_FRACTION = 0.1
 
 
 def _marginal(name, schema, warm, probe):
@@ -389,4 +407,112 @@ def test_journal_overhead_within_budget():
         f"the unjournaled marginal (budget {100 * JOURNAL_OVERHEAD:.0f}%) "
         f"— something expensive (fsync? re-serialization?) has crept "
         f"into the per-row append path"
+    )
+
+
+def test_skyband_kernel_stays_columnar():
+    """The k-skyband read path must not fall back to the scalar loop.
+
+    ``ContextualQueryEngine.skyband`` answers through one chunked
+    dominance-count reduction (``repro/query/kernels.py``); the
+    equivalence tests pin its output against the ``use_kernels=False``
+    double loop but cannot see a silent fallback — only wall-clock can.
+    One probe over a ~n/8-row one-bound context at n=10k separates the
+    regimes by ~20x.
+    """
+    n, probes = 10_000, 2
+    schema = synthetic_schema(D, M)
+    algo = make_algorithm("svec", schema)
+    algo.process_many(
+        synthetic_rows(n, D, M, distribution="anticorrelated")
+    )
+    constraint = Constraint(("v1",) + (UNBOUND,) * (D - 1))
+    full = (1 << M) - 1
+
+    def measure(use_kernels):
+        queries = ContextualQueryEngine(algo, use_kernels=use_kernels)
+        best = None
+        for _ in range(probes):
+            start = time.perf_counter()
+            out = queries.skyband(constraint, full, 2)
+            took = time.perf_counter() - start
+            if best is None or took < best[0]:
+                best = (took, sorted(r.tid for r in out))
+        return best
+
+    kernel_s, kernel_tids = measure(True)
+    scalar_s, scalar_tids = measure(False)
+    assert kernel_tids == scalar_tids
+    ratio = kernel_s / scalar_s
+    print(
+        f"\nskyband @ n={n}: kernels={1e3 * kernel_s:.1f}ms "
+        f"scalar={1e3 * scalar_s:.1f}ms ratio={ratio:.3f}x "
+        f"(ceiling {SKYBAND_FRACTION}x)"
+    )
+    update_results(
+        "read_guard",
+        {
+            "skyband_kernels_ms": round(1e3 * kernel_s, 3),
+            "skyband_scalar_ms": round(1e3 * scalar_s, 3),
+            "kernels_over_scalar": round(ratio, 4),
+        },
+        filename="BENCH_PR8.json",
+    )
+    assert ratio <= SKYBAND_FRACTION, (
+        f"columnar skyband costs {ratio:.2f}x the scalar loop (ceiling "
+        f"{SKYBAND_FRACTION}x) — the read kernels have likely stopped "
+        f"vectorizing; see benchmarks/bench_query.py for the full sweep"
+    )
+
+
+def test_query_cache_repeats_stay_free():
+    """A cached repeat read must stay a cache probe, not a recompute.
+
+    The correctness tests pin cached answers against plain engines but
+    cannot see a cache that recomputes on every probe (key drift, a
+    version function that never matches) — the answers stay right and
+    only wall-clock changes.  Best-of-3 on the repeat pass damps
+    scheduler noise against a sub-millisecond signal.
+    """
+    n = 2000
+    schema = synthetic_schema(D, M)
+    rows = synthetic_rows(n, D, M, distribution="anticorrelated")
+    constraints = [
+        Constraint((f"v{v}",) + (UNBOUND,) * (D - 1)) for v in range(8)
+    ]
+    full = (1 << M) - 1
+    spec = EngineSpec(schema, "svec", DiscoveryConfig(), query_cache=64)
+
+    def read_pass(queries):
+        start = time.perf_counter()
+        for constraint in constraints:
+            queries.skyband(constraint, full, 2)
+        return time.perf_counter() - start
+
+    with open_engine(spec) as engine:
+        engine.observe_many(rows)
+        queries = engine.query()
+        uncached = read_pass(queries)
+        cached = min(read_pass(queries) for _ in range(3))
+        counters = engine.query_cache_counters()
+    assert counters["hits"] >= 3 * len(constraints), counters
+    ratio = cached / uncached
+    print(
+        f"\n{len(constraints)} reads @ n={n}: uncached={1e3 * uncached:.1f}ms "
+        f"cached={1e3 * cached:.3f}ms ratio={ratio:.4f}x "
+        f"(ceiling {CACHE_FRACTION}x)"
+    )
+    update_results(
+        "read_guard",
+        {
+            "cache_uncached_ms": round(1e3 * uncached, 3),
+            "cache_repeat_ms": round(1e3 * cached, 4),
+            "cached_over_uncached": round(ratio, 4),
+        },
+        filename="BENCH_PR8.json",
+    )
+    assert ratio <= CACHE_FRACTION, (
+        f"cached repeat pass costs {ratio:.2f}x the uncached pass "
+        f"(ceiling {CACHE_FRACTION}x) — the result cache has likely "
+        f"stopped hitting; see benchmarks/bench_query.py"
     )

@@ -22,7 +22,12 @@ snapshot — honours the same :class:`Engine` protocol (see
 
 from ..core.engine_protocol import Engine, EngineBase
 from .facade import open_engine, restore
-from .middleware import AggregateMiddleware, EngineMiddleware, WindowMiddleware
+from .middleware import (
+    AggregateMiddleware,
+    EngineMiddleware,
+    QueryCacheMiddleware,
+    WindowMiddleware,
+)
 from .registry import (
     MIDDLEWARE,
     SINKS,
@@ -55,6 +60,7 @@ __all__ = [
     "EngineMiddleware",
     "WindowMiddleware",
     "AggregateMiddleware",
+    "QueryCacheMiddleware",
     "MIDDLEWARE",
     "SINKS",
     "algorithm_registry",

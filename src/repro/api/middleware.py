@@ -1,4 +1,4 @@
-"""Composable engine middleware: sliding windows and aggregation.
+"""Composable engine middleware: windows, aggregation, query caching.
 
 Each middleware wraps *any* object honouring the
 :class:`~repro.core.engine_protocol.Engine` protocol and returns another
@@ -22,6 +22,7 @@ from ..core.engine_protocol import EngineBase, Row
 from ..core.facts import FactSet
 from ..core.record import Record
 from ..core.schema import TableSchema
+from ..query.cache import CachedQueryEngine, QueryResultCache
 from .registry import register_middleware
 from .spec import EngineSpec, GroupSpec
 
@@ -319,6 +320,63 @@ class AggregateMiddleware(EngineMiddleware):
         return out
 
 
+class QueryCacheMiddleware(EngineMiddleware):
+    """Versioned result cache over any engine's read path (PR 8).
+
+    ``engine.query()`` returns a
+    :class:`~repro.query.cache.CachedQueryEngine` memoising skyline /
+    skyband / statistics / batch answers against the engine version
+    ``(arrivals, deletions)`` — every write bumps the version, so cached
+    answers can never go stale (no invalidation hooks, no write-path
+    coupling).  One shared :class:`~repro.query.cache.QueryResultCache`
+    backs every query engine handed out, so hits accumulate across
+    ``query()`` calls and over the TCP ``query`` op.
+
+    Examples
+    --------
+    >>> from repro import TableSchema
+    >>> from repro.api import EngineSpec, open_engine
+    >>> spec = EngineSpec(TableSchema(("d",), ("m",)), query_cache=64)
+    >>> engine = open_engine(spec)
+    >>> _ = engine.observe({"d": "x", "m": 1})
+    >>> q = engine.query()
+    >>> _ = q.skyline_text("d=x | m"); _ = q.skyline_text("d=x | m")
+    >>> engine.query_cache_counters()["hits"]
+    1
+    """
+
+    kind = "query-cached"
+
+    def __init__(
+        self,
+        inner: "Engine",
+        capacity: int,
+        spec: Optional[EngineSpec] = None,
+    ) -> None:
+        super().__init__(inner, spec)
+        self.cache = QueryResultCache(capacity)
+
+    def _cache_version(self) -> Tuple[int, int]:
+        """``(arrivals, deletions)`` — mutations strictly increase one
+        of the two, so equality proves the state is unchanged."""
+        arrivals = self.inner.arrivals
+        return arrivals, arrivals - len(self.inner)
+
+    def query(self) -> CachedQueryEngine:
+        return CachedQueryEngine(
+            self.inner.query(), self.cache, self._cache_version
+        )
+
+    def query_cache_counters(self) -> Dict[str, int]:
+        """Hit/miss/eviction tallies (picked up by ``ServiceStats``)."""
+        return self.cache.snapshot()
+
+    def stats(self) -> Dict[str, object]:
+        out = super().stats()
+        out["query_cache"] = self.cache.snapshot()
+        return out
+
+
 # ----------------------------------------------------------------------
 # Registry wiring (spec field -> layer factory)
 # ----------------------------------------------------------------------
@@ -332,5 +390,10 @@ def _aggregate_layer(engine: "Engine", spec: EngineSpec) -> AggregateMiddleware:
     )
 
 
+def _query_cache_layer(engine: "Engine", spec: EngineSpec) -> QueryCacheMiddleware:
+    return QueryCacheMiddleware(engine, spec.query_cache, spec=spec)
+
+
 register_middleware("window", _window_layer)
 register_middleware("aggregate", _aggregate_layer)
+register_middleware("query_cache", _query_cache_layer)

@@ -25,8 +25,9 @@ MIDDLEWARE: Dict[str, Callable] = {}
 
 #: Order middleware layers are applied in (inner to outer) when their
 #: spec field is set.  ``aggregate`` and ``window`` are mutually
-#: exclusive today, but the order is the contract for future stacks.
-MIDDLEWARE_ORDER = ("aggregate", "window")
+#: exclusive today; ``query_cache`` is outermost so cached reads see
+#: the fully composed engine (and its version) below them.
+MIDDLEWARE_ORDER = ("aggregate", "window", "query_cache")
 
 #: Sink factories: name -> (TableSchema) -> (SituationalFact) -> str.
 SINKS: Dict[str, Callable] = {}

@@ -230,6 +230,12 @@ class EngineSpec:
         per-arrival sweep).  Dense and indexed paths produce
         bit-identical facts, scores and op counters; the knob only
         trades index maintenance against per-arrival sweep cost.
+    query_cache:
+        Capacity (entries) of the versioned query-result cache wrapped
+        around ``engine.query()``, or ``None`` for no caching.  Cached
+        answers are keyed by the engine version ``(arrivals,
+        deletions)``, so any write invalidates them automatically —
+        see :class:`~repro.api.middleware.QueryCacheMiddleware`.
     """
 
     schema: TableSchema
@@ -241,6 +247,7 @@ class EngineSpec:
     aggregate: Optional[GroupSpec] = None
     checkpoint: Optional[CheckpointPolicy] = None
     sweep_index: str = "auto"
+    query_cache: Optional[int] = None
 
     def __post_init__(self) -> None:
         if not isinstance(self.algorithm, str):
@@ -266,6 +273,8 @@ class EngineSpec:
             )
         if self.window is not None and self.window < 1:
             raise ValueError("window must be >= 1")
+        if self.query_cache is not None and self.query_cache < 1:
+            raise ValueError("query_cache capacity must be >= 1")
         if self.window is not None and self.aggregate is not None:
             raise ValueError(
                 "window + aggregate composition is not supported yet: "
@@ -312,6 +321,7 @@ class EngineSpec:
             "aggregate": self.aggregate.to_dict() if self.aggregate else None,
             "checkpoint": asdict(self.checkpoint) if self.checkpoint else None,
             "sweep_index": self.sweep_index,
+            "query_cache": self.query_cache,
         }
 
     @classmethod
@@ -337,6 +347,7 @@ class EngineSpec:
             aggregate=GroupSpec.from_dict(aggregate) if aggregate else None,
             checkpoint=CheckpointPolicy(**checkpoint) if checkpoint else None,
             sweep_index=doc.get("sweep_index", "auto"),
+            query_cache=doc.get("query_cache"),
         )
 
     def with_score(self, score: Optional[bool]) -> "EngineSpec":

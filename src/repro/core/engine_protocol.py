@@ -210,10 +210,18 @@ class EngineBase:
 
     # -- queries ---------------------------------------------------------
     def query(self) -> "ContextualQueryEngine":
-        """A forward contextual-skyline query engine over the live state."""
+        """A forward contextual-skyline query engine over the live state.
+
+        The engine's incremental context counter rides along so covered
+        ``|σ_C|`` statistics answer in O(1) (see
+        :meth:`~repro.query.contextual.ContextualQueryEngine.batch`).
+        """
         from ..query.contextual import ContextualQueryEngine
 
-        return ContextualQueryEngine(self._query_view())
+        return ContextualQueryEngine(
+            self._query_view(),
+            context_counter=getattr(self, "context_counter", None),
+        )
 
     def _query_view(self):
         """The algorithm-shaped state object queries run against."""

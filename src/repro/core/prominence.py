@@ -34,6 +34,7 @@ class ContextCounter:
     def __init__(self, max_bound_dims: Optional[int] = None) -> None:
         self._counts: Dict[Constraint, int] = defaultdict(int)
         self._max_bound = max_bound_dims
+        self._saw_unbindable = False
 
     def register(
         self, record: Record, constraints: Optional[Iterable[Constraint]] = None
@@ -46,6 +47,8 @@ class ContextCounter:
         re-deriving the same ``2^d̂`` objects here.
         """
         counts = self._counts
+        if UNBOUND in record.dims:
+            self._saw_unbindable = True
         if constraints is None:
             constraints = satisfied_constraints(record, self._max_bound)
         for constraint in constraints:
@@ -74,6 +77,21 @@ class ContextCounter:
     def count(self, constraint: Constraint) -> int:
         """Current ``|σ_C(R)|``."""
         return self._counts.get(constraint, 0)
+
+    def covers(self, constraint: Constraint) -> bool:
+        """True when :meth:`count` is *exactly* ``|σ_C(R)|`` for this
+        constraint.
+
+        Two things break exactness: a mask beyond the ``d̂`` cap was
+        never registered (count is 0, not the context size), and a
+        registered tuple with an unbindable (``None``) dimension value
+        collapses several masks onto one constraint and bumps it once
+        per covering mask — a multiset multiplicity, not a cardinality.
+        """
+        if self._saw_unbindable:
+            return False
+        cap = effective_bound_cap(constraint.arity, self._max_bound)
+        return constraint.bound_count <= cap
 
     def __len__(self) -> int:
         return len(self._counts)
@@ -230,6 +248,17 @@ class ColumnarContextCounter:
                 return 0
             ids.append(vid)
         return self._counts.get((constraint.bound_mask, tuple(ids)), 0)
+
+    def covers(self, constraint: Constraint) -> bool:
+        """True when :meth:`count` is *exactly* ``|σ_C(R)|`` for this
+        constraint: the mask is within the maintained ``C^t`` skeleton
+        and no registered row carried an unbindable (``None``) dimension
+        value — whose mask collapse makes counts multiset multiplicities
+        rather than context sizes (see :meth:`_keys`).
+        """
+        if constraint.bound_mask not in self._positions:
+            return False
+        return not any(UNBOUND in table for table in self._tables)
 
     def counts_for_dims(self, dims: Tuple[object, ...]) -> Dict[int, int]:
         """``{mask: |σ_C|}`` for every allowed constraint of ``C^t``.

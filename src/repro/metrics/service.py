@@ -49,6 +49,12 @@ class ServiceStats:
     ops_replayed: int = 0
     #: 1 once the worker pool degraded to in-router serial execution.
     degraded: int = 0
+    #: Query-result-cache hits served (engines with ``query_cache``).
+    query_cache_hits: int = 0
+    #: Query-result-cache misses (fresh or stale-version probes).
+    query_cache_misses: int = 0
+    #: Query-result-cache entries evicted by the LRU.
+    query_cache_evictions: int = 0
 
     def note_enqueue(self, queue_depth: int) -> None:
         self.enqueued += 1
@@ -93,6 +99,9 @@ class ServiceStats:
             "rows_quarantined": self.rows_quarantined,
             "ops_replayed": self.ops_replayed,
             "degraded": self.degraded,
+            "query_cache_hits": self.query_cache_hits,
+            "query_cache_misses": self.query_cache_misses,
+            "query_cache_evictions": self.query_cache_evictions,
         }
         if busy:
             total = sum(busy)

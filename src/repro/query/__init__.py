@@ -1,10 +1,25 @@
-"""Forward contextual-skyline queries and the textual query language."""
+"""Forward contextual-skyline queries and the textual query language.
 
+PR 8 grew this package a full read path: columnar kernels
+(:mod:`repro.query.kernels`), the cost-ordered batch planner
+(:mod:`repro.query.planner`) and the versioned result cache
+(:mod:`repro.query.cache`).
+"""
+
+from .cache import CachedQueryEngine, QueryResultCache
 from .contextual import ContextualQueryEngine
+from .kernels import ColumnarQueryKernels
 from .parser import QueryParseError, format_query, parse_query
+from .planner import QueryPlan, QueryResult, normalize_queries
 
 __all__ = [
     "ContextualQueryEngine",
+    "ColumnarQueryKernels",
+    "QueryPlan",
+    "QueryResult",
+    "QueryResultCache",
+    "CachedQueryEngine",
+    "normalize_queries",
     "QueryParseError",
     "parse_query",
     "format_query",

@@ -5,13 +5,17 @@ queries.  Downstream users still need the forward direction: given a
 ``(constraint, measure-subspace)`` pair, return the contextual skyline,
 the k-skyband, or context statistics.  :class:`ContextualQueryEngine`
 answers those against a live discovery algorithm, using its maintained
-``µ`` stores when the algorithm has them and falling back to exact
-recomputation otherwise.
+``µ`` stores when the algorithm has them, the columnar read kernels
+(:mod:`repro.query.kernels`) when the algorithm keeps a columnar
+history, and falling back to exact scalar recomputation otherwise.
+
+Batched reads go through the cost-ordered planner
+(:mod:`repro.query.planner`) via :meth:`ContextualQueryEngine.batch`.
 """
 
 from __future__ import annotations
 
-from typing import List, Optional
+from typing import List, Optional, Sequence, Tuple, Union
 
 from ..algorithms.base import DiscoveryAlgorithm
 from ..algorithms.bottom_up import BottomUp
@@ -21,6 +25,7 @@ from ..core.dominance import dominates
 from ..core.lattice import iter_submasks
 from ..core.record import Record
 from ..core.schema import TableSchema
+from .kernels import ColumnarQueryKernels
 from .parser import parse_query
 
 
@@ -35,6 +40,11 @@ class ContextualQueryEngine:
     and ``maintained_subspaces()`` (store-backed fast paths engage only
     for real :class:`BottomUp` / :class:`TopDown` instances).
 
+    ``context_counter`` (the engine's incremental ``|σ_C|`` counter)
+    and the columnar kernels are optional accelerations — every answer
+    they produce is property-identical to the scalar path, which
+    ``use_kernels=False`` pins for differential testing.
+
     Examples
     --------
     >>> from repro import TableSchema, make_algorithm
@@ -46,21 +56,50 @@ class ContextualQueryEngine:
     [0]
     """
 
-    def __init__(self, algorithm: "DiscoveryAlgorithm") -> None:
+    def __init__(
+        self,
+        algorithm: "DiscoveryAlgorithm",
+        context_counter=None,
+        use_kernels: bool = True,
+    ) -> None:
         self.algorithm = algorithm
         self.schema: TableSchema = algorithm.schema
+        self._counter = context_counter
+        self._use_kernels = use_kernels
+        self._kernels_cache: Optional[ColumnarQueryKernels] = None
+        self._kernels_resolved = False
+
+    def _kernels(self) -> Optional[ColumnarQueryKernels]:
+        if not self._use_kernels:
+            return None
+        if not self._kernels_resolved:
+            self._kernels_cache = ColumnarQueryKernels.for_algorithm(self.algorithm)
+            self._kernels_resolved = True
+        return self._kernels_cache
 
     # ------------------------------------------------------------------
     # Skyline queries
     # ------------------------------------------------------------------
     def skyline(self, constraint: Constraint, subspace: int) -> List[Record]:
         """``λ_M(σ_C(R))`` — from the store when the pair is maintained,
-        exactly recomputed otherwise."""
-        if self._maintained(subspace):
+        via the columnar kernels when the algorithm keeps a columnar
+        history, exactly recomputed otherwise.
+
+        The store paths reconstruct from maintained anchors, which is
+        exact only for constraints within the ``d̂`` bound cap — a
+        beyond-cap constraint's skyline tuple may be anchored nowhere
+        (dominated in every maintained ancestor context), so those
+        queries take the exact kernel/scalar path instead."""
+        if self._maintained(subspace) and self._within_bound_cap(constraint):
             if isinstance(self.algorithm, BottomUp):
                 return list(self.algorithm.store.get(constraint, subspace))
             if isinstance(self.algorithm, TopDown):
                 return self._skyline_from_maximal(constraint, subspace)
+        if subspace == 0:
+            return []
+        kernels = self._kernels()
+        if kernels is not None:
+            return kernels.skyband_records(constraint, subspace, 1)
         from ..core.skyline import contextual_skyline
 
         return contextual_skyline(self.algorithm.table, constraint, subspace)
@@ -72,6 +111,17 @@ class ContextualQueryEngine:
 
     def _maintained(self, subspace: int) -> bool:
         return subspace in self.algorithm.maintained_subspaces()
+
+    def _within_bound_cap(self, constraint: Constraint) -> bool:
+        """True when the algorithm's anchor skeleton covers this
+        constraint (bound count within ``d̂``) — the validity condition
+        for store reconstruction and scoring-index probes alike."""
+        config = getattr(self.algorithm, "config", None)
+        if config is None:
+            return False
+        return constraint.bound_count <= config.effective_bound_cap(
+            constraint.arity
+        )
 
     def _skyline_from_maximal(
         self, constraint: Constraint, subspace: int
@@ -102,9 +152,14 @@ class ContextualQueryEngine:
     ) -> List[Record]:
         """The k-skyband of the context: tuples dominated by fewer than
         ``k`` others (``k=1`` is the skyline).  Related work [11] builds
-        its "one-of-the-few" objects on this notion."""
+        its "one-of-the-few" objects on this notion.  Columnar
+        algorithms answer with one chunked dominance-count reduction;
+        the scalar double loop remains the fallback."""
         if k < 1:
             raise ValueError("k must be >= 1")
+        kernels = self._kernels()
+        if kernels is not None:
+            return kernels.skyband_records(constraint, subspace, k)
         context = self.algorithm.table.select_constraint(constraint)
         out = []
         for record in context:
@@ -119,19 +174,139 @@ class ContextualQueryEngine:
         return out
 
     def context_size(self, constraint: Constraint) -> int:
-        """``|σ_C(R)|``."""
+        """``|σ_C(R)|`` — O(1) off the engine's context counter when it
+        covers the constraint exactly, one columnar selection reduction
+        otherwise, scalar table scan as the last resort."""
+        counted = self._counted_context(constraint)
+        if counted is not None:
+            return counted
+        kernels = self._kernels()
+        if kernels is not None:
+            return kernels.context_size(constraint)
         return len(self.algorithm.table.select_constraint(constraint))
 
     def prominence(self, constraint: Constraint, subspace: int) -> Optional[float]:
         """Prominence of the pair (§VII): ``|σ_C| / |λ_M(σ_C)|``, or
-        ``None`` for an empty context."""
-        sky = len(self.skyline(constraint, subspace))
+        ``None`` for an empty context (or empty subspace).  Both
+        cardinalities come from one shared selection — O(1) when the
+        counter and scoring index cover the pair, never two table
+        scans."""
+        stats = self._fast_statistics(constraint, subspace)
+        if stats is not None:
+            ctx, sky = stats
+            return None if sky == 0 else ctx / sky
+        if (
+            self._maintained(subspace)
+            and self._within_bound_cap(constraint)
+            and isinstance(self.algorithm, (BottomUp, TopDown))
+        ):
+            sky = len(self.skyline(constraint, subspace))
+            if sky == 0:
+                return None
+            return self.context_size(constraint) / sky
+        kernels = self._kernels()
+        if kernels is not None:
+            ctx, sky = kernels.context_and_skyline_size(constraint, subspace)
+            return None if sky == 0 else ctx / sky
+        from ..core.skyline import skyline_bnl
+
+        context = self.algorithm.table.select_constraint(constraint)
+        sky = len(skyline_bnl(context, subspace))
         if sky == 0:
             return None
-        return self.context_size(constraint) / sky
+        return len(context) / sky
 
     def is_skyline_tuple(
         self, tid: int, constraint: Constraint, subspace: int
     ) -> bool:
-        """Membership test for a specific live tuple."""
-        return any(r.tid == tid for r in self.skyline(constraint, subspace))
+        """Membership test for a specific live tuple — short-circuits on
+        the first dominator instead of materialising the skyline."""
+        if subspace == 0:
+            return False
+        target = None
+        for record in self.algorithm.table:
+            if record.tid == tid:
+                target = record
+                break
+        if target is None or not constraint.satisfied_by(target):
+            return False
+        kernels = self._kernels()
+        if kernels is not None:
+            return not kernels.has_dominator(target, constraint, subspace)
+        for other in self.algorithm.table:
+            if (
+                other.tid != tid
+                and constraint.satisfied_by(other)
+                and dominates(other, target, subspace)
+            ):
+                return False
+        return True
+
+    # ------------------------------------------------------------------
+    # Planner hooks (overridable per composition — sharded push-down)
+    # ------------------------------------------------------------------
+    def _counted_context(self, constraint: Constraint) -> Optional[int]:
+        """``|σ_C|`` in O(1) from the engine's counter, or ``None`` when
+        the counter does not cover the constraint exactly."""
+        counter = self._counter
+        if counter is None:
+            return None
+        covers = getattr(counter, "covers", None)
+        if covers is None or not covers(constraint):
+            return None
+        return counter.count(constraint)
+
+    def _skyline_size_indexed(
+        self, constraint: Constraint, subspace: int
+    ) -> Optional[int]:
+        """``|λ_M(σ_C)|`` as one scoring-index probe, or ``None`` when
+        the pair is not covered (non-maintained subspace, beyond-cap
+        constraint, no index)."""
+        if not self._maintained(subspace) or not self._within_bound_cap(constraint):
+            return None
+        kernels = self._kernels()
+        if kernels is None:
+            return None
+        return kernels.skyline_size(constraint, subspace)
+
+    def _fast_statistics(
+        self, constraint: Constraint, subspace: int
+    ) -> Optional[Tuple[int, int]]:
+        """Exact ``(|σ_C|, |λ_M(σ_C)|)`` without touching any rows, or
+        ``None``.  The planner prices and short-circuits queries with
+        this."""
+        ctx = self._counted_context(constraint)
+        if ctx is None:
+            return None
+        if ctx == 0:
+            return 0, 0
+        sky = self._skyline_size_indexed(constraint, subspace)
+        if sky is None:
+            return None
+        return ctx, sky
+
+    # ------------------------------------------------------------------
+    # Batched, cost-ordered execution
+    # ------------------------------------------------------------------
+    def batch(
+        self,
+        queries: Sequence[Union[str, Tuple[Constraint, int]]],
+        top_k: Optional[int] = None,
+        tau: Optional[float] = None,
+        _fixed_order: bool = False,
+    ):
+        """Answer many ``(constraint, subspace)`` queries (or query
+        strings) through the cost-ordered planner: cheapest first, with
+        early termination once the ``tau`` / ``top_k`` bounds are
+        provably met.  Returns the reported
+        :class:`~repro.query.planner.QueryResult` list in input order;
+        ``_fixed_order=True`` pins naive input-order execution for
+        differential testing and benchmarks.  See
+        :class:`~repro.query.planner.QueryPlan`.
+        """
+        from .planner import QueryPlan
+
+        plan = QueryPlan(
+            self, queries, top_k=top_k, tau=tau, ordered=not _fixed_order
+        )
+        return plan.execute()

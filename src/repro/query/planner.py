@@ -1,0 +1,236 @@
+"""Cost-ordered batched query execution with τ / top-k push-down (PR 8).
+
+``engine.query().batch([...])`` answers many ``(constraint, subspace)``
+queries against one engine.  Naively that evaluates every pair in input
+order — yet the engine already *knows* most of the answers: the context
+counter holds ``|σ_C|`` in O(1) for covered constraints, and the PR-2
+scoring index holds ``|λ_M(σ_C)|`` for maintained subspaces, so the
+prominence of an indexed pair costs two dict probes.  The planner
+exploits that (litmus's rough-cost-then-execute idiom):
+
+1. **Price** every pair from store cardinalities: indexed pairs are
+   free; counter-covered pairs cost one selection plus a dominance pass
+   over ``|σ_C|`` rows (``n + |σ_C|²``); blind pairs cost ``n + n²``.
+2. **Bound** every pair's prominence from the same statistics:
+   an indexed pair's prominence is exact; a counter-covered pair is at
+   most ``|σ_C|`` (its skyline has ≥ 1 tuple); a known-empty context or
+   skyline can never be reported.
+3. **Execute cheapest-first** — the free indexed pairs evaluate first
+   and seed the τ / top-k thresholds — and **terminate early**: a pair
+   whose upper bound falls strictly below the current threshold is
+   provably unreportable and is never evaluated.  Thresholds only rise,
+   so the reported set is *identical* to naive full evaluation
+   (``tests/test_query_planner.py`` fuzzes this).
+
+Reporting semantics (mirroring §VII's ``select_reportable``): with
+``tau``, pairs with prominence ≥ τ; with ``top_k``, the k most
+prominent with ties at the k-th value kept; combined, top-k of the
+τ-survivors; with neither, every query is evaluated and returned.
+Results always come back in input order.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Tuple, Union
+
+from ..core.constraint import Constraint
+from ..core.record import Record
+from .parser import parse_query
+
+Query = Union[str, Tuple[Constraint, int]]
+
+
+def normalize_queries(queries: Sequence[Query], schema) -> List[Tuple[Constraint, int]]:
+    """Parse query strings / pass through ``(constraint, subspace)``
+    pairs — the shared canonical form for planning and cache keys."""
+    pairs = []
+    for query in queries:
+        if isinstance(query, str):
+            pairs.append(parse_query(query, schema))
+        else:
+            constraint, subspace = query
+            pairs.append((constraint, int(subspace)))
+    return pairs
+
+
+@dataclass
+class QueryResult:
+    """One reported query: the pair, its statistics, and its skyline."""
+
+    constraint: Constraint
+    subspace: int
+    prominence: Optional[float]
+    context_size: int
+    skyline_size: int
+    skyline: List[Record] = field(repr=False)
+
+
+@dataclass
+class _PlanEntry:
+    index: int
+    constraint: Constraint
+    subspace: int
+    ctx: Optional[int]          # exact |σ_C| when the counter covers C
+    sky: Optional[int]          # exact |λ_M(σ_C)| when the index covers (C, M)
+    prom_known: bool            # prominence decided from statistics alone
+    prom: Optional[float]
+    cost: float
+    upper: float                # provable prominence upper bound
+    mode: str                   # "indexed" | "counted" | "scan"
+
+
+class QueryPlan:
+    """Cost-ordered execution plan for one query batch.
+
+    Build with ``ordered=False`` to pin naive input-order execution
+    with no early termination (differential testing, benchmarks).
+    After :meth:`execute`, ``stats_hits`` / ``evaluated_count`` /
+    ``skipped`` describe what the plan actually did.
+    """
+
+    def __init__(
+        self,
+        engine,
+        queries: Sequence[Query],
+        top_k: Optional[int] = None,
+        tau: Optional[float] = None,
+        ordered: bool = True,
+    ) -> None:
+        if top_k is not None and top_k < 1:
+            raise ValueError("top_k must be >= 1")
+        self._engine = engine
+        self._top_k = top_k
+        self._tau = tau
+        self._ordered = ordered
+        #: Indexed pairs answered from statistics alone (no row touched).
+        self.stats_hits = 0
+        #: Pairs evaluated against the engine.
+        self.evaluated_count = 0
+        #: Pairs proven unreportable and never evaluated.
+        self.skipped = 0
+        n = len(engine.algorithm.table)
+        self._entries = [
+            self._price(i, constraint, subspace, n)
+            for i, (constraint, subspace) in enumerate(
+                normalize_queries(queries, engine.schema)
+            )
+        ]
+
+    def _price(
+        self, index: int, constraint: Constraint, subspace: int, n: int
+    ) -> _PlanEntry:
+        engine = self._engine
+        ctx = engine._counted_context(constraint)
+        sky = 0 if ctx == 0 else engine._skyline_size_indexed(constraint, subspace)
+        prom_known = sky is not None and (sky == 0 or ctx is not None)
+        prom = None
+        if prom_known and sky:
+            prom = ctx / sky
+        if prom_known:
+            upper = prom if prom is not None else -math.inf
+            cost, mode = 0.0, "indexed"
+        elif ctx is not None:
+            upper = float(ctx)
+            cost, mode = float(n) + float(ctx) ** 2, "counted"
+        else:
+            upper = math.inf
+            cost, mode = float(n) + float(n) ** 2 + 1.0, "scan"
+        return _PlanEntry(
+            index, constraint, subspace, ctx, sky, prom_known, prom,
+            cost, upper, mode,
+        )
+
+    def explain(self) -> List[Dict[str, object]]:
+        """Per-query plan in input order (cost model introspection)."""
+        return [
+            {
+                "index": e.index,
+                "mode": e.mode,
+                "cost": e.cost,
+                "upper_bound": e.upper,
+                "context_size": e.ctx,
+                "skyline_size": e.sky,
+            }
+            for e in self._entries
+        ]
+
+    # ------------------------------------------------------------------
+    # Execution
+    # ------------------------------------------------------------------
+    def execute(self) -> List[QueryResult]:
+        entries = self._entries
+        tau, k = self._tau, self._top_k
+        bounded = tau is not None or k is not None
+        if self._ordered:
+            # Cheapest first; among equals, highest upper bound first so
+            # the τ/top-k thresholds rise as fast as possible.
+            order = sorted(
+                range(len(entries)),
+                key=lambda i: (entries[i].cost, -entries[i].upper, i),
+            )
+        else:
+            order = list(range(len(entries)))
+        proms: Dict[int, Optional[float]] = {}
+        top: List[float] = []  # evaluated non-None prominences
+
+        def threshold() -> Optional[float]:
+            if k is None or len(top) < k:
+                return None
+            return sorted(top, reverse=True)[k - 1]
+
+        for i in order:
+            entry = entries[i]
+            if bounded and self._ordered:
+                bound = tau if tau is not None else -math.inf
+                current = threshold()
+                if current is not None:
+                    bound = max(bound, current)
+                if entry.upper < bound:
+                    # Provably below every future threshold: thresholds
+                    # only rise, so this pair can never be reported.
+                    self.skipped += 1
+                    continue
+            if entry.prom_known:
+                prom = entry.prom
+                self.stats_hits += 1
+            else:
+                prom = self._engine.prominence(entry.constraint, entry.subspace)
+                self.evaluated_count += 1
+            proms[i] = prom
+            if prom is not None:
+                top.append(prom)
+
+        if bounded:
+            candidates = [
+                i
+                for i in sorted(proms)
+                if proms[i] is not None and (tau is None or proms[i] >= tau)
+            ]
+            if k is not None:
+                ranked = sorted((proms[i] for i in candidates), reverse=True)
+                if len(ranked) >= k:
+                    theta = ranked[k - 1]
+                    candidates = [i for i in candidates if proms[i] >= theta]
+        else:
+            candidates = sorted(proms)
+
+        results = []
+        for i in candidates:
+            entry = entries[i]
+            skyline = self._engine.skyline(entry.constraint, entry.subspace)
+            ctx = entry.ctx
+            if ctx is None:
+                ctx = self._engine.context_size(entry.constraint)
+            results.append(
+                QueryResult(
+                    entry.constraint,
+                    entry.subspace,
+                    proms[i],
+                    ctx,
+                    len(skyline),
+                    skyline,
+                )
+            )
+        return results

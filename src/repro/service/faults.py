@@ -12,7 +12,8 @@ Point                 Where it fires
 ====================  ==================================================
 ``worker.op``         In a shard-worker process, on receipt of each pipe
                       op (``op`` context = ``"rows"`` / ``"delete"`` /
-                      ``"counters"`` / ``"skyline"`` / ``"replay"``).
+                      ``"counters"`` / ``"skyline"`` / ``"skyband"`` /
+                      ``"top_k"`` / ``"replay"``).
 ``worker.reply``      In a shard-worker process, just before the reply
                       to an op is sent back over the pipe.
 ``checkpoint.write``  In :meth:`StreamServer._checkpoint` /

@@ -340,6 +340,12 @@ class StreamServer:
             self.stats.worker_restarts = tallies["worker_restarts"]
             self.stats.chunks_retried = tallies["chunks_retried"]
             self.stats.degraded = tallies["degraded"]
+        cache_counters = getattr(self.engine, "query_cache_counters", None)
+        if callable(cache_counters):
+            cache = cache_counters()
+            self.stats.query_cache_hits = cache["hits"]
+            self.stats.query_cache_misses = cache["misses"]
+            self.stats.query_cache_evictions = cache["evictions"]
         snap = self.stats.snapshot()
         snap["table_rows"] = len(self.engine.table)
         snap["queue_depth"] = self._queue.qsize() if self._queue else 0
@@ -591,6 +597,43 @@ class StreamServer:
             self.journal.checkpoint(seq)
         self.stats.checkpoints += 1
 
+    async def _run_query(self, message: dict) -> dict:
+        """Answer one forward-query op off the event loop.
+
+        Payload: ``{"op": "query", "q": "<constraint | measures>",
+        "kind": "skyline" | "skyband" | "prominence", "k": int}``.
+        ``skyline``/``skyband`` reply with live tids (ascending arrival
+        order for kernel-backed engines); ``prominence`` replies with
+        the score and context size.  Runs under the engine lock so a
+        query never races a micro-batch; cached engines
+        (``spec.query_cache``) answer repeats without touching rows.
+        """
+        from ..query.parser import parse_query
+
+        kind = message.get("kind", "skyline")
+        text = message["q"]
+        loop = asyncio.get_running_loop()
+
+        def run() -> dict:
+            queries = self.engine.query()
+            constraint, subspace = parse_query(text, queries.schema)
+            if kind == "skyline":
+                records = queries.skyline(constraint, subspace)
+                return {"tids": [record.tid for record in records]}
+            if kind == "skyband":
+                k = int(message.get("k", 2))
+                records = queries.skyband(constraint, subspace, k)
+                return {"tids": [record.tid for record in records], "k": k}
+            if kind == "prominence":
+                return {
+                    "prominence": queries.prominence(constraint, subspace),
+                    "context_size": queries.context_size(constraint),
+                }
+            raise ValueError(f"unknown query kind {kind!r}")
+
+        async with self._engine_lock:
+            return await loop.run_in_executor(None, run)
+
     # ------------------------------------------------------------------
     # NDJSON-over-TCP front-end
     # ------------------------------------------------------------------
@@ -676,6 +719,13 @@ class StreamServer:
                         await reply({"error": str(exc)})
                         continue
                     await reply({"deleted": int(message["tid"])})
+                elif op == "query":
+                    try:
+                        result = await self._run_query(message)
+                    except Exception as exc:
+                        await reply({"error": str(exc)})
+                        continue
+                    await reply(result)
                 elif op == "stats":
                     await reply({"stats": self.stats_snapshot()})
                 elif op == "health":

@@ -161,6 +161,7 @@ class _ShardEngine:
             schema, config, shard_subspaces=shard, sweep_index=sweep_index
         )
         self.score = score
+        self._query_engine = None
 
     def ingest(self, rows: List[Mapping[str, object]]) -> IngestReply:
         start = perf_counter()
@@ -192,16 +193,55 @@ class _ShardEngine:
     def counters(self) -> Dict[str, int]:
         return self.algorithm.counters.snapshot()
 
+    def _queries(self):
+        """The worker-side query engine (kernels over this worker's full
+        replicated columnar history), built once."""
+        if self._query_engine is None:
+            from ..query.contextual import ContextualQueryEngine
+
+            self._query_engine = ContextualQueryEngine(self.algorithm)
+        return self._query_engine
+
     def skyline_tids(self, values: Tuple[object, ...], subspace: int) -> List[int]:
         """Answer one contextual-skyline query from this shard's stores
-        (pickle-light: tids only; the router re-projects records)."""
-        from ..query.contextual import ContextualQueryEngine
-
+        (pickle-light: tids only; the router re-projects records).
+        Every worker replicates the full row history, so non-maintained
+        subspaces answer exactly here too, via the columnar kernels."""
         constraint = Constraint(tuple(values))
-        skyline = ContextualQueryEngine(self.algorithm).skyline(
-            constraint, subspace
-        )
+        skyline = self._queries().skyline(constraint, subspace)
         return sorted(record.tid for record in skyline)
+
+    def skyband_tids(
+        self,
+        values: Tuple[object, ...],
+        subspace: int,
+        k: int,
+        limit: Optional[int] = None,
+    ) -> List[int]:
+        """One k-skyband query, optionally bounded: the router (or a TCP
+        client) receives at most ``limit`` tids instead of the whole
+        band."""
+        constraint = Constraint(tuple(values))
+        records = self._queries().skyband(constraint, subspace, k)
+        tids = sorted(record.tid for record in records)
+        return tids if limit is None else tids[:limit]
+
+    def top_k_stats(
+        self, values: Tuple[object, ...], subspace: int, limit: Optional[int]
+    ) -> Tuple[int, int, List[int]]:
+        """``(|σ_C|, |λ_M(σ_C)|, first-limit skyline tids)`` — the
+        statistics push-down.  ``limit=0`` is the planner's pure
+        statistics probe (O(1) off the scoring index when the pair is
+        covered); ``limit=None`` returns every skyline tid."""
+        constraint = Constraint(tuple(values))
+        queries = self._queries()
+        ctx = queries.context_size(constraint)
+        size = queries._skyline_size_indexed(constraint, subspace)
+        if size is not None and limit == 0:
+            return ctx, size, []
+        skyline = queries.skyline(constraint, subspace)
+        tids = sorted(record.tid for record in skyline)
+        return ctx, len(tids), tids if limit is None else tids[:limit]
 
 
 def _build_shard_engine(spec: Mapping[str, object]) -> _ShardEngine:
@@ -262,6 +302,10 @@ def _shard_worker_main(conn, spec) -> None:
             reply = engine.counters()
         elif op == "skyline":
             reply = engine.skyline_tids(*payload)
+        elif op == "skyband":
+            reply = engine.skyband_tids(*payload)
+        elif op == "top_k":
+            reply = engine.top_k_stats(*payload)
         elif op == "replay":
             # Deterministic state rebuild after a restart: re-observe a
             # slice of the router's committed op prefix.
@@ -309,6 +353,12 @@ class _InlineWorker:
     def skyline(self, values, subspace: int) -> List[int]:
         return self._engine.skyline_tids(values, subspace)
 
+    def skyband(self, values, subspace: int, k: int, limit=None) -> List[int]:
+        return self._engine.skyband_tids(values, subspace, k, limit)
+
+    def top_k(self, values, subspace: int, limit) -> Tuple[int, int, List[int]]:
+        return self._engine.top_k_stats(values, subspace, limit)
+
     def close(self) -> None:
         pass
 
@@ -342,6 +392,16 @@ class _ThreadWorker:
     def skyline(self, values, subspace: int) -> List[int]:
         return self._pool.submit(
             self._engine.skyline_tids, values, subspace
+        ).result()
+
+    def skyband(self, values, subspace: int, k: int, limit=None) -> List[int]:
+        return self._pool.submit(
+            self._engine.skyband_tids, values, subspace, k, limit
+        ).result()
+
+    def top_k(self, values, subspace: int, limit) -> Tuple[int, int, List[int]]:
+        return self._pool.submit(
+            self._engine.top_k_stats, values, subspace, limit
         ).result()
 
     def close(self) -> None:
@@ -383,6 +443,14 @@ class _ProcessWorker:
 
     def skyline(self, values, subspace: int) -> List[int]:
         self._conn.send(("skyline", (values, subspace)))
+        return self._conn.recv()
+
+    def skyband(self, values, subspace: int, k: int, limit=None) -> List[int]:
+        self._conn.send(("skyband", (values, subspace, k, limit)))
+        return self._conn.recv()
+
+    def top_k(self, values, subspace: int, limit) -> Tuple[int, int, List[int]]:
+        self._conn.send(("top_k", (values, subspace, limit)))
         return self._conn.recv()
 
     def close(self) -> None:
@@ -440,38 +508,107 @@ class _RouterQueryView:
 class ShardedQueryEngine(ContextualQueryEngine):
     """Forward contextual queries over a :class:`ShardedDiscoverer`.
 
-    Skyline queries on maintained subspaces are pushed down to the
-    worker owning that subspace key — answered from its µ stores as a
-    pickle-light tid list and re-projected against the router's
-    canonical table; everything else (unmaintained pairs, skybands,
-    context statistics) is computed router-side from the canonical
-    table.  This closes the historical parity gap where sharded engines
-    could not answer skyline/prominence queries at all.
+    Every read pushes down to a worker: a maintained subspace goes to
+    the worker *owning* its key (answered from that shard's µ stores /
+    scoring index), a non-maintained one to a deterministic fallback
+    worker — every worker replicates the full row history, so its
+    columnar kernels answer any pair exactly.  Workers reply with
+    pickle-light (bounded) tid lists or ``(|σ_C|, |λ_M|)`` statistics;
+    the router re-projects records against its canonical table and
+    serves ``|σ_C|`` in O(1) from its own context counter when covered.
+    A crashed worker degrades-and-retries exactly like the write path.
     """
 
     def __init__(self, sharded: "ShardedDiscoverer") -> None:
-        super().__init__(_RouterQueryView(sharded))
+        super().__init__(
+            _RouterQueryView(sharded),
+            context_counter=sharded.context_counter,
+        )
         self._sharded = sharded
 
-    def skyline(self, constraint: Constraint, subspace: int) -> List[Record]:
+    # -- routing -----------------------------------------------------
+    def _route(self, subspace: int) -> int:
+        """The worker answering queries for ``subspace``: its owner for
+        maintained keys, a deterministic fallback otherwise (any worker
+        holds the full history)."""
+        sharded = self._sharded
+        owner = sharded._shard_of.get(subspace)
+        if owner is None:
+            owner = subspace % len(sharded._workers)
+        return owner
+
+    def _pushed(self, owner: int, call):
+        """Run one query op against a worker with the standard
+        degrade-and-retry on a crashed process."""
         sharded = self._sharded
         sharded._check_open()
-        owner = sharded._shard_of.get(subspace)
-        if owner is not None:
-            try:
-                tids = sharded._workers[owner].skyline(
-                    tuple(constraint.values), subspace
-                )
-            except WorkerGaveUp as crash:
-                sharded._degrade(crash)
-                tids = sharded._workers[owner].skyline(
-                    tuple(constraint.values), subspace
-                )
-            by_tid = {record.tid: record for record in sharded.table}
-            return [by_tid[tid] for tid in tids if tid in by_tid]
-        from ..core.skyline import contextual_skyline
+        try:
+            return call(sharded._workers[owner])
+        except WorkerGaveUp as crash:
+            sharded._degrade(crash)
+            return call(sharded._workers[owner])
 
-        return contextual_skyline(sharded.table, constraint, subspace)
+    def _project(self, tids: List[int]) -> List[Record]:
+        by_tid = {record.tid: record for record in self._sharded.table}
+        return [by_tid[tid] for tid in tids if tid in by_tid]
+
+    # -- reads -------------------------------------------------------
+    def skyline(self, constraint: Constraint, subspace: int) -> List[Record]:
+        values = tuple(constraint.values)
+        tids = self._pushed(
+            self._route(subspace), lambda w: w.skyline(values, subspace)
+        )
+        return self._project(tids)
+
+    def skyband(
+        self, constraint: Constraint, subspace: int, k: int
+    ) -> List[Record]:
+        if k < 1:
+            raise ValueError("k must be >= 1")
+        values = tuple(constraint.values)
+        tids = self._pushed(
+            self._route(subspace), lambda w: w.skyband(values, subspace, k)
+        )
+        return self._project(tids)
+
+    def context_size(self, constraint: Constraint) -> int:
+        counted = self._counted_context(constraint)
+        if counted is not None:
+            return counted
+        values = tuple(constraint.values)
+        ctx, _sky, _tids = self._pushed(
+            self._route(0), lambda w: w.top_k(values, 0, 0)
+        )
+        return ctx
+
+    def prominence(self, constraint: Constraint, subspace: int) -> Optional[float]:
+        values = tuple(constraint.values)
+        ctx, sky, _tids = self._pushed(
+            self._route(subspace), lambda w: w.top_k(values, subspace, 0)
+        )
+        return None if sky == 0 else ctx / sky
+
+    def _fast_statistics(
+        self, constraint: Constraint, subspace: int
+    ) -> Optional[Tuple[int, int]]:
+        """Planner statistics: router counter for ``|σ_C|`` plus one
+        ``top_k(limit=0)`` probe of the owning worker's scoring index.
+        A counter-covered constraint is within ``d̂``, so the worker
+        answers without materialising anything."""
+        sharded = self._sharded
+        ctx = self._counted_context(constraint)
+        if ctx is None:
+            return None
+        if ctx == 0:
+            return 0, 0
+        owner = sharded._shard_of.get(subspace)
+        if owner is None:
+            return None
+        values = tuple(constraint.values)
+        _ctx, sky, _tids = self._pushed(
+            owner, lambda w: w.top_k(values, subspace, 0)
+        )
+        return ctx, sky
 
 
 # ----------------------------------------------------------------------

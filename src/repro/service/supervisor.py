@@ -24,8 +24,10 @@ wraps the worker process + pipe with the full crash loop:
 
 The wrapper exposes the same surface as the plain worker classes in
 :mod:`repro.service.sharding` (``submit_rows`` / ``result`` /
-``delete`` / ``counters`` / ``skyline`` / ``close`` /
-``busy_seconds``), so the router's pipelining logic stays mode-blind.
+``delete`` / ``counters`` / ``skyline`` / ``skyband`` / ``top_k`` /
+``close`` / ``busy_seconds``), so the router's pipelining logic stays
+mode-blind — the PR-8 query push-down ops ride the same
+crash-detect / restart / replay / retry machinery as ingest.
 """
 
 from __future__ import annotations
@@ -297,6 +299,12 @@ class SupervisedWorker:
 
     def skyline(self, values, subspace: int):
         return self._sync_op("skyline", (values, subspace))
+
+    def skyband(self, values, subspace: int, k: int, limit=None):
+        return self._sync_op("skyband", (values, subspace, k, limit))
+
+    def top_k(self, values, subspace: int, limit):
+        return self._sync_op("top_k", (values, subspace, limit))
 
     def pending_ops(self) -> List[List[Mapping[str, object]]]:
         """Submitted-unmerged chunks, oldest first — what a degraded

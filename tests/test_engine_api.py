@@ -103,6 +103,13 @@ ENGINE_SPECS = {
     "windowed-svec-indexed": lambda: EngineSpec(
         SCHEMA, "svec", CONFIG, window=4096, sweep_index="on"
     ),
+    "query-cached": lambda: EngineSpec(
+        SCHEMA, "svec", CONFIG, query_cache=128
+    ),
+    "query-cached-sharded": lambda: EngineSpec(
+        SCHEMA, "svec", CONFIG, sharding=ShardingSpec(2, "serial"),
+        query_cache=128,
+    ),
 }
 
 KINDS = sorted(ENGINE_SPECS)
@@ -212,7 +219,8 @@ class TestOutputEquivalence:
                                       "sharded-serial",
                                       "sharded-serial-indexed",
                                       "sharded-process", "windowed",
-                                      "windowed-svec-indexed"])
+                                      "windowed-svec-indexed",
+                                      "query-cached"])
     def test_deletion_interleaved_property_identical(self, kind):
         reference = FactDiscoverer(SCHEMA, algorithm="stopdown", config=CONFIG)
         want = run_stream(reference, ROWS, delete_every=5)
@@ -242,6 +250,48 @@ class TestOutputEquivalence:
         assert counters_total(restored) == counters_total(uninterrupted)
         restored.close()
         uninterrupted.close()
+
+
+# ----------------------------------------------------------------------
+# Batched queries: planner output identical on every composition
+# ----------------------------------------------------------------------
+class TestBatchQueryConformance:
+    QUERIES = [
+        "* | m0",
+        "d0=a0 | m0, m1",
+        "d0=a1 & d1=b1 | m1",
+        "d1=b2 | m0",
+        "d0=a2 | m0, m1",
+        "d0=a0 & d1=b0 | m0",
+        "d0=zz | m0",  # empty context — never reportable
+    ]
+
+    @pytest.mark.parametrize("kind", KINDS)
+    @pytest.mark.parametrize(
+        "bounds", [{}, {"top_k": 2}, {"tau": 2.0}, {"top_k": 2, "tau": 1.5}]
+    )
+    def test_batch_matches_naive_reference(self, kind, bounds):
+        """``query().batch`` reports the same pairs, statistics and
+        skylines as naive input-order evaluation on the reference
+        engine, whatever the composition and bounds."""
+        reference = FactDiscoverer(SCHEMA, algorithm="stopdown", config=CONFIG)
+        reference.observe_many(ROWS)
+        want = reference.query().batch(
+            self.QUERIES, _fixed_order=True, **bounds
+        )
+        with open_engine(ENGINE_SPECS[kind]()) as engine:
+            engine.observe_many(ROWS)
+            got = engine.query().batch(self.QUERIES, **bounds)
+            assert [(r.constraint, r.subspace) for r in got] == [
+                (r.constraint, r.subspace) for r in want
+            ], (kind, bounds)
+            for g, w in zip(got, want):
+                assert g.prominence == w.prominence
+                assert g.context_size == w.context_size
+                assert g.skyline_size == w.skyline_size
+                assert sorted(r.tid for r in g.skyline) == sorted(
+                    r.tid for r in w.skyline
+                )
 
 
 # ----------------------------------------------------------------------
