@@ -17,16 +17,19 @@ ratio tripwires cover the scored path (vs the unscored one) and the
 PR-3 bitset lattice walker (vs the pinned PR-2 per-visit pass).
 
 The ratio guards write their measurements into ``BENCH_PR3.json``, the
-journal-overhead guard into ``BENCH_PR6.json``, and the sweep-index
-guard into ``BENCH_PR7.json`` (all uploaded as CI artifacts) so the
-perf trajectory is tracked as data.
+journal-overhead guard into ``BENCH_PR6.json``, the sweep-index guard
+into ``BENCH_PR7.json``, and the socket-protocol guard into
+``BENCH_PR9.json`` (all uploaded as CI artifacts) so the perf
+trajectory is tracked as data.
 
 Run with ``pytest benchmarks/bench_guard.py``; part of the bench suite,
 not of tier-1 (timing asserts do not belong in unit CI).
 """
 
 import random
+import socket
 import tempfile
+import threading
 import time
 
 import numpy as np
@@ -38,6 +41,7 @@ from repro.core.constraint import UNBOUND
 from repro.datasets.synthetic import synthetic_rows, synthetic_schema
 from repro.query.contextual import ContextualQueryEngine
 from repro.service.journal import JournalWriter
+from repro.service.remote import recv_msg, send_msg
 
 from _results import update_results
 from pinned_pr2 import PinnedPR2SVec
@@ -88,6 +92,14 @@ WALKER_FRACTION = 0.85
 #: silently falls back to the scalar loop lands at ~1x, so 0.5x
 #: separates the regimes on any hardware.
 SKYBAND_FRACTION = 0.5
+
+#: One framed round-trip of a PROBE-row ``rows`` chunk over the remote
+#: shard wire protocol may cost at most this fraction of the svec
+#: compute the chunk buys.  The frame is one pickle + one CRC + one
+#: ``sendall`` per direction — measured ~0.002x; a protocol that frames
+#: per row, re-pickles payloads, or copies bodies lands an order of
+#: magnitude higher.
+SOCKET_FRAME_FRACTION = 0.05
 
 #: A fully cached repeat read pass may cost at most this fraction of
 #: the uncached first pass.  A hit is an LRU probe plus a list copy
@@ -407,6 +419,72 @@ def test_journal_overhead_within_budget():
         f"the unjournaled marginal (budget {100 * JOURNAL_OVERHEAD:.0f}%) "
         f"— something expensive (fsync? re-serialization?) has crept "
         f"into the per-row append path"
+    )
+
+
+def test_socket_frame_overhead_stays_marginal():
+    """The remote shard wire protocol must stay off the compute hot path.
+
+    Socket workers (PR 9) pay pickle + CRC32 + framing per chunk; the
+    parity tests pin the answers but cannot see the protocol getting
+    expensive (per-row frames, double pickling, body copies) — only
+    wall-clock can.  One framed round-trip of a PROBE-row ``rows``
+    chunk (request out, full payload echoed back — twice what a real
+    reply carries, so conservative) is timed over a socketpair, no
+    real network in the loop, against the svec compute the chunk buys.
+    """
+    schema = synthetic_schema(D, M)
+    rows = synthetic_rows(N + PROBE, D, M, distribution="anticorrelated")
+    warm, probe = rows[:N], rows[N:]
+    chunk_compute = _marginal("svec", schema, warm, probe) * len(probe)
+
+    rounds, batches = 10, 3
+    left, right = socket.socketpair()
+    try:
+
+        def echo():
+            for _ in range(rounds * batches):
+                _op, payload = recv_msg(right)
+                send_msg(right, "ok", payload)
+
+        thread = threading.Thread(target=echo, daemon=True)
+        thread.start()
+        best = None
+        for _ in range(batches):
+            start = time.perf_counter()
+            for _ in range(rounds):
+                send_msg(left, "rows", probe)
+                recv_msg(left)
+            took = (time.perf_counter() - start) / rounds
+            if best is None or took < best:
+                best = took
+        thread.join(timeout=10)
+    finally:
+        left.close()
+        right.close()
+    ratio = best / chunk_compute
+    print(
+        f"\n{PROBE}-row chunk @ n={N}: frame-roundtrip={1e3 * best:.3f}ms "
+        f"svec-compute={1e3 * chunk_compute:.1f}ms ratio={ratio:.4f}x "
+        f"(ceiling {SOCKET_FRAME_FRACTION}x)"
+    )
+    update_results(
+        "cluster_guard",
+        {
+            "chunk_rows": PROBE,
+            "frame_roundtrip_ms": round(1e3 * best, 4),
+            "chunk_compute_ms": round(1e3 * chunk_compute, 3),
+            "roundtrip_over_compute": round(ratio, 4),
+            "ceiling": SOCKET_FRAME_FRACTION,
+        },
+        filename="BENCH_PR9.json",
+    )
+    assert ratio <= SOCKET_FRAME_FRACTION, (
+        f"one framed chunk round-trip costs {ratio:.3f}x the chunk's "
+        f"svec compute (ceiling {SOCKET_FRAME_FRACTION}x) — something "
+        f"expensive has crept into the wire protocol "
+        f"(repro/service/remote.py); see benchmarks/bench_cluster.py "
+        f"for the end-to-end socket-vs-pipe comparison"
     )
 
 

@@ -65,6 +65,7 @@ def _base_engine(spec: EngineSpec) -> Engine:
             op_timeout=spec.sharding.op_timeout,
             max_restarts=spec.sharding.max_restarts,
             sweep_index=spec.sweep_index,
+            remote=spec.sharding.remote,
         )
     from ..core.engine import FactDiscoverer
 

@@ -25,7 +25,7 @@ from ..core.config import DiscoveryConfig
 from ..core.schema import TableSchema
 
 #: Execution modes of the sharded composition.
-SHARDING_MODES = ("serial", "thread", "process")
+SHARDING_MODES = ("serial", "thread", "process", "remote")
 
 #: Supported aggregate functions over a base measure.
 AGGREGATES = ("sum", "max", "min", "count", "avg")
@@ -44,8 +44,11 @@ class ShardingSpec:
     workers:
         Requested shard count (clamped to the maintained subspace keys).
     mode:
-        ``"serial"`` (in-process, deterministic), ``"thread"`` or
-        ``"process"`` (one OS process per shard — the throughput mode).
+        ``"serial"`` (in-process, deterministic), ``"thread"``,
+        ``"process"`` (one OS process per shard — the throughput mode)
+        or ``"remote"`` (each shard a replica set of socket workers,
+        placed by :attr:`remote` — the multi-machine tier; see
+        :mod:`repro.service.cluster`).
     chunk_size:
         Pipelining granularity of batched ingestion (rows per worker
         round-trip).
@@ -62,6 +65,14 @@ class ShardingSpec:
         Circuit breaker: after this many restarts of a single worker
         the pool degrades to serial in-router execution instead of
         restarting forever.
+    remote:
+        Placement map for ``mode="remote"``: each shard name maps to
+        the ``"host:port"`` replica addresses of its socket-worker
+        pool (``repro-facts shard-worker`` members), e.g.
+        ``{"0": ["10.0.0.5:7711", "10.0.0.6:7711"], "1": [...]}``.
+        Shard names that parse as integers order numerically; the
+        number of shards must equal :attr:`workers`.  ``None`` for the
+        in-process modes.
     """
 
     workers: int
@@ -70,6 +81,7 @@ class ShardingSpec:
     supervise: bool = True
     op_timeout: float = 60.0
     max_restarts: int = 3
+    remote: Optional[Mapping[str, Tuple[str, ...]]] = None
 
     def __post_init__(self) -> None:
         if self.workers < 1:
@@ -85,6 +97,45 @@ class ShardingSpec:
             raise ValueError("sharding.op_timeout must be > 0 seconds")
         if self.max_restarts < 0:
             raise ValueError("sharding.max_restarts must be >= 0")
+        if self.remote is not None:
+            remote = {
+                str(name): list(addresses)
+                for name, addresses in dict(self.remote).items()
+            }
+            if not remote:
+                raise ValueError(
+                    "sharding.remote must map at least one shard to replicas"
+                )
+            for name, addresses in remote.items():
+                if not addresses:
+                    raise ValueError(
+                        f"sharding.remote[{name!r}] needs at least one "
+                        "host:port replica"
+                    )
+                for address in addresses:
+                    host, _, port = str(address).rpartition(":")
+                    if not host or not port.isdigit():
+                        raise ValueError(
+                            f"sharding.remote[{name!r}]: {address!r} is "
+                            "not 'host:port'"
+                        )
+            # Normalised plain-data form so asdict/JSON round-trip exactly.
+            object.__setattr__(self, "remote", remote)
+            if self.mode != "remote":
+                raise ValueError(
+                    "a sharding.remote placement map requires "
+                    f"mode='remote', got {self.mode!r}"
+                )
+            if self.workers != len(remote):
+                raise ValueError(
+                    f"sharding.workers ({self.workers}) must equal the "
+                    f"number of remote shards ({len(remote)})"
+                )
+        elif self.mode == "remote":
+            raise ValueError(
+                "sharding.mode='remote' needs a remote placement map "
+                "({shard: [host:port, ...]})"
+            )
 
 
 @dataclass(frozen=True)

@@ -29,6 +29,13 @@ Subcommands
     for NDJSON clients on a TCP port.
 ``ingest``
     Stream a CSV into a running ``serve`` instance over TCP.
+``shard-worker``
+    Turn this machine into a remote shard-pool member: serve the
+    CRC-framed socket worker protocol until shut down (routers place
+    shards here via ``--remote`` / ``EngineSpec.sharding.remote``).
+``cluster-status``
+    Ping every worker of a placement map and print shard → replicas,
+    applied rows, replication lag and health in one table.
 
 Examples::
 
@@ -41,6 +48,10 @@ Examples::
     repro-facts serve -d player,team -m points,assists --workers 4 --port 7071
     repro-facts ingest games.csv -d player,team -m points,assists \
         --connect 127.0.0.1:7071 --shutdown
+    repro-facts shard-worker --port 7711
+    repro-facts discover games.csv -d player,team -m points,assists \
+        --remote '{"0": ["10.0.0.5:7711"], "1": ["10.0.0.6:7711"]}'
+    repro-facts cluster-status --remote '{"0": ["10.0.0.5:7711"]}'
 """
 
 from __future__ import annotations
@@ -106,8 +117,15 @@ def _add_discovery_options(parser: argparse.ArgumentParser) -> None:
                         help="subspace-parallel worker count (0 = single "
                              "unsharded engine; >0 runs svec shards)")
     parser.add_argument("--mode", default="process",
-                        choices=("serial", "thread", "process"),
-                        help="worker execution mode (with --workers)")
+                        choices=("serial", "thread", "process", "remote"),
+                        help="worker execution mode (with --workers; "
+                             "'remote' needs --remote)")
+    parser.add_argument("--remote", default=None, metavar="MAP",
+                        help="remote shard placement map: JSON "
+                             '{"shard": ["host:port", ...], ...} inline '
+                             "or @file; shards run on repro-facts "
+                             "shard-worker pool members (implies "
+                             "--mode remote)")
     parser.add_argument("--window", type=int, default=None,
                         help="count-based sliding window: keep only the "
                              "most recent N tuples live")
@@ -124,6 +142,18 @@ def _add_discovery_options(parser: argparse.ArgumentParser) -> None:
                              "engine flags")
 
 
+def _load_remote_map(value: Optional[str]) -> Optional[dict]:
+    """Parse a ``--remote`` placement map: inline JSON or ``@file``."""
+    if not value:
+        return None
+    import json
+
+    if value.startswith("@"):
+        with open(value[1:]) as fh:
+            return json.load(fh)
+    return json.loads(value)
+
+
 def _spec_from_args(args) -> EngineSpec:
     """The one place CLI flags become an :class:`EngineSpec`."""
     if getattr(args, "spec", None):
@@ -137,6 +167,7 @@ def _spec_from_args(args) -> EngineSpec:
             "are required"
         )
     workers = getattr(args, "workers", 0) or 0
+    remote = _load_remote_map(getattr(args, "remote", None))
     checkpoint = None
     if getattr(args, "checkpoint", None):
         checkpoint = CheckpointPolicy(
@@ -150,16 +181,22 @@ def _spec_from_args(args) -> EngineSpec:
             "--journal-dir needs --checkpoint: recovery replays the "
             "journal suffix on top of the latest snapshot"
         )
+    if remote:
+        sharding = ShardingSpec(
+            workers=len(remote), mode="remote", remote=remote
+        )
+    elif workers > 0:
+        sharding = ShardingSpec(workers=workers, mode=args.mode)
+    else:
+        sharding = None
     return EngineSpec(
         schema=_schema_from_args(args),
         # Sharded engines always run svec workers; the flag keeps its
         # meaning for the single-engine case.
-        algorithm="svec" if workers > 0 else args.algorithm,
+        algorithm="svec" if sharding is not None else args.algorithm,
         config=_config_from_args(args),
         score=not getattr(args, "no_score", False),
-        sharding=ShardingSpec(workers=workers, mode=args.mode)
-        if workers > 0
-        else None,
+        sharding=sharding,
         window=getattr(args, "window", None),
         checkpoint=checkpoint,
     )
@@ -445,6 +482,77 @@ def cmd_ingest(args) -> int:
         return 2
 
 
+def cmd_shard_worker(args) -> int:
+    from .service.remote import run_worker
+
+    try:
+        # run_worker arms REPRO_FAULTS, prints the `listening on
+        # host:port` banner to stderr (scripts grep the ephemeral
+        # port off it, like `serve`), and blocks until a router sends
+        # the shutdown op.
+        return run_worker(args.host, args.port)
+    except KeyboardInterrupt:
+        return 0
+    except OSError as exc:
+        print(f"error: cannot listen on {args.host}:{args.port}: {exc}",
+              file=sys.stderr)
+        return 2
+
+
+def cmd_cluster_status(args) -> int:
+    import json
+
+    from .service.cluster import cluster_status
+
+    try:
+        if args.remote:
+            remote = _load_remote_map(args.remote)
+        elif args.spec:
+            with open(args.spec) as fh:
+                spec = EngineSpec.from_dict(json.load(fh))
+            remote = spec.sharding.remote if spec.sharding else None
+        else:
+            remote = None
+    except (ValueError, KeyError) as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+    if not remote:
+        print("error: --remote MAP (or --spec FILE with sharding.remote) "
+              "required", file=sys.stderr)
+        return 2
+    rows = cluster_status(remote, timeout=args.timeout)
+    if args.json:
+        print(json.dumps(rows, indent=2))
+    else:
+        header = ("shard", "replica", "health", "configured", "rows",
+                  "lag", "busy_s", "rtt_ms")
+        table = [header]
+        for row in rows:
+            table.append((
+                row["shard"],
+                row["replica"],
+                "up" if row["alive"] else f"DOWN ({row['error']})",
+                "yes" if row["configured"] else "no",
+                "-" if row["rows"] is None else str(row["rows"]),
+                "-" if row["lag"] is None else str(row["lag"]),
+                "-" if row["busy_seconds"] is None
+                else f"{row['busy_seconds']:.3f}",
+                "-" if row["rtt_ms"] is None else f"{row['rtt_ms']:.2f}",
+            ))
+        widths = [max(len(str(r[c])) for r in table)
+                  for c in range(len(header))]
+        for i, row in enumerate(table):
+            print("  ".join(str(v).ljust(w) for v, w in zip(row, widths))
+                  .rstrip())
+            if i == 0:
+                print("  ".join("-" * w for w in widths))
+    dead = sum(1 for row in rows if not row["alive"])
+    shards = len({row["shard"] for row in rows})
+    print(f"# {shards} shards, {len(rows)} replicas, {dead} unreachable",
+          file=sys.stderr)
+    return 1 if dead else 0
+
+
 def cmd_figures(args) -> int:
     from .experiments.figures import ALL_FIGURES
 
@@ -541,6 +649,33 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--shutdown", action="store_true",
                    help="send the shutdown op after ingesting")
     p.set_defaults(fn=cmd_ingest)
+
+    p = sub.add_parser(
+        "shard-worker",
+        help="serve one remote shard worker (socket pool member)",
+    )
+    p.add_argument("--host", default="127.0.0.1",
+                   help="bind address (loopback by default; the pickle "
+                        "protocol is for trusted networks only)")
+    p.add_argument("--port", type=int, default=0,
+                   help="listen port (0 = ephemeral, printed to stderr "
+                        "as `listening on host:port`)")
+    p.set_defaults(fn=cmd_shard_worker)
+
+    p = sub.add_parser(
+        "cluster-status",
+        help="ping configured shard workers, print replica health",
+    )
+    p.add_argument("--remote", default=None, metavar="MAP",
+                   help='placement map: JSON {"shard": ["host:port", '
+                        "...], ...} inline or @file")
+    p.add_argument("--spec", default=None, metavar="FILE",
+                   help="EngineSpec JSON carrying sharding.remote")
+    p.add_argument("--timeout", type=float, default=2.0,
+                   help="per-worker probe timeout in seconds")
+    p.add_argument("--json", action="store_true",
+                   help="print the per-replica rows as JSON")
+    p.set_defaults(fn=cmd_cluster_status)
 
     p = sub.add_parser("figures", help="reproduce paper figures")
     p.add_argument("ids", nargs="*")

@@ -39,10 +39,19 @@ class ServiceStats:
     #: Cumulative busy seconds per shard (mirrors
     #: :meth:`ShardedDiscoverer.utilization`; empty for unsharded).
     shard_busy_seconds: List[float] = field(default_factory=list)
+    #: Per-shard operational breakdown (key counts, busy seconds, queue
+    #: depth, placement EWMA, replica membership — mirrors
+    #: :meth:`ShardedDiscoverer.shard_stats`; empty for unsharded).
+    #: Until this existed, only aggregate counters reached the TCP
+    #: ``stats`` op; the PlacementModel and operators read shard-level
+    #: load from here.
+    shard_details: List[Dict[str, object]] = field(default_factory=list)
     #: Shard-worker processes restarted by the supervisor.
     worker_restarts: int = 0
     #: Ingest chunks re-sent to a restarted/rebuilt worker.
     chunks_retried: int = 0
+    #: Remote replicas dropped with a surviving replica promoted.
+    replica_failovers: int = 0
     #: Poison rows quarantined to the dead-letter file.
     rows_quarantined: int = 0
     #: Journal ops replayed during crash recovery at startup.
@@ -71,6 +80,11 @@ class ServiceStats:
     def note_shard_utilization(self, busy_seconds: Sequence[float]) -> None:
         self.shard_busy_seconds = list(busy_seconds)
 
+    def note_shard_details(
+        self, details: Sequence[Dict[str, object]]
+    ) -> None:
+        self.shard_details = [dict(entry) for entry in details]
+
     @property
     def mean_batch_rows(self) -> Optional[float]:
         if not self.batches:
@@ -96,6 +110,7 @@ class ServiceStats:
             "facts_emitted": self.facts_emitted,
             "worker_restarts": self.worker_restarts,
             "chunks_retried": self.chunks_retried,
+            "replica_failovers": self.replica_failovers,
             "rows_quarantined": self.rows_quarantined,
             "ops_replayed": self.ops_replayed,
             "degraded": self.degraded,
@@ -109,4 +124,6 @@ class ServiceStats:
             out["shard_utilization"] = [
                 round(b / total, 3) if total else 0.0 for b in busy
             ]
+        if self.shard_details:
+            out["shards"] = [dict(entry) for entry in self.shard_details]
         return out

@@ -15,11 +15,19 @@ turns it into a *service*:
   of accepted ops; recovery = latest snapshot + journal suffix;
 * :mod:`repro.service.supervisor` — crash detection, restart with
   backoff, and deterministic state rebuild for process-mode workers;
+* :mod:`repro.service.remote` — the length-prefixed, CRC-framed socket
+  protocol (versioned handshake, per-request timeouts) that turns any
+  machine running ``repro-facts shard-worker`` into a pool member;
+* :mod:`repro.service.cluster` — replica sets per shard (read fan-out,
+  promotion failover, deterministic re-observe on join) and the
+  cost-fed :class:`PlacementModel` behind ``mode="remote"`` sharding;
 * :mod:`repro.service.faults` — the spec/env-driven fault-injection
   registry the chaos tests (and the CI chaos job) drive.
 """
 
+from .cluster import PlacementModel, ReplicaSet, cluster_status
 from .journal import JournalWriter, RecoveryReport, recover_engine
+from .remote import RemoteWorker, SocketWorkerServer, run_worker
 from .sharding import (
     ShardedDiscoverer,
     canonical_subspace_keys,
@@ -30,14 +38,20 @@ from .supervisor import SupervisedWorker, SupervisorPolicy, WorkerCrashed, Worke
 
 __all__ = [
     "JournalWriter",
+    "PlacementModel",
     "RecoveryReport",
+    "RemoteWorker",
+    "ReplicaSet",
     "ShardedDiscoverer",
+    "SocketWorkerServer",
     "StreamServer",
     "SupervisedWorker",
     "SupervisorPolicy",
     "WorkerCrashed",
     "WorkerGaveUp",
     "canonical_subspace_keys",
+    "cluster_status",
     "partition_subspaces",
     "recover_engine",
+    "run_worker",
 ]

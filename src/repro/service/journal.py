@@ -18,7 +18,9 @@ Frame format (one per op)::
 
     <u32 payload_len> <u32 crc32(payload)> <payload: UTF-8 JSON>
 
-with payload ``{"seq": n, "op": "ingest", "row": {...}}`` or
+(the same length+CRC frame the remote shard-worker socket protocol
+reuses on the wire — see :mod:`repro.service.remote`) with payload
+``{"seq": n, "op": "ingest", "row": {...}}`` or
 ``{"seq": n, "op": "delete", "tid": k}``.  Sequence numbers are global
 and monotone from 1; a checkpoint records the sequence it covers
 (``journal_seq`` in the snapshot document), so replay applies exactly

@@ -1,0 +1,542 @@
+"""Socket wire protocol for remote shard workers.
+
+This module promotes the process-mode worker pipe protocol of
+:mod:`repro.service.sharding` to a socket protocol any machine can
+speak, so a shard pool is no longer confined to one OS process tree
+(see :mod:`repro.service.cluster` for the replica/placement layer on
+top, and the ``repro-facts shard-worker`` CLI command that turns a
+machine into a pool member).
+
+Wire format — length-prefixed, CRC-framed, mirroring the journal's
+frame layout (:mod:`repro.service.journal`)::
+
+    <u32 payload_len> <u32 crc32(payload)> <payload bytes>
+
+with the payload a pickled ``(op, payload)`` 2-tuple (pickle, not JSON:
+rows and replies carry the same Python values the pipe protocol already
+pickles — tuples, ``None`` dimension markers, numpy scalars).  The CRC
+rejects torn or corrupted frames at the receiver; a mismatch closes the
+connection rather than desyncing the FIFO.  The protocol is a trusted
+*internal* transport (pickle executes arbitrary code by design): bind
+workers to loopback or a private network, never the open internet.
+
+Session layout:
+
+* **handshake** — the client opens with ``("hello", {"version": N})``;
+  the worker answers in kind or replies ``("error", reason)`` and closes
+  on a version mismatch, so routers and workers from different releases
+  fail loudly at connect time instead of mid-stream;
+* **requests** — ``(op, payload)`` frames, strictly FIFO per
+  connection, the same op vocabulary as the pipe protocol (``rows`` /
+  ``delete`` / ``counters`` / ``skyline`` / ``skyband`` / ``top_k`` /
+  ``replay``) plus ``configure`` (install a shard engine), ``ping``
+  (heartbeat), ``stats`` (worker-side tallies for ``cluster-status``),
+  ``stop`` (end this connection) and ``shutdown`` (end the worker);
+* **replies** — ``("ok", result)`` or ``("error", reason)`` frames.
+
+Per-request timeouts: the router side sets the socket timeout to the
+sharding ``op_timeout``, so a worker that hangs (or whose reply a
+``worker.reply`` fault drops, or whose ``worker.op`` fault sleeps past
+the budget) surfaces as a :class:`~repro.service.supervisor.\
+WorkerCrashed` — the same signal the supervised pipe workers raise —
+and the replica layer fails over.  Worker-side, the handler loop fires
+the :mod:`repro.service.faults` ``worker.op`` / ``worker.reply`` hook
+points exactly like the pipe loop, so the chaos suite drives socket
+workers with the same fault specs.
+"""
+
+from __future__ import annotations
+
+import os
+import pickle
+import socket
+import struct
+import sys
+import threading
+import zlib
+from time import perf_counter
+from typing import Dict, List, Mapping, Optional, Tuple
+
+from . import faults
+from .sharding import IngestReply, _apply_worker_fault, _build_shard_engine
+from .supervisor import WorkerCrashed
+
+#: Version exchanged in the handshake; bumped on any frame/op change.
+PROTOCOL_VERSION = 1
+
+#: Frame header: little-endian payload length + CRC32 of the payload
+#: (the journal's frame layout, reused byte for byte).
+_FRAME = struct.Struct("<II")
+
+#: Upper bound on one frame's payload — a corrupted length prefix must
+#: not make the receiver try to allocate gigabytes.
+MAX_FRAME_BYTES = 256 * 1024 * 1024
+
+
+class FrameError(ConnectionError):
+    """A frame failed to parse: short read, CRC mismatch, oversize."""
+
+
+class HandshakeError(ConnectionError):
+    """The peer spoke a different protocol version (or no hello)."""
+
+
+def parse_address(address: str) -> Tuple[str, int]:
+    """Split ``"host:port"`` (the placement-map address format)."""
+    host, _, port = str(address).rpartition(":")
+    if not host or not port.isdigit():
+        raise ValueError(f"expected 'host:port', got {address!r}")
+    return host, int(port)
+
+
+def send_msg(sock: socket.socket, op: str, payload: object) -> None:
+    """Frame and send one ``(op, payload)`` message."""
+    body = pickle.dumps((op, payload), protocol=pickle.HIGHEST_PROTOCOL)
+    if len(body) > MAX_FRAME_BYTES:
+        raise FrameError(
+            f"refusing to send a {len(body)}-byte frame "
+            f"(MAX_FRAME_BYTES={MAX_FRAME_BYTES})"
+        )
+    sock.sendall(
+        _FRAME.pack(len(body), zlib.crc32(body) & 0xFFFFFFFF) + body
+    )
+
+
+def _recv_exact(sock: socket.socket, n: int) -> bytes:
+    buf = bytearray()
+    while len(buf) < n:
+        piece = sock.recv(n - len(buf))
+        if not piece:
+            raise FrameError(
+                f"connection closed mid-frame ({len(buf)}/{n} bytes)"
+            )
+        buf.extend(piece)
+    return bytes(buf)
+
+
+def recv_msg(sock: socket.socket) -> Tuple[str, object]:
+    """Receive one framed message; raises :class:`FrameError` on a
+    short read, an implausible length, or a CRC mismatch."""
+    length, crc = _FRAME.unpack(_recv_exact(sock, _FRAME.size))
+    if length > MAX_FRAME_BYTES:
+        raise FrameError(f"frame length {length} exceeds {MAX_FRAME_BYTES}")
+    body = _recv_exact(sock, length)
+    if zlib.crc32(body) & 0xFFFFFFFF != crc:
+        raise FrameError("frame CRC mismatch (corrupted payload)")
+    return pickle.loads(body)
+
+
+# ----------------------------------------------------------------------
+# Worker side
+# ----------------------------------------------------------------------
+class SocketWorkerServer:
+    """One shard-worker pool member: a socket server hosting a single
+    shard-restricted ``svec`` engine.
+
+    The engine is installed by the router's ``configure`` op (the same
+    pickle-light spec dict the pipe workers receive, including the
+    forwarded fault list) and serialized under a lock, so a second
+    connection — ``cluster-status`` pinging mid-stream, a replica-join
+    replay — interleaves safely with the primary ingest connection.
+
+    ``start()`` runs the accept loop on a daemon thread (tests embed
+    workers in-process on ephemeral ports); :func:`run_worker` runs it
+    in the foreground (the CLI / a dedicated worker process).
+    """
+
+    def __init__(self, host: str = "127.0.0.1", port: int = 0) -> None:
+        self._listener = socket.create_server((host, port))
+        self._listener.settimeout(0.2)
+        self.host, self.port = self._listener.getsockname()[:2]
+        self.address = f"{self.host}:{self.port}"
+        self._engine = None
+        self._engine_lock = threading.Lock()
+        self._index: Optional[int] = None
+        self._shard_keys: List[int] = []
+        self._stop = threading.Event()
+        self._accept_thread: Optional[threading.Thread] = None
+        #: Worker-side tallies served to ``stats`` probes.
+        self.rows_applied = 0
+        self.deletes_applied = 0
+        self.busy_seconds = 0.0
+        self.op_counts: Dict[str, int] = {}
+
+    # -- lifecycle ---------------------------------------------------
+    def start(self) -> "SocketWorkerServer":
+        """Serve on a daemon thread (in-process embedding)."""
+        self._accept_thread = threading.Thread(
+            target=self.serve_forever, daemon=True
+        )
+        self._accept_thread.start()
+        return self
+
+    def serve_forever(self) -> None:
+        """Accept connections until a ``shutdown`` op (or :meth:`stop`);
+        one handler thread per connection."""
+        try:
+            while not self._stop.is_set():
+                try:
+                    conn, _addr = self._listener.accept()
+                except socket.timeout:
+                    continue
+                except OSError:  # pragma: no cover - listener closed
+                    break
+                threading.Thread(
+                    target=self._serve_connection, args=(conn,), daemon=True
+                ).start()
+        finally:
+            try:
+                self._listener.close()
+            except OSError:  # pragma: no cover - already closed
+                pass
+
+    def stop(self) -> None:
+        """Stop accepting and wind the server down (idempotent)."""
+        self._stop.set()
+        try:
+            self._listener.close()
+        except OSError:  # pragma: no cover - already closed
+            pass
+        if (
+            self._accept_thread is not None
+            and self._accept_thread is not threading.current_thread()
+        ):
+            self._accept_thread.join(timeout=2.0)
+
+    # -- connection handling -----------------------------------------
+    def _serve_connection(self, conn: socket.socket) -> None:
+        try:
+            try:
+                op, payload = recv_msg(conn)
+            except (FrameError, OSError, pickle.UnpicklingError, EOFError):
+                return
+            if (
+                op != "hello"
+                or not isinstance(payload, Mapping)
+                or payload.get("version") != PROTOCOL_VERSION
+            ):
+                got = (
+                    payload.get("version")
+                    if isinstance(payload, Mapping)
+                    else None
+                )
+                try:
+                    send_msg(
+                        conn,
+                        "error",
+                        f"protocol version mismatch: worker speaks "
+                        f"{PROTOCOL_VERSION}, client sent {got!r}",
+                    )
+                except OSError:
+                    pass
+                return
+            send_msg(
+                conn,
+                "hello",
+                {
+                    "version": PROTOCOL_VERSION,
+                    "pid": os.getpid(),
+                    "configured": self._engine is not None,
+                },
+            )
+            while not self._stop.is_set():
+                try:
+                    op, payload = recv_msg(conn)
+                except (FrameError, OSError, pickle.UnpicklingError, EOFError):
+                    break
+                self.op_counts[op] = self.op_counts.get(op, 0) + 1
+                if op == "stop":
+                    break
+                if op == "shutdown":
+                    try:
+                        send_msg(conn, "ok", "shutting down")
+                    except OSError:
+                        pass
+                    self._stop.set()
+                    break
+                # The pipe loop's fault hook points, verbatim: a dropped
+                # op / reply is silence the router's op_timeout notices.
+                if _apply_worker_fault(
+                    faults.fire("worker.op", worker=self._index, op=op)
+                ):
+                    continue
+                try:
+                    reply = self._dispatch(op, payload)
+                    status = "ok"
+                except Exception as exc:
+                    status, reply = "error", f"{type(exc).__name__}: {exc}"
+                if _apply_worker_fault(
+                    faults.fire("worker.reply", worker=self._index, op=op)
+                ):
+                    continue
+                try:
+                    send_msg(conn, status, reply)
+                except OSError:
+                    break
+        finally:
+            try:
+                conn.close()
+            except OSError:  # pragma: no cover - already closed
+                pass
+
+    def _dispatch(self, op: str, payload) -> object:
+        with self._engine_lock:
+            if op == "configure":
+                spec = dict(payload)
+                self._index = spec.get("worker_index")
+                if spec.get("faults"):
+                    # Router-forwarded faults, like the pipe spawn spec.
+                    # An empty list leaves any env-armed faults alone.
+                    faults.install(spec["faults"])
+                self._engine = _build_shard_engine(spec)
+                self._shard_keys = list(spec["shard"])
+                self.rows_applied = 0
+                self.deletes_applied = 0
+                self.busy_seconds = 0.0
+                return {"shard": self._index, "keys": len(self._shard_keys)}
+            if op == "ping":
+                return {
+                    "configured": self._engine is not None,
+                    "rows": self.rows_applied,
+                    "busy_seconds": self.busy_seconds,
+                }
+            if op == "stats":
+                return {
+                    "version": PROTOCOL_VERSION,
+                    "pid": os.getpid(),
+                    "configured": self._engine is not None,
+                    "shard": self._index,
+                    "keys": len(self._shard_keys),
+                    "rows": self.rows_applied,
+                    "deletes": self.deletes_applied,
+                    "busy_seconds": round(self.busy_seconds, 6),
+                    "op_counts": dict(self.op_counts),
+                }
+            engine = self._engine
+            if engine is None:
+                raise RuntimeError(
+                    f"worker not configured (op {op!r} before 'configure')"
+                )
+            if op == "rows":
+                reply = engine.ingest(payload)
+                self.rows_applied += len(payload)
+                self.busy_seconds += reply[4]
+                return reply
+            if op == "delete":
+                engine.delete(payload)
+                self.deletes_applied += 1
+                return ("ok", payload)
+            if op == "counters":
+                return engine.counters()
+            if op == "skyline":
+                return engine.skyline_tids(*payload)
+            if op == "skyband":
+                return engine.skyband_tids(*payload)
+            if op == "top_k":
+                return engine.top_k_stats(*payload)
+            if op == "replay":
+                # Deterministic re-observe on replica join/reconfigure:
+                # a slice of the router's committed op prefix.
+                for kind, data in payload:
+                    if kind == "rows":
+                        engine.ingest(data)
+                        self.rows_applied += len(data)
+                    else:
+                        engine.delete(data)
+                        self.deletes_applied += 1
+                return ("replayed", len(payload))
+            raise ValueError(f"unknown op {op!r}")
+
+
+def run_worker(
+    host: str = "127.0.0.1",
+    port: int = 0,
+    ready=None,
+    banner: bool = True,
+) -> int:
+    """Run one shard worker in the foreground (the ``repro-facts
+    shard-worker`` entry point; also spawnable as a
+    ``multiprocessing.Process`` target — ``ready.put(port)`` publishes
+    the bound ephemeral port to the parent)."""
+    faults.install_from_env()
+    server = SocketWorkerServer(host, port)
+    if ready is not None:
+        ready.put(server.port)
+    if banner:
+        print(
+            f"listening on {server.host}:{server.port}",
+            file=sys.stderr,
+            flush=True,
+        )
+    server.serve_forever()
+    return 0
+
+
+# ----------------------------------------------------------------------
+# Router side
+# ----------------------------------------------------------------------
+class RemoteWorker:
+    """Router-side handle of one remote replica: the pipe-worker
+    surface over a framed socket, with every round-trip bounded by
+    ``op_timeout`` (a silent worker raises
+    :class:`~repro.service.supervisor.WorkerCrashed` rather than
+    blocking the router forever — the replica layer's failover signal).
+    """
+
+    def __init__(
+        self,
+        index: int,
+        address: str,
+        spec: Optional[Mapping[str, object]] = None,
+        op_timeout: float = 60.0,
+        connect_timeout: float = 5.0,
+    ) -> None:
+        self.index = index
+        self.address = str(address)
+        self.op_timeout = op_timeout
+        self.busy_seconds = 0.0
+        host, port = parse_address(address)
+        try:
+            self._sock = socket.create_connection(
+                (host, port), timeout=connect_timeout
+            )
+        except OSError as exc:
+            raise WorkerCrashed(
+                index, f"cannot connect to {address}: {exc}"
+            ) from None
+        self._sock.settimeout(op_timeout)
+        try:
+            self._send("hello", {"version": PROTOCOL_VERSION, "role": "router"})
+            op, payload = self._recv()
+            if op == "error":
+                raise HandshakeError(f"{address}: {payload}")
+            if op != "hello" or (
+                not isinstance(payload, Mapping)
+                or payload.get("version") != PROTOCOL_VERSION
+            ):
+                raise HandshakeError(
+                    f"{address}: bad handshake reply {op!r} "
+                    f"(router speaks version {PROTOCOL_VERSION})"
+                )
+            if spec is not None:
+                self.request("configure", dict(spec))
+        except (WorkerCrashed, HandshakeError):
+            self._sock.close()
+            raise
+
+    # -- framed round-trips with crash detection ---------------------
+    def _send(self, op: str, payload: object) -> None:
+        try:
+            send_msg(self._sock, op, payload)
+        except (OSError, FrameError) as exc:
+            raise WorkerCrashed(
+                self.index, f"{self.address}: send failed ({exc})"
+            ) from None
+
+    def _recv(self) -> Tuple[str, object]:
+        try:
+            return recv_msg(self._sock)
+        except socket.timeout:
+            raise WorkerCrashed(
+                self.index,
+                f"{self.address}: no reply within "
+                f"op_timeout={self.op_timeout}s",
+            ) from None
+        except (OSError, FrameError, EOFError, pickle.UnpicklingError) as exc:
+            raise WorkerCrashed(
+                self.index,
+                f"{self.address}: {type(exc).__name__}: {exc}",
+            ) from None
+
+    def _reply(self):
+        status, payload = self._recv()
+        if status == "error":
+            raise WorkerCrashed(
+                self.index, f"{self.address}: remote error: {payload}"
+            )
+        return payload
+
+    def request(self, op: str, payload: object = None):
+        """One synchronous ``(op → reply)`` round-trip."""
+        self._send(op, payload)
+        return self._reply()
+
+    # -- worker surface (mirrors _ProcessWorker) ---------------------
+    def submit_rows(self, rows) -> None:
+        self._send("rows", rows)
+
+    def result(self) -> IngestReply:
+        reply = self._reply()
+        self.busy_seconds += reply[4]
+        return reply
+
+    def delete(self, tid: int) -> None:
+        self.request("delete", int(tid))
+
+    def counters(self) -> Dict[str, int]:
+        return self.request("counters")
+
+    def skyline(self, values, subspace: int) -> List[int]:
+        return self.request("skyline", (values, subspace))
+
+    def skyband(self, values, subspace: int, k: int, limit=None) -> List[int]:
+        return self.request("skyband", (values, subspace, k, limit))
+
+    def top_k(self, values, subspace: int, limit) -> Tuple[int, int, List[int]]:
+        return self.request("top_k", (values, subspace, limit))
+
+    def replay(self, ops) -> None:
+        self.request("replay", list(ops))
+
+    def ping(self) -> Tuple[float, Mapping[str, object]]:
+        """Heartbeat: round-trip time plus the worker's liveness
+        payload.  Issue only while no ingest replies are outstanding —
+        the per-connection protocol is strictly FIFO."""
+        start = perf_counter()
+        payload = self.request("ping")
+        return perf_counter() - start, payload
+
+    def stats_probe(self) -> Mapping[str, object]:
+        return self.request("stats")
+
+    def abandon(self) -> None:
+        """Drop the connection without the polite stop (the peer is
+        presumed dead or desynced)."""
+        try:
+            self._sock.close()
+        except OSError:  # pragma: no cover - already closed
+            pass
+
+    def close(self) -> None:
+        try:
+            send_msg(self._sock, "stop", None)
+        except (OSError, FrameError):
+            pass
+        self.abandon()
+
+
+def probe_worker(address: str, timeout: float = 2.0) -> Dict[str, object]:
+    """One-shot status probe of a pool member (``cluster-status``):
+    connect, handshake, ``stats``, disconnect.  Raises on an
+    unreachable or protocol-incompatible worker."""
+    host, port = parse_address(address)
+    sock = socket.create_connection((host, port), timeout=timeout)
+    sock.settimeout(timeout)
+    try:
+        send_msg(sock, "hello", {"version": PROTOCOL_VERSION, "role": "status"})
+        op, payload = recv_msg(sock)
+        if op == "error":
+            raise HandshakeError(f"{address}: {payload}")
+        start = perf_counter()
+        send_msg(sock, "stats", None)
+        status, stats = recv_msg(sock)
+        rtt = perf_counter() - start
+        if status != "ok":
+            raise ConnectionError(f"{address}: {stats}")
+        try:
+            send_msg(sock, "stop", None)
+        except OSError:  # pragma: no cover - peer already gone
+            pass
+        return dict(stats, rtt_seconds=rtt)
+    finally:
+        sock.close()

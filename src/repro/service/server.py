@@ -339,7 +339,16 @@ class StreamServer:
             tallies = fault_counters()
             self.stats.worker_restarts = tallies["worker_restarts"]
             self.stats.chunks_retried = tallies["chunks_retried"]
+            self.stats.replica_failovers = tallies.get(
+                "replica_failovers", 0
+            )
             self.stats.degraded = tallies["degraded"]
+        shard_stats = getattr(self.engine, "shard_stats", None)
+        if callable(shard_stats):
+            # Per-shard breakdown (not just the aggregate counters) so
+            # the TCP `stats` op shows operators the same load picture
+            # the placement model prices.
+            self.stats.note_shard_details(shard_stats())
         cache_counters = getattr(self.engine, "query_cache_counters", None)
         if callable(cache_counters):
             cache = cache_counters()

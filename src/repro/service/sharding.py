@@ -29,11 +29,16 @@ Division of labour per arrival:
   reporting policy over the merged ``S_t``.
 
 Execution modes: ``serial`` (in-process, deterministic — the testing
-reference), ``thread`` (one single-thread executor per worker), and
+reference), ``thread`` (one single-thread executor per worker),
 ``process`` (one OS process per worker over a pipe, the throughput
-mode — NumPy sweeps and lattice walks run truly in parallel).  Batched
-ingestion is pipelined chunk-wise: while the workers chew on chunk
-``k+1``, the router merges, scores and ranks chunk ``k``.
+mode — NumPy sweeps and lattice walks run truly in parallel), and
+``remote`` (each shard served by a replica set of socket workers at
+the addresses of a ``remote`` placement map — the multi-machine tier;
+see :mod:`repro.service.remote` for the wire protocol and
+:mod:`repro.service.cluster` for replicas, failover and the cost-fed
+:class:`~repro.service.cluster.PlacementModel`).  Batched ingestion is
+pipelined chunk-wise: while the workers chew on chunk ``k+1``, the
+router merges, scores and ranks chunk ``k``.
 """
 
 from __future__ import annotations
@@ -66,7 +71,7 @@ Row = Union[Mapping[str, object], Record]
 #: per chunk per worker.
 _PIPELINE_CHUNK = 96
 
-_MODES = ("serial", "thread", "process")
+_MODES = ("serial", "thread", "process", "remote")
 
 
 def canonical_subspace_keys(
@@ -96,7 +101,10 @@ _ROOT_WEIGHT = 2.0
 
 
 def partition_subspaces(
-    keys: Sequence[int], n_workers: int, root_weight: float = _ROOT_WEIGHT
+    keys: Sequence[int],
+    n_workers: int,
+    root_weight: float = _ROOT_WEIGHT,
+    weights: Optional[Mapping[int, float]] = None,
 ) -> List[List[int]]:
     """Partition the canonical keys into ``min(n_workers, len(keys))``
     non-empty shards, balancing load greedily.
@@ -107,12 +115,19 @@ def partition_subspaces(
     the root shard carries correspondingly fewer node keys and the
     slowest worker — the parallel wall-clock — stays minimal.
 
+    ``weights`` overrides the static root/node prior with measured
+    per-key costs (unlisted keys weigh 1.0) — the hook a
+    :class:`~repro.service.cluster.PlacementModel` uses to seed a
+    cluster placement from observed load instead of the prior.
+
     >>> partition_subspaces([7, 1, 2, 4, 3], 2)
     [[7, 4], [1, 2, 3]]
     >>> partition_subspaces([7, 1], 4)
     [[7], [1]]
     >>> partition_subspaces([7, 1, 2], 1)
     [[7, 1, 2]]
+    >>> partition_subspaces([7, 1, 2, 4], 2, weights={7: 1.0})
+    [[7, 2], [1, 4]]
     """
     if n_workers < 1:
         raise ValueError("n_workers must be >= 1")
@@ -122,14 +137,18 @@ def partition_subspaces(
     shards: List[List[int]] = [[] for _ in range(n)]
     loads = [0.0] * n
     shards[0].append(keys[0])
-    loads[0] = root_weight
+    loads[0] = (
+        root_weight if weights is None else float(weights.get(keys[0], 1.0))
+    )
     for index, key in enumerate(keys[1:]):
         # Seed every shard before balancing so none ends up empty.
         target = index + 1 if index + 1 < n else min(
             range(n), key=loads.__getitem__
         )
         shards[target].append(key)
-        loads[target] += 1.0
+        loads[target] += (
+            1.0 if weights is None else float(weights.get(key, 1.0))
+        )
     return shards
 
 
@@ -626,7 +645,14 @@ class ShardedDiscoverer(EngineBase):
         Requested shard count; clamped to the number of maintained
         subspace keys (every shard must own at least one).
     mode:
-        ``"serial"`` (in-process), ``"thread"`` or ``"process"``.
+        ``"serial"`` (in-process), ``"thread"``, ``"process"`` or
+        ``"remote"`` (socket replica sets; requires ``remote``).
+    remote:
+        Placement map ``{shard_name: [host:port, ...]}`` assigning each
+        shard a replica set of socket workers (see
+        :mod:`repro.service.cluster`).  Shard names sort numerically
+        when numeric; the number of shards fixes the worker count.
+        Supplying it implies/requires ``mode="remote"``.
     chunk_size:
         Pipelining granularity of the batched API (rows per worker
         round-trip).
@@ -661,9 +687,35 @@ class ShardedDiscoverer(EngineBase):
         op_timeout: float = 60.0,
         max_restarts: int = 3,
         sweep_index: str = "auto",
+        remote: Optional[Mapping[str, Sequence[str]]] = None,
     ) -> None:
         if mode not in _MODES:
             raise ValueError(f"mode must be one of {_MODES}, got {mode!r}")
+        if remote:
+            remote = {
+                str(name): [str(a) for a in addresses]
+                for name, addresses in dict(remote).items()
+            }
+            if not all(remote.values()):
+                raise ValueError(
+                    "every remote shard needs at least one host:port replica"
+                )
+            if mode == "process":
+                # The constructor default; a placement map implies the
+                # remote mode without callers having to say it twice.
+                mode = "remote"
+            if mode != "remote":
+                raise ValueError(
+                    f"a remote placement map requires mode='remote', "
+                    f"got {mode!r}"
+                )
+            n_workers = len(remote)
+        elif mode == "remote":
+            raise ValueError(
+                "mode='remote' needs a remote placement map "
+                "({shard: [host:port, ...]})"
+            )
+        self.remote = remote or None
         if sweep_index not in ("auto", "on", "off"):
             raise ValueError(
                 "sweep_index must be 'auto', 'on' or 'off', "
@@ -697,10 +749,15 @@ class ShardedDiscoverer(EngineBase):
         #: rebuild source for restarted/degraded workers.  Maintained
         #: only under supervision (it is the memory cost of it).
         self._oplog: List[Tuple[str, object]] = []
-        self._track_oplog = mode == "process" and supervise
+        # Remote mode always keeps the op log: it is the rebuild source
+        # for degrades, replica joins AND rebalance snapshot-handoffs.
+        self._track_oplog = (mode == "process" and supervise) or (
+            mode == "remote"
+        )
         #: Fault counters of workers discarded by a degrade.
         self._restart_base = 0
         self._retry_base = 0
+        self._failover_base = 0
         self.table = Table(schema)
         self.context_counter = ColumnarContextCounter(
             schema.n_dimensions, config.max_bound_dims
@@ -708,6 +765,22 @@ class ShardedDiscoverer(EngineBase):
         keys = canonical_subspace_keys(schema, config)
         self.shards = partition_subspaces(keys, n_workers)
         self.n_workers = len(self.shards)
+        self._root_key = keys[0]
+        from .cluster import PlacementModel, shard_sort_key
+
+        #: Live per-shard cost model fed by every chunk's worker
+        #: replies; prices placements and plans rebalances (applied as
+        #: snapshot-handoffs in remote mode, advisory elsewhere).
+        self.placement = PlacementModel(root_weight=_ROOT_WEIGHT)
+        if self.remote is not None:
+            # Deterministic shard-name → worker-index mapping; a map
+            # with more pools than maintained keys leaves the extra
+            # pools unused (shards are clamped to the key count).
+            self._remote_order = sorted(self.remote, key=shard_sort_key)[
+                : self.n_workers
+            ]
+        else:
+            self._remote_order = None
         #: Merge rank: canonical position of each subspace key.
         self._rank = {key: i for i, key in enumerate(keys)}
         #: Owning worker index per maintained subspace key (query routing).
@@ -719,6 +792,22 @@ class ShardedDiscoverer(EngineBase):
         self._closed = False
 
     def _spawn_workers(self):
+        if self.mode == "remote":
+            from .cluster import ReplicaSet
+
+            return [
+                ReplicaSet(
+                    w,
+                    self.remote[self._remote_order[w]],
+                    dict(
+                        self._worker_spec(shard, w),
+                        faults=faults.active_dicts(),
+                    ),
+                    op_timeout=self.op_timeout,
+                    oplog=self._oplog,
+                )
+                for w, shard in enumerate(self.shards)
+            ]
         if self.mode == "process":
             import multiprocessing as mp
 
@@ -910,6 +999,19 @@ class ShardedDiscoverer(EngineBase):
                 # the rest still hold it pending and answer it live.
                 self._degrade(crash, merging=payload, delivered=w)
                 replies.append(self._workers[w].result())
+        placement = self.placement
+        for w, reply in enumerate(replies):
+            # Scored-marginal EWMA + queue depth per shard: the inputs
+            # the PlacementModel prices rebalance candidates with.
+            placement.observe(
+                w,
+                len(records),
+                reply[4],
+                weight=self._shard_weight(w),
+                queue_depth=len(
+                    getattr(self._workers[w], "pending_ops", list)()
+                ),
+            )
         rank = self._rank
         score = self.score
         counter = self.context_counter
@@ -983,6 +1085,7 @@ WorkerGaveUp`): every shard is rebuilt deterministically from the
         old = self._workers
         self._restart_base += sum(getattr(w, "restarts", 0) for w in old)
         self._retry_base += sum(getattr(w, "chunks_retried", 0) for w in old)
+        self._failover_base += sum(getattr(w, "failovers", 0) for w in old)
         pendings = [
             getattr(w, "pending_ops", lambda: [])() for w in old
         ]
@@ -1021,8 +1124,90 @@ WorkerGaveUp`): every shard is rebuilt deterministically from the
             + sum(getattr(w, "restarts", 0) for w in self._workers),
             "chunks_retried": self._retry_base
             + sum(getattr(w, "chunks_retried", 0) for w in self._workers),
+            "replica_failovers": self._failover_base
+            + sum(getattr(w, "failovers", 0) for w in self._workers),
             "degraded": int(self.degraded),
         }
+
+    # ------------------------------------------------------------------
+    # Placement: per-shard load breakdown + cost-fed rebalancing
+    # ------------------------------------------------------------------
+    def _shard_weight(self, w: int) -> float:
+        """Static weighted key load of shard ``w`` (the prior the
+        placement model normalises its observed rates by)."""
+        return sum(
+            _ROOT_WEIGHT if key == self._root_key else 1.0
+            for key in self.shards[w]
+        )
+
+    def shard_stats(self) -> List[Dict[str, object]]:
+        """Per-shard operational breakdown — key counts, busy seconds,
+        queue depth, the placement model's EWMA, and (remote mode) live
+        replica membership — surfaced through
+        :class:`~repro.metrics.service.ServiceStats` so operators and
+        the placement model see the same numbers."""
+        out: List[Dict[str, object]] = []
+        for w, worker in enumerate(self._workers):
+            entry: Dict[str, object] = {
+                "shard": w,
+                "keys": len(self.shards[w]),
+                "root": self._root_key in self.shards[w],
+                "weight": self._shard_weight(w),
+                "busy_seconds": round(worker.busy_seconds, 6),
+                "queue_depth": len(
+                    getattr(worker, "pending_ops", list)()
+                ),
+                "restarts": getattr(worker, "restarts", 0),
+                "chunks_retried": getattr(worker, "chunks_retried", 0),
+                "ewma_seconds_per_row": self.placement.rate(w),
+            }
+            if self.mode == "remote" and not self.degraded:
+                entry["replicas"] = list(getattr(worker, "replicas", []))
+                entry["failovers"] = getattr(worker, "failovers", 0)
+            out.append(entry)
+        return out
+
+    def rebalance(self, apply: bool = True) -> List["Move"]:
+        """Plan (and in remote mode execute) placement moves.
+
+        The :class:`~repro.service.cluster.PlacementModel` prices the
+        current assignment from its observed per-shard EWMAs and emits
+        greedy :class:`~repro.service.cluster.Move`s while the predicted
+        wall-clock improves.  With ``apply=True`` on a healthy remote
+        pool the moves run as snapshot-handoff reconfigures: each
+        affected replica set installs its new key list and rebuilds
+        deterministically from the committed op log (call between
+        batches — never with chunks in flight).  Other modes (and
+        ``apply=False``) return the plan without touching workers.
+        The merge rank is global and unchanged, so a rebalanced pool
+        stays output-identical to the unsharded engine."""
+        self._check_open()
+        moves = self.placement.rebalance_plan(self.shards, self._root_key)
+        if not moves or not apply or self.mode != "remote" or self.degraded:
+            return moves
+        shards = [list(shard) for shard in self.shards]
+        touched = set()
+        for move in moves:
+            shards[move.src].remove(move.key)
+            shards[move.dst].append(move.key)
+            touched.add(move.src)
+            touched.add(move.dst)
+        for w in touched:
+            # Keep each shard's key list in canonical order so worker
+            # emission order stays a subsequence of the global rank.
+            shards[w].sort(key=self._rank.__getitem__)
+        self.shards = shards
+        self._shard_of = {
+            key: w for w, shard in enumerate(shards) for key in shard
+        }
+        try:
+            for w in sorted(touched):
+                self._workers[w].reconfigure(shards[w])
+        except WorkerGaveUp as crash:
+            # A replica set died mid-handoff: the degrade path rebuilds
+            # every shard from the op log against the new assignment.
+            self._degrade(crash)
+        return moves
 
     # ------------------------------------------------------------------
     # Introspection / lifecycle
@@ -1055,6 +1240,13 @@ WorkerGaveUp`): every shard is rebuilt deterministically from the
         rebuilds this composition via :func:`repro.api.open_engine`."""
         from ..api.spec import EngineSpec, ShardingSpec
 
+        # Only the pools actually serving a shard (a placement map with
+        # more pools than maintained keys is clamped at construction).
+        remote = (
+            {name: list(self.remote[name]) for name in self._remote_order}
+            if self.remote is not None
+            else None
+        )
         return EngineSpec(
             schema=self.schema,
             algorithm="svec",
@@ -1068,6 +1260,7 @@ WorkerGaveUp`): every shard is rebuilt deterministically from the
                 supervise=self.supervise,
                 op_timeout=self.op_timeout,
                 max_restarts=self.max_restarts,
+                remote=remote,
             ),
         )
 
@@ -1083,6 +1276,8 @@ WorkerGaveUp`): every shard is rebuilt deterministically from the
         out["workers"] = self.n_workers
         out["mode"] = self.mode
         out["utilization"] = self.utilization()
+        out["shards"] = self.shard_stats()
+        out["placement"] = self.placement.snapshot()
         out.update(self.fault_counters())
         return out
 

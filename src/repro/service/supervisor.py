@@ -28,6 +28,14 @@ The wrapper exposes the same surface as the plain worker classes in
 ``close`` / ``busy_seconds``), so the router's pipelining logic stays
 mode-blind — the PR-8 query push-down ops ride the same
 crash-detect / restart / replay / retry machinery as ingest.
+
+The remote tier reuses the vocabulary of this module rather than the
+wrapper itself: a :class:`~repro.service.cluster.ReplicaSet` raises the
+same :class:`WorkerCrashed` / :class:`WorkerGaveUp` signals (failover
+replaces restart — a surviving replica already holds the state — and
+only a fully lost set gives up into the router's degrade path), and
+replays joining replicas from the same committed op log in
+:data:`_REPLAY_SLICE` batches.
 """
 
 from __future__ import annotations

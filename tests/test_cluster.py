@@ -1,0 +1,718 @@
+"""Remote shard cluster: wire protocol, replica sets, placement.
+
+The contract under test mirrors ``tests/test_sharding.py``: a
+``mode="remote"`` :class:`ShardedDiscoverer` driving socket workers
+must be *property-identical* to the unsharded ``svec`` engine — same
+facts, same scores, same emission order, same op-counter totals —
+including deletion-interleaved and None-dimension streams, across
+replica failover, replica join, and placement rebalances.  Workers run
+in-process on ephemeral loopback ports (real sockets, real frames; the
+subprocess/SIGKILL variants live in ``tests/test_fault_tolerance.py``).
+"""
+
+from __future__ import annotations
+
+import pickle
+import random
+import socket
+import struct
+import zlib
+from contextlib import contextmanager
+
+import pytest
+
+from repro import FactDiscoverer, TableSchema
+from repro.api import EngineSpec, ShardingSpec, open_engine
+from repro.core.config import DiscoveryConfig
+from repro.core.constraint import Constraint
+from repro.metrics.service import ServiceStats
+from repro.service.cluster import (
+    Move,
+    PlacementModel,
+    ReplicaSet,
+    cluster_status,
+    shard_sort_key,
+)
+from repro.service.remote import (
+    PROTOCOL_VERSION,
+    FrameError,
+    RemoteWorker,
+    SocketWorkerServer,
+    _FRAME,
+    parse_address,
+    probe_worker,
+    recv_msg,
+    send_msg,
+)
+from repro.service.sharding import ShardedDiscoverer, partition_subspaces
+from repro.service.supervisor import WorkerCrashed, WorkerGaveUp
+
+SCHEMA = TableSchema(("d0", "d1"), ("m0", "m1"))
+
+
+def make_rows(n, seed=0, none_frac=0.0):
+    rng = random.Random(seed)
+    rows = []
+    for i in range(n):
+        row = {
+            "d0": f"a{rng.randrange(3)}",
+            "d1": f"b{rng.randrange(2)}",
+            "m0": rng.randrange(6),
+            "m1": rng.randrange(6),
+        }
+        if none_frac and rng.random() < none_frac:
+            row[f"d{rng.randrange(2)}"] = None
+        rows.append(row)
+    return rows
+
+
+def fact_key(fact):
+    return (fact.constraint.values, fact.subspace, fact.prominence)
+
+
+def emitted(fact_sets):
+    return [[fact_key(f) for f in fs] for fs in fact_sets]
+
+
+@contextmanager
+def local_cluster(replicas_per_shard):
+    """Spin up in-process socket workers; yields (placement_map, servers
+    keyed like the map)."""
+    servers = {}
+    try:
+        remote = {}
+        for shard, n_replicas in enumerate(replicas_per_shard):
+            pool = [SocketWorkerServer().start() for _ in range(n_replicas)]
+            servers[str(shard)] = pool
+            remote[str(shard)] = [s.address for s in pool]
+        yield remote, servers
+    finally:
+        for pool in servers.values():
+            for server in pool:
+                server.stop()
+
+
+# ----------------------------------------------------------------------
+# Wire protocol
+# ----------------------------------------------------------------------
+class TestFrames:
+    def test_roundtrip(self):
+        a, b = socket.socketpair()
+        try:
+            payload = [{"d0": "x", "m0": 1, "d1": None}, ("t", 2.5)]
+            send_msg(a, "rows", payload)
+            assert recv_msg(b) == ("rows", payload)
+        finally:
+            a.close()
+            b.close()
+
+    def test_crc_mismatch_rejected(self):
+        a, b = socket.socketpair()
+        try:
+            body = pickle.dumps(("op", 1))
+            a.sendall(_FRAME.pack(len(body), zlib.crc32(body) ^ 0xFF) + body)
+            with pytest.raises(FrameError, match="CRC"):
+                recv_msg(b)
+        finally:
+            a.close()
+            b.close()
+
+    def test_truncated_frame_rejected(self):
+        a, b = socket.socketpair()
+        try:
+            body = pickle.dumps(("op", 1))
+            a.sendall(
+                _FRAME.pack(len(body) + 7, zlib.crc32(body) & 0xFFFFFFFF)
+                + body
+            )
+            a.close()
+            with pytest.raises(FrameError, match="mid-frame"):
+                recv_msg(b)
+        finally:
+            b.close()
+
+    def test_implausible_length_rejected_before_allocating(self):
+        a, b = socket.socketpair()
+        try:
+            a.sendall(_FRAME.pack(2**31, 0))
+            with pytest.raises(FrameError, match="exceeds"):
+                recv_msg(b)
+        finally:
+            a.close()
+            b.close()
+
+    def test_parse_address(self):
+        assert parse_address("10.0.0.5:7711") == ("10.0.0.5", 7711)
+        with pytest.raises(ValueError):
+            parse_address("no-port")
+        with pytest.raises(ValueError):
+            parse_address(":123")
+
+
+class TestHandshake:
+    def test_version_mismatch_is_refused(self):
+        server = SocketWorkerServer().start()
+        try:
+            sock = socket.create_connection(
+                parse_address(server.address), timeout=5
+            )
+            try:
+                send_msg(sock, "hello", {"version": PROTOCOL_VERSION + 1})
+                op, payload = recv_msg(sock)
+                assert op == "error"
+                assert "version" in payload
+            finally:
+                sock.close()
+        finally:
+            server.stop()
+
+    def test_handshake_reports_version_and_pid(self):
+        server = SocketWorkerServer().start()
+        try:
+            sock = socket.create_connection(
+                parse_address(server.address), timeout=5
+            )
+            try:
+                send_msg(sock, "hello", {"version": PROTOCOL_VERSION})
+                op, payload = recv_msg(sock)
+                assert op == "hello"
+                assert payload["version"] == PROTOCOL_VERSION
+                assert payload["configured"] is False
+            finally:
+                sock.close()
+        finally:
+            server.stop()
+
+    def test_op_before_configure_is_an_error_reply(self):
+        server = SocketWorkerServer().start()
+        try:
+            worker = RemoteWorker(0, server.address, op_timeout=5)
+            with pytest.raises(WorkerCrashed, match="not configured"):
+                worker.counters()
+            worker.close()
+        finally:
+            server.stop()
+
+    def test_unreachable_address_raises_worker_crashed(self):
+        # Grab a port that is then closed again.
+        probe = socket.create_server(("127.0.0.1", 0))
+        address = "127.0.0.1:%d" % probe.getsockname()[1]
+        probe.close()
+        with pytest.raises(WorkerCrashed, match="cannot connect"):
+            RemoteWorker(0, address, op_timeout=1, connect_timeout=1)
+
+    def test_probe_worker_stats(self):
+        server = SocketWorkerServer().start()
+        try:
+            stats = probe_worker(server.address, timeout=5)
+            assert stats["version"] == PROTOCOL_VERSION
+            assert stats["configured"] is False
+            assert stats["rows"] == 0
+            assert stats["rtt_seconds"] >= 0
+        finally:
+            server.stop()
+
+
+# ----------------------------------------------------------------------
+# Spec plumbing
+# ----------------------------------------------------------------------
+class TestRemoteSpec:
+    def test_remote_requires_remote_mode(self):
+        with pytest.raises(ValueError, match="mode='remote'"):
+            ShardingSpec(workers=1, mode="process", remote={"0": ["h:1"]})
+
+    def test_remote_mode_requires_map(self):
+        with pytest.raises(ValueError, match="placement map"):
+            ShardingSpec(workers=2, mode="remote")
+
+    def test_worker_count_must_match_shards(self):
+        with pytest.raises(ValueError, match="must equal"):
+            ShardingSpec(workers=3, mode="remote", remote={"0": ["h:1"]})
+
+    def test_addresses_validated(self):
+        with pytest.raises(ValueError, match="not 'host:port'"):
+            ShardingSpec(workers=1, mode="remote", remote={"0": ["nope"]})
+        with pytest.raises(ValueError, match="at least one"):
+            ShardingSpec(workers=1, mode="remote", remote={"0": []})
+
+    def test_spec_json_roundtrip(self):
+        spec = EngineSpec(
+            SCHEMA,
+            algorithm="svec",
+            sharding=ShardingSpec(
+                workers=2,
+                mode="remote",
+                remote={"0": ["127.0.0.1:7711"], "1": ["127.0.0.1:7712"]},
+            ),
+        )
+        doc = spec.to_dict()
+        assert doc["sharding"]["remote"] == {
+            "0": ["127.0.0.1:7711"],
+            "1": ["127.0.0.1:7712"],
+        }
+        assert EngineSpec.from_dict(doc).to_dict() == doc
+
+    def test_engine_requires_map_in_remote_mode(self):
+        with pytest.raises(ValueError, match="placement map"):
+            ShardedDiscoverer(SCHEMA, mode="remote")
+
+    def test_shard_sort_key_orders_numerically(self):
+        assert sorted(["10", "2", "b", "a"], key=shard_sort_key) == [
+            "2",
+            "10",
+            "a",
+            "b",
+        ]
+
+
+# ----------------------------------------------------------------------
+# Conformance: property-identical to unsharded svec
+# ----------------------------------------------------------------------
+class TestRemoteParity:
+    def _assert_parity(self, rows, config=None, delete_seed=None):
+        reference = FactDiscoverer(SCHEMA, algorithm="svec", config=config)
+        with local_cluster([1, 1]) as (remote, _servers):
+            engine = ShardedDiscoverer(
+                SCHEMA, config, remote=remote, chunk_size=16
+            )
+            try:
+                if delete_seed is None:
+                    expected = emitted(reference.observe_many(rows))
+                    got = emitted(engine.observe_many(rows))
+                else:
+                    rng = random.Random(delete_seed)
+                    expected, got, live = [], [], []
+                    for i, row in enumerate(rows):
+                        expected.append([fact_key(f) for f in reference.observe(row)])
+                        got.append([fact_key(f) for f in engine.observe(row)])
+                        live.append(i)
+                        if len(live) > 1 and rng.random() < 0.35:
+                            victim = live.pop(rng.randrange(len(live)))
+                            reference.delete(victim)
+                            engine.delete(victim)
+                assert got == expected
+                assert (
+                    engine.counters.snapshot()
+                    == reference.counters.snapshot()
+                )
+                assert engine.fault_counters()["degraded"] == 0
+            finally:
+                engine.close()
+                reference.close()
+
+    def test_shared_stream_parity(self):
+        self._assert_parity(make_rows(90, seed=1))
+
+    def test_none_dimension_parity(self):
+        self._assert_parity(make_rows(70, seed=2, none_frac=0.3))
+
+    def test_deletion_interleaved_parity(self):
+        self._assert_parity(make_rows(40, seed=3), delete_seed=7)
+
+    @pytest.mark.parametrize(
+        "config",
+        [
+            DiscoveryConfig(max_bound_dims=1),
+            DiscoveryConfig(tau=2.0),
+            DiscoveryConfig(top_k=2),
+        ],
+        ids=["dhat", "tau", "topk"],
+    )
+    def test_config_knob_parity(self, config):
+        self._assert_parity(make_rows(50, seed=4), config=config)
+
+    def test_open_engine_builds_remote_composition(self):
+        rows = make_rows(40, seed=5)
+        reference = FactDiscoverer(SCHEMA, algorithm="svec")
+        expected = emitted(reference.observe_many(rows))
+        with local_cluster([1, 1]) as (remote, _servers):
+            spec = EngineSpec(
+                SCHEMA,
+                algorithm="svec",
+                sharding=ShardingSpec(
+                    workers=2, mode="remote", remote=remote
+                ),
+            )
+            with open_engine(spec) as engine:
+                assert engine.mode == "remote"
+                assert emitted(engine.observe_many(rows)) == expected
+                derived = engine.spec
+                assert derived.sharding.mode == "remote"
+                assert derived.sharding.remote == remote
+        reference.close()
+
+    def test_query_pushdown_parity(self):
+        rows = make_rows(60, seed=6)
+        reference = FactDiscoverer(SCHEMA, algorithm="svec")
+        reference.facts_for_many(rows)
+        with local_cluster([1, 2]) as (remote, _servers):
+            engine = ShardedDiscoverer(SCHEMA, remote=remote, chunk_size=16)
+            try:
+                engine.facts_for_many(rows)
+                ref_q = reference.query()
+                eng_q = engine.query()
+                for constraint in (
+                    Constraint(("a0", None)),
+                    Constraint((None, "b1")),
+                    Constraint(("a1", "b0")),
+                ):
+                    for subspace in (1, 2, 3):
+                        assert sorted(
+                            r.tid for r in eng_q.skyline(constraint, subspace)
+                        ) == sorted(
+                            r.tid for r in ref_q.skyline(constraint, subspace)
+                        )
+                        assert sorted(
+                            r.tid
+                            for r in eng_q.skyband(constraint, subspace, 2)
+                        ) == sorted(
+                            r.tid
+                            for r in ref_q.skyband(constraint, subspace, 2)
+                        )
+                        assert eng_q.prominence(
+                            constraint, subspace
+                        ) == ref_q.prominence(constraint, subspace)
+                    assert eng_q.context_size(constraint) == ref_q.context_size(
+                        constraint
+                    )
+            finally:
+                engine.close()
+                reference.close()
+
+
+# ----------------------------------------------------------------------
+# Replica sets: fan-out, failover, join
+# ----------------------------------------------------------------------
+class TestReplicaSets:
+    def test_writes_reach_every_replica(self):
+        rows = make_rows(48, seed=8)
+        with local_cluster([2, 2]) as (remote, servers):
+            engine = ShardedDiscoverer(SCHEMA, remote=remote, chunk_size=12)
+            try:
+                engine.observe_many(rows)
+                for pool in servers.values():
+                    applied = {server.rows_applied for server in pool}
+                    assert applied == {len(rows)}
+            finally:
+                engine.close()
+
+    def test_reads_round_robin_across_replicas(self):
+        rows = make_rows(30, seed=9)
+        with local_cluster([2]) as (remote, servers):
+            engine = ShardedDiscoverer(SCHEMA, remote=remote)
+            try:
+                engine.facts_for_many(rows)
+                for _ in range(4):
+                    engine.counters  # noqa: B018 - round-robins reads
+                counts = [
+                    server.op_counts.get("counters", 0)
+                    for server in servers["0"]
+                ]
+                assert all(count >= 1 for count in counts)
+            finally:
+                engine.close()
+
+    def test_primary_loss_promotes_replica_mid_stream(self):
+        rows = make_rows(80, seed=10)
+        reference = FactDiscoverer(SCHEMA, algorithm="svec")
+        expected = emitted(reference.observe_many(rows))
+        with local_cluster([2, 1]) as (remote, _servers):
+            engine = ShardedDiscoverer(SCHEMA, remote=remote, chunk_size=16)
+            try:
+                got = emitted(engine.observe_many(rows[:40]))
+                # Sever the router's connection to shard 0's primary:
+                # the next chunk fails over to the surviving replica,
+                # which already holds identical state.
+                engine._workers[0]._replicas[0].abandon()
+                got += emitted(engine.observe_many(rows[40:]))
+                assert got == expected
+                assert (
+                    engine.counters.snapshot()
+                    == reference.counters.snapshot()
+                )
+                tallies = engine.fault_counters()
+                assert tallies["replica_failovers"] >= 1
+                assert tallies["degraded"] == 0
+                assert len(engine._workers[0].replicas) == 1
+            finally:
+                engine.close()
+                reference.close()
+
+    def test_whole_set_loss_degrades_without_losing_facts(self):
+        rows = make_rows(60, seed=11)
+        reference = FactDiscoverer(SCHEMA, algorithm="svec")
+        expected = emitted(reference.observe_many(rows))
+        reference.delete(5)
+        with local_cluster([1, 1]) as (remote, _servers):
+            engine = ShardedDiscoverer(SCHEMA, remote=remote, chunk_size=16)
+            try:
+                got = emitted(engine.observe_many(rows[:32]))
+                # Kill the only replica of shard 1: the set is lost and
+                # the router must degrade to in-router execution.
+                engine._workers[1]._replicas[0].abandon()
+                got += emitted(engine.observe_many(rows[32:]))
+                engine.delete(5)
+                assert got == expected
+                assert (
+                    engine.counters.snapshot()
+                    == reference.counters.snapshot()
+                )
+                assert engine.fault_counters()["degraded"] == 1
+            finally:
+                engine.close()
+                reference.close()
+
+    def test_replica_join_catches_up_by_reobserve(self):
+        rows = make_rows(60, seed=12)
+        reference = FactDiscoverer(SCHEMA, algorithm="svec")
+        expected = emitted(reference.observe_many(rows))
+        with local_cluster([1, 1]) as (remote, _servers):
+            engine = ShardedDiscoverer(SCHEMA, remote=remote, chunk_size=16)
+            recruit = SocketWorkerServer().start()
+            try:
+                got = emitted(engine.observe_many(rows[:36]))
+                replica_set = engine._workers[0]
+                replica_set.join(recruit.address)
+                assert len(replica_set.replicas) == 2
+                # The join replayed the committed prefix.
+                assert recruit.rows_applied == 36
+                got += emitted(engine.observe_many(rows[36:]))
+                assert got == expected
+                # Reads hit both replicas and agree (round-robin): two
+                # consecutive counter reads land on different replicas.
+                assert engine.counters.snapshot() == engine.counters.snapshot()
+                assert (
+                    engine.counters.snapshot()
+                    == reference.counters.snapshot()
+                )
+            finally:
+                engine.close()
+                reference.close()
+                recruit.stop()
+
+    def test_heartbeat_reports_and_drops(self):
+        with local_cluster([2]) as (remote, servers):
+            engine = ShardedDiscoverer(SCHEMA, remote=remote)
+            try:
+                replica_set = engine._workers[0]
+                beat = replica_set.heartbeat()
+                assert len(beat) == 2
+                assert all(rtt is not None for rtt in beat.values())
+                victim = replica_set._replicas[0]
+                victim.abandon()
+                beat = replica_set.heartbeat()
+                assert beat[victim.address] is None
+                assert len(replica_set.replicas) == 1
+            finally:
+                engine.close()
+
+    def test_fanout_scatters_reads_over_replicas(self):
+        rows = make_rows(30, seed=13)
+        with local_cluster([2]) as (remote, servers):
+            engine = ShardedDiscoverer(SCHEMA, remote=remote)
+            try:
+                engine.facts_for_many(rows)
+                replica_set = engine._workers[0]
+                calls = [
+                    (lambda w, s=s: w.request("skyline", (("a0", None), s)))
+                    for s in (1, 2, 3)
+                ] * 2
+                results = replica_set.fanout(calls)
+                assert len(results) == 6
+                assert results[:3] == results[3:]
+                probes = [
+                    server.op_counts.get("skyline", 0)
+                    for server in servers["0"]
+                ]
+                assert all(count >= 1 for count in probes)
+            finally:
+                engine.close()
+
+    def test_replica_set_constructor_needs_one_reachable(self):
+        probe = socket.create_server(("127.0.0.1", 0))
+        dead = "127.0.0.1:%d" % probe.getsockname()[1]
+        probe.close()
+        spec = {
+            "dimensions": ("d0", "d1"),
+            "measures": ("m0", "m1"),
+            "preferences": {},
+            "config": {},
+            "shard": [3],
+            "score": True,
+            "worker_index": 0,
+        }
+        with pytest.raises(WorkerGaveUp, match="no replica reachable"):
+            ReplicaSet(0, [dead], spec, op_timeout=1)
+
+
+# ----------------------------------------------------------------------
+# Placement model + rebalance
+# ----------------------------------------------------------------------
+class TestPlacement:
+    def test_cold_start_plans_nothing(self):
+        model = PlacementModel()
+        assert model.rebalance_plan([[7, 4], [1, 2, 3]], root_key=7) == []
+
+    def test_unobserved_prior_matches_static_weights(self):
+        model = PlacementModel(root_weight=2.0)
+        assert model.unit_cost(0) == 1.0
+        # Static prior: the root shard (weight 2) prices like 2 keys.
+        assert model.price([[7], [1, 2]], root_key=7) == 2.0
+
+    def test_skew_produces_improving_moves(self):
+        model = PlacementModel(alpha=1.0)
+        assignment = [[7], [1, 2, 3, 4]]
+        # Shard 1 measured 4x slower per weighted key.
+        model.observe(0, 100, 0.10, weight=2.0)
+        model.observe(1, 100, 0.80, weight=4.0)
+        before = model.price(assignment, root_key=7)
+        moves = model.rebalance_plan(assignment, root_key=7)
+        assert moves
+        shards = [list(s) for s in assignment]
+        for move in moves:
+            assert move.key != 7  # the root never moves
+            shards[move.src].remove(move.key)
+            shards[move.dst].append(move.key)
+        assert model.price(shards, root_key=7) < before
+        assert all(shards), "no shard may be emptied"
+
+    def test_ewma_tracks_recent_rate(self):
+        model = PlacementModel(alpha=0.5)
+        model.observe(0, 10, 1.0, weight=1.0)   # 0.1 s/row
+        model.observe(0, 10, 3.0, weight=1.0)   # 0.3 s/row
+        assert model.rate(0) == pytest.approx(0.2)
+        snap = model.snapshot()
+        assert snap["samples"] == 2
+        assert snap["rows_observed"][0] == 20
+
+    def test_weighted_partition_override(self):
+        # Measured weights replace the static root prior.
+        assert partition_subspaces([7, 1, 2, 4], 2, weights={7: 1.0}) == [
+            [7, 2],
+            [1, 4],
+        ]
+        # And the default stays byte-identical to the classic split.
+        assert partition_subspaces([7, 1, 2, 4, 3], 2) == [[7, 4], [1, 2, 3]]
+
+    def test_rebalance_applies_as_snapshot_handoff(self):
+        rows = make_rows(90, seed=14)
+        reference = FactDiscoverer(SCHEMA, algorithm="svec")
+        expected = emitted(reference.observe_many(rows))
+        with local_cluster([1, 1]) as (remote, servers):
+            engine = ShardedDiscoverer(SCHEMA, remote=remote, chunk_size=16)
+            try:
+                got = emitted(engine.observe_many(rows[:48]))
+                # Force measured skew: shard 1 (two node keys) looks
+                # pathologically slow, so the model moves a key off it.
+                engine.placement.observe(
+                    0, 1000, 0.1, weight=engine._shard_weight(0)
+                )
+                engine.placement.observe(
+                    1, 1000, 5.0, weight=engine._shard_weight(1)
+                )
+                before = [list(shard) for shard in engine.shards]
+                moves = engine.rebalance(apply=True)
+                assert moves
+                assert engine.shards != before
+                assert engine._shard_of == {
+                    key: w
+                    for w, shard in enumerate(engine.shards)
+                    for key in shard
+                }
+                # The handoff rebuilt workers from the op log: the
+                # stream continues output-identical to the oracle.
+                got += emitted(engine.observe_many(rows[48:]))
+                assert got == expected
+                assert (
+                    engine.counters.snapshot()
+                    == reference.counters.snapshot()
+                )
+                assert engine.fault_counters()["degraded"] == 0
+            finally:
+                engine.close()
+                reference.close()
+
+    def test_rebalance_is_advisory_off_remote_mode(self):
+        engine = ShardedDiscoverer(SCHEMA, n_workers=2, mode="serial")
+        try:
+            engine.facts_for_many(make_rows(20, seed=15))
+            engine.placement.observe(
+                0, 1000, 0.1, weight=engine._shard_weight(0)
+            )
+            engine.placement.observe(
+                1, 1000, 5.0, weight=engine._shard_weight(1)
+            )
+            before = [list(shard) for shard in engine.shards]
+            moves = engine.rebalance(apply=True)
+            assert moves  # planned...
+            assert engine.shards == before  # ...but not applied
+        finally:
+            engine.close()
+
+
+# ----------------------------------------------------------------------
+# Operator surface: shard stats + cluster status
+# ----------------------------------------------------------------------
+class TestOperatorSurface:
+    def test_shard_stats_breakdown(self):
+        rows = make_rows(40, seed=16)
+        with local_cluster([2, 1]) as (remote, _servers):
+            engine = ShardedDiscoverer(SCHEMA, remote=remote, chunk_size=16)
+            try:
+                engine.facts_for_many(rows)
+                details = engine.shard_stats()
+                assert [entry["shard"] for entry in details] == [0, 1]
+                assert sum(entry["keys"] for entry in details) == 3
+                assert [entry["root"] for entry in details] == [True, False]
+                assert len(details[0]["replicas"]) == 2
+                assert all(
+                    entry["ewma_seconds_per_row"] > 0 for entry in details
+                )
+                stats = engine.stats()
+                assert stats["shards"] == details
+                assert stats["placement"]["samples"] > 0
+            finally:
+                engine.close()
+
+    def test_service_stats_surfaces_shard_details(self):
+        stats = ServiceStats()
+        details = [{"shard": 0, "keys": 2, "busy_seconds": 0.5}]
+        stats.note_shard_details(details)
+        snap = stats.snapshot()
+        assert snap["shards"] == details
+        assert snap["replica_failovers"] == 0
+        # Unsharded services keep the key out entirely.
+        assert "shards" not in ServiceStats().snapshot()
+
+    def test_cluster_status_reports_lag_and_health(self):
+        rows = make_rows(30, seed=17)
+        with local_cluster([2]) as (remote, servers):
+            engine = ShardedDiscoverer(SCHEMA, remote=remote)
+            engine.facts_for_many(rows)
+            engine.close()  # workers keep their state
+            straggler = SocketWorkerServer().start()
+            probed = dict(remote)
+            probed["0"] = probed["0"] + [straggler.address]
+            report = cluster_status(probed, timeout=2)
+            try:
+                assert len(report) == 3
+                by_replica = {row["replica"]: row for row in report}
+                for address in remote["0"]:
+                    assert by_replica[address]["alive"]
+                    assert by_replica[address]["configured"]
+                    assert by_replica[address]["rows"] == len(rows)
+                    assert by_replica[address]["lag"] == 0
+                # The empty recruit lags the pool by the full stream.
+                assert by_replica[straggler.address]["lag"] == len(rows)
+            finally:
+                straggler.stop()
+
+    def test_cluster_status_marks_dead_replicas(self):
+        probe = socket.create_server(("127.0.0.1", 0))
+        dead = "127.0.0.1:%d" % probe.getsockname()[1]
+        probe.close()
+        report = cluster_status({"0": [dead]}, timeout=1)
+        assert len(report) == 1
+        assert report[0]["alive"] is False
+        assert report[0]["error"]
+        assert report[0]["lag"] is None

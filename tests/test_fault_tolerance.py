@@ -8,6 +8,9 @@ prominence), same op counters, no accepted row lost or double-applied:
   ``SIGKILL`` mid-chunk, with deletions interleaved;
 * hung workers abandoned at ``op_timeout`` and rebuilt;
 * the circuit breaker degrading the pool to in-router execution;
+* remote replica sets (socket workers in real subprocesses) promoting
+  a surviving replica when the primary crashes or is ``SIGKILL``-ed
+  mid-stream, and degrading — not dying — when a whole set is lost;
 * server "kill" + write-ahead-journal replay (full replay, checkpoint +
   suffix, torn tail);
 * poison rows quarantined to the dead-letter file exactly once while
@@ -20,6 +23,7 @@ import asyncio
 import json
 import os
 import signal
+from contextlib import contextmanager
 
 import pytest
 
@@ -34,6 +38,7 @@ from repro.service import (
 )
 from repro.service import faults
 from repro.service.journal import JournalCorruptError, read_ops
+from repro.service.remote import run_worker
 
 SCHEMA = TableSchema(("d0", "d1"), ("m0", "m1"))
 
@@ -286,6 +291,150 @@ class TestCircuitBreakerDegrade:
         finally:
             engine.close()
             ref.close()
+
+
+# ----------------------------------------------------------------------
+# Remote replica sets (socket workers in real subprocesses)
+# ----------------------------------------------------------------------
+@contextmanager
+def socket_workers(count):
+    """Spawn ``count`` socket shard-workers, each in its own OS process
+    (crash faults use ``os._exit`` and SIGKILL needs a real pid, so
+    in-process servers would take the test runner down with them).
+    Yields ``(addresses, processes)`` index-aligned."""
+    import multiprocessing as mp
+
+    method = "fork" if "fork" in mp.get_all_start_methods() else "spawn"
+    ctx = mp.get_context(method)
+    processes, addresses = [], []
+    try:
+        for _ in range(count):
+            ready = ctx.Queue()
+            process = ctx.Process(
+                target=run_worker,
+                args=("127.0.0.1", 0, ready, False),
+                daemon=True,
+            )
+            process.start()
+            port = ready.get(timeout=30)
+            processes.append(process)
+            addresses.append(f"127.0.0.1:{port}")
+        yield addresses, processes
+    finally:
+        for process in processes:
+            if process.is_alive():
+                process.terminate()
+                process.join(timeout=5)
+
+
+class TestRemoteReplicaFailover:
+    def test_injected_crash_promotes_surviving_replica(self):
+        # Kill shard 0's primary mid-stream via fault injection.  The
+        # router forwards armed faults to the primary replica only, so
+        # the crash exercises promotion: the surviving replica — byte
+        # -identical by determinism — takes over with no recovery work,
+        # and the merged stream must not lose or duplicate a fact.
+        rows = make_rows(64)
+        expected, expected_counters, ref = reference_run(rows)
+        with socket_workers(3) as (addresses, _processes):
+            faults.install(
+                [
+                    {
+                        "point": "worker.op",
+                        "action": "crash",
+                        "worker": 0,
+                        "op": "rows",
+                        "after": 2,
+                    }
+                ]
+            )
+            engine = ShardedDiscoverer(
+                SCHEMA,
+                remote={"0": addresses[:2], "1": addresses[2:]},
+                chunk_size=16,
+                op_timeout=15,
+            )
+            try:
+                got = fact_keys(engine.observe_many(rows))
+                assert got == expected
+                assert engine.counters.snapshot() == expected_counters
+                tally = engine.fault_counters()
+                assert tally["replica_failovers"] >= 1
+                assert not tally["degraded"]
+                assert len(engine._workers[0].replicas) == 1
+            finally:
+                engine.close()
+                ref.close()
+
+    def test_sigkill_replica_mid_stream_loses_nothing(self):
+        rows = make_rows(80)
+        first, rest = rows[:40], rows[40:]
+        expected, expected_counters, ref = reference_run(rows, deletes=(3, 17))
+        with socket_workers(4) as (addresses, processes):
+            engine = ShardedDiscoverer(
+                SCHEMA,
+                remote={"0": addresses[:2], "1": addresses[2:]},
+                chunk_size=16,
+                op_timeout=15,
+            )
+            try:
+                got = fact_keys(engine.observe_many(first))
+                # A real kill of shard 0's primary: connections reset,
+                # the replica set drops it and promotes, no router
+                # restart, no re-ingestion.
+                victim = processes[0]
+                os.kill(victim.pid, signal.SIGKILL)
+                victim.join(timeout=10)
+                assert not victim.is_alive()
+                got += fact_keys(engine.observe_many(rest))
+                engine.delete(3)
+                engine.delete(17)
+                assert got == expected
+                assert engine.counters.snapshot() == expected_counters
+                tally = engine.fault_counters()
+                assert tally["replica_failovers"] >= 1
+                assert not tally["degraded"]
+            finally:
+                engine.close()
+                ref.close()
+
+    def test_whole_replica_set_lost_degrades_not_dies(self):
+        # Shard 1 has a single replica; its crash exhausts the set, so
+        # the router must degrade to in-router execution (rebuilt from
+        # the committed op log) and keep serving correctly.
+        rows = make_rows(48)
+        expected, expected_counters, ref = reference_run(rows, deletes=(7,))
+        with socket_workers(2) as (addresses, _processes):
+            faults.install(
+                [
+                    {
+                        "point": "worker.op",
+                        "action": "crash",
+                        "worker": 1,
+                        "op": "rows",
+                        "after": 2,
+                    }
+                ]
+            )
+            engine = ShardedDiscoverer(
+                SCHEMA,
+                remote={"0": addresses[:1], "1": addresses[1:]},
+                chunk_size=12,
+                op_timeout=15,
+            )
+            try:
+                got = fact_keys(engine.observe_many(rows))
+                engine.delete(7)
+                assert engine.degraded
+                assert engine.fault_counters()["degraded"]
+                assert got == expected
+                assert engine.counters.snapshot() == expected_counters
+                more = make_rows(12, start=48)
+                ref_more = fact_keys(ref.observe_many(more))
+                assert fact_keys(engine.observe_many(more)) == ref_more
+            finally:
+                engine.close()
+                ref.close()
 
 
 # ----------------------------------------------------------------------
