@@ -42,6 +42,7 @@ from .spec import (
     SWEEP_INDEX_MODES,
     CheckpointPolicy,
     EngineSpec,
+    FeedSpec,
     GroupSpec,
     ShardingSpec,
 )
@@ -50,6 +51,7 @@ __all__ = [
     "Engine",
     "EngineBase",
     "EngineSpec",
+    "FeedSpec",
     "ShardingSpec",
     "CheckpointPolicy",
     "GroupSpec",

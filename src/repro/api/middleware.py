@@ -43,6 +43,21 @@ class EngineMiddleware(EngineBase):
     def __init__(self, inner: "Engine", spec: Optional[EngineSpec] = None) -> None:
         self.inner = inner
         self._spec_override = spec
+        #: Callbacks fired with the records a layer retracts *internally*
+        #: (window evictions, aggregate group updates) — removals that
+        #: never surface as server-level delete ops.  The feed tier
+        #: (:class:`~repro.service.feeds.FeedStore`) registers here so
+        #: its repair pass stays exact under those compositions.
+        self._retraction_listeners: List = []
+
+    def add_retraction_listener(self, listener) -> None:
+        """Register ``listener(records)`` for internal retractions."""
+        self._retraction_listeners.append(listener)
+
+    def _notify_retraction(self, records: List[Record]) -> None:
+        if records:
+            for listener in self._retraction_listeners:
+                listener(records)
 
     # -- delegated data members -----------------------------------------
     @property
@@ -145,7 +160,7 @@ class WindowMiddleware(EngineMiddleware):
                 evicted.append(self._live.popleft())
             # One grouped retraction: the inner store compacts (at most)
             # once for the whole eviction burst, not once per tuple.
-            inner.delete_many(evicted)
+            self._notify_retraction(inner.delete_many(evicted))
         facts = inner.facts_for(row)
         table = inner.table
         self._live.append(table[len(table) - 1].tid)
@@ -269,7 +284,7 @@ class AggregateMiddleware(EngineMiddleware):
         inner = self.inner
         old_tid = self._live_tid.get(key)
         if old_tid is not None:
-            inner.delete(old_tid)
+            self._notify_retraction([inner.delete(old_tid)])
         agg_row: Dict[str, object] = dict(zip(self.group.group_by, key))
         for name, (base, fn) in self.group.aggregations.items():
             agg_row[name] = state.value(base, fn)

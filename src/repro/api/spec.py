@@ -245,6 +245,83 @@ class GroupSpec:
 
 
 @dataclass(frozen=True)
+class FeedSpec:
+    """Materialized per-segment feeds over the fact stream (read tier).
+
+    Activates a :class:`~repro.service.feeds.FeedStore` when the engine
+    runs behind a :class:`~repro.service.server.StreamServer`: every
+    discovered fact is folded into the feed of its *segment* — the
+    projection of the fact's constraint onto :attr:`group_by` — so
+    subscribers and the HTTP/WebSocket gateway read ranked, current
+    standings from materialized state instead of querying the engine.
+
+    Attributes
+    ----------
+    group_by:
+        Dimension attributes of the discovery relation that identify a
+        segment.  A fact whose constraint binds ``player=A`` lands in
+        segment ``player=A``; one that leaves ``player`` unbound lands
+        in ``player=*``.  Empty (the default) keeps a single global
+        ``*`` segment.
+    top_k:
+        Default ranking cut applied when a feed is read (ties at the
+        cut kept, matching ``query().batch`` reporting).  ``None``
+        returns every entry above :attr:`tau`.
+    tau:
+        Default prominence floor applied when a feed is read.  Entries
+        below ``τ`` stay materialized (a later arrival can lift them
+        back over the floor without emitting a fact) — the floor is a
+        read-time filter, exactly like the batch planner's.
+    split_subspaces:
+        Also segment by measure subspace, so e.g. ``player=A`` splits
+        into ``player=A,measures=points`` / ``…,measures=rebounds``.
+    max_entries:
+        Per-segment entry cap (bounded memory).  When a segment
+        overflows, its lowest-prominence entries are evicted and the
+        segment is marked truncated; reads stay exact as long as the
+        cap does not bind.
+    """
+
+    group_by: Tuple[str, ...] = ()
+    top_k: Optional[int] = None
+    tau: Optional[float] = None
+    split_subspaces: bool = False
+    max_entries: int = 1024
+
+    def __post_init__(self) -> None:
+        object.__setattr__(self, "group_by", tuple(self.group_by))
+        if self.top_k is not None and self.top_k < 1:
+            raise ValueError("feeds.top_k must be >= 1")
+        if self.tau is not None and self.tau < 1:
+            raise ValueError(
+                "feeds.tau is a cardinality ratio; it must be >= 1"
+            )
+        if self.max_entries < 1:
+            raise ValueError("feeds.max_entries must be >= 1")
+        if len(set(self.group_by)) != len(self.group_by):
+            raise ValueError("feeds.group_by must not repeat attributes")
+
+    def to_dict(self) -> Dict[str, object]:
+        return {
+            "group_by": list(self.group_by),
+            "top_k": self.top_k,
+            "tau": self.tau,
+            "split_subspaces": self.split_subspaces,
+            "max_entries": self.max_entries,
+        }
+
+    @classmethod
+    def from_dict(cls, doc: Mapping[str, object]) -> "FeedSpec":
+        return cls(
+            group_by=tuple(doc.get("group_by") or ()),
+            top_k=doc.get("top_k"),
+            tau=doc.get("tau"),
+            split_subspaces=bool(doc.get("split_subspaces", False)),
+            max_entries=int(doc.get("max_entries", 1024)),
+        )
+
+
+@dataclass(frozen=True)
 class EngineSpec:
     """One declarative description of any engine composition.
 
@@ -287,6 +364,11 @@ class EngineSpec:
         answers are keyed by the engine version ``(arrivals,
         deletions)``, so any write invalidates them automatically —
         see :class:`~repro.api.middleware.QueryCacheMiddleware`.
+    feeds:
+        Materialized per-segment read feeds (:class:`FeedSpec`), or
+        ``None``.  Activated by :class:`~repro.service.server.
+        StreamServer` / the ``serve`` CLI: the feed store tier and the
+        HTTP/WebSocket gateway read from it.
     """
 
     schema: TableSchema
@@ -299,6 +381,7 @@ class EngineSpec:
     checkpoint: Optional[CheckpointPolicy] = None
     sweep_index: str = "auto"
     query_cache: Optional[int] = None
+    feeds: Optional[FeedSpec] = None
 
     def __post_init__(self) -> None:
         if not isinstance(self.algorithm, str):
@@ -352,6 +435,28 @@ class EngineSpec:
                     f"the base schema: dimensions {missing_d}, "
                     f"measures {missing_m}"
                 )
+        if self.feeds is not None:
+            if not self.score:
+                raise ValueError(
+                    "feeds rank entries by prominence; score=False "
+                    "would materialize nothing (drop feeds or enable "
+                    "scoring)"
+                )
+            # Feeds segment the discovery relation (which differs from
+            # the input schema only for aggregate engines).
+            discovery_dims = (
+                self.aggregate.group_by
+                if self.aggregate is not None
+                else self.schema.dimensions
+            )
+            missing = [
+                a for a in self.feeds.group_by if a not in discovery_dims
+            ]
+            if missing:
+                raise ValueError(
+                    "feeds.group_by references dimensions missing from "
+                    f"the discovery relation: {missing}"
+                )
 
     # ------------------------------------------------------------------
     # Serialisation (snapshot v3, CLI --spec)
@@ -373,6 +478,7 @@ class EngineSpec:
             "checkpoint": asdict(self.checkpoint) if self.checkpoint else None,
             "sweep_index": self.sweep_index,
             "query_cache": self.query_cache,
+            "feeds": self.feeds.to_dict() if self.feeds else None,
         }
 
     @classmethod
@@ -388,6 +494,7 @@ class EngineSpec:
         sharding = doc.get("sharding")
         aggregate = doc.get("aggregate")
         checkpoint = doc.get("checkpoint")
+        feeds = doc.get("feeds")
         return cls(
             schema=schema,
             algorithm=doc.get("algorithm", "stopdown"),
@@ -399,6 +506,7 @@ class EngineSpec:
             checkpoint=CheckpointPolicy(**checkpoint) if checkpoint else None,
             sweep_index=doc.get("sweep_index", "auto"),
             query_cache=doc.get("query_cache"),
+            feeds=FeedSpec.from_dict(feeds) if feeds else None,
         )
 
     def with_score(self, score: Optional[bool]) -> "EngineSpec":

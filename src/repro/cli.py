@@ -46,6 +46,9 @@ Examples::
     repro-facts demo --tuples 800 --tau 25
     repro-facts figures fig8a fig10b
     repro-facts serve -d player,team -m points,assists --workers 4 --port 7071
+    repro-facts serve -d player,team -m points,assists --port 7071 \
+        --http-port 8080 --feed-by team --feed-top-k 10
+    repro-facts cluster-status --gateway 127.0.0.1:8080
     repro-facts ingest games.csv -d player,team -m points,assists \
         --connect 127.0.0.1:7071 --shutdown
     repro-facts shard-worker --port 7711
@@ -60,7 +63,14 @@ import argparse
 import sys
 from typing import List, Optional
 
-from .api import CheckpointPolicy, EngineSpec, ShardingSpec, make_sink, open_engine
+from .api import (
+    CheckpointPolicy,
+    EngineSpec,
+    FeedSpec,
+    ShardingSpec,
+    make_sink,
+    open_engine,
+)
 from .core.config import DiscoveryConfig
 from .core.schema import MIN, SchemaError, TableSchema
 
@@ -189,6 +199,22 @@ def _spec_from_args(args) -> EngineSpec:
         sharding = ShardingSpec(workers=workers, mode=args.mode)
     else:
         sharding = None
+    feeds = None
+    feed_flags = (
+        getattr(args, "feed_by", None),
+        getattr(args, "feed_top_k", None),
+        getattr(args, "feed_tau", None),
+        getattr(args, "feed_cap", None),
+    )
+    if any(flag is not None for flag in feed_flags) or (
+        getattr(args, "http_port", None) is not None
+    ):
+        feeds = FeedSpec(
+            group_by=tuple(_split(getattr(args, "feed_by", None) or "")),
+            top_k=getattr(args, "feed_top_k", None),
+            tau=getattr(args, "feed_tau", None),
+            max_entries=getattr(args, "feed_cap", None) or 1024,
+        )
     return EngineSpec(
         schema=_schema_from_args(args),
         # Sharded engines always run svec workers; the flag keeps its
@@ -199,6 +225,7 @@ def _spec_from_args(args) -> EngineSpec:
         sharding=sharding,
         window=getattr(args, "window", None),
         checkpoint=checkpoint,
+        feeds=feeds,
     )
 
 
@@ -380,6 +407,27 @@ def cmd_serve(args) -> int:
             listener = await server.serve_tcp(args.host, args.port)
             host, port = listener.sockets[0].getsockname()[:2]
             print(f"listening on {host}:{port}", file=sys.stderr, flush=True)
+        gateway = None
+        if getattr(args, "http_port", None) is not None:
+            if server.feeds is None:
+                print(
+                    "error: --http-port needs a feeds section (pass "
+                    "--feed-by/--feed-top-k or a --spec with feeds)",
+                    file=sys.stderr,
+                )
+                await server.stop()
+                engine.close()
+                return 2
+            from .service.gateway import FeedGateway
+
+            gateway = FeedGateway(server)
+            http_listener = await gateway.start(args.host, args.http_port)
+            ghost, gport = http_listener.sockets[0].getsockname()[:2]
+            print(
+                f"gateway listening on {ghost}:{gport}",
+                file=sys.stderr,
+                flush=True,
+            )
         if args.csv:
             # Enqueue ahead of the printer so micro-batches actually
             # coalesce (ingest_wait per row would serialize the queue
@@ -413,11 +461,14 @@ def cmd_serve(args) -> int:
                 f"# {emitted} facts from {len(engine)} tuples",
                 file=sys.stderr,
             )
-        if listener is not None:
-            # Serve until a client sends {"op": "shutdown"}.
+        if listener is not None or gateway is not None:
+            # Serve until a client sends {"op": "shutdown"} (the TCP
+            # front-end; gateway-only servers run until interrupted).
             await server.wait_stopped()
         else:
             await server.stop()
+        if gateway is not None:
+            await gateway.stop()
         print(
             f"# service stats: {json.dumps(server.stats_snapshot())}",
             file=sys.stderr,
@@ -516,13 +567,41 @@ def cmd_cluster_status(args) -> int:
     except (ValueError, KeyError) as exc:
         print(f"error: {exc}", file=sys.stderr)
         return 2
-    if not remote:
-        print("error: --remote MAP (or --spec FILE with sharding.remote) "
-              "required", file=sys.stderr)
+    gateway_stats = None
+    gateway_dead = False
+    if getattr(args, "gateway", None):
+        import asyncio
+
+        from .service.gateway import fetch_json
+
+        ghost, _, gport = args.gateway.rpartition(":")
+        if not ghost or not gport.isdigit():
+            print(f"error: --gateway expects HOST:PORT, got "
+                  f"{args.gateway!r}", file=sys.stderr)
+            return 2
+        try:
+            payload = asyncio.run(
+                fetch_json(ghost, int(gport), "/stats",
+                           timeout=args.timeout)
+            )
+            gateway_stats = payload.get("stats", {})
+        except (OSError, ValueError, asyncio.TimeoutError) as exc:
+            gateway_stats = {"error": str(exc)}
+            gateway_dead = True
+    if not remote and gateway_stats is None:
+        print("error: --remote MAP (or --spec FILE with sharding.remote, "
+              "or --gateway HOST:PORT) required", file=sys.stderr)
         return 2
-    rows = cluster_status(remote, timeout=args.timeout)
+    rows = cluster_status(remote, timeout=args.timeout) if remote else []
     if args.json:
-        print(json.dumps(rows, indent=2))
+        if gateway_stats is not None:
+            print(json.dumps(
+                {"replicas": rows, "gateway": gateway_stats}, indent=2
+            ))
+        else:
+            print(json.dumps(rows, indent=2))
+    elif not rows:
+        pass
     else:
         header = ("shard", "replica", "health", "configured", "rows",
                   "lag", "busy_s", "rtt_ms")
@@ -546,11 +625,29 @@ def cmd_cluster_status(args) -> int:
                   .rstrip())
             if i == 0:
                 print("  ".join("-" * w for w in widths))
+    if gateway_stats is not None and not args.json:
+        if gateway_dead:
+            print(f"# gateway {args.gateway}: DOWN "
+                  f"({gateway_stats['error']})", file=sys.stderr)
+        else:
+            feeds = gateway_stats.get("feeds", {}) or {}
+            print(
+                f"# gateway {args.gateway}: "
+                f"subscribers={gateway_stats.get('gateway_subscribers', 0)} "
+                f"frames_sent={gateway_stats.get('gateway_frames_sent', 0)} "
+                f"coalesced={gateway_stats.get('gateway_frames_coalesced', 0)} "
+                f"dropped={gateway_stats.get('gateway_frames_dropped', 0)} "
+                f"segments={feeds.get('segments', 0)} "
+                f"entries={feeds.get('entries', 0)} "
+                f"lag={feeds.get('lag', 0)}",
+                file=sys.stderr,
+            )
     dead = sum(1 for row in rows if not row["alive"])
-    shards = len({row["shard"] for row in rows})
-    print(f"# {shards} shards, {len(rows)} replicas, {dead} unreachable",
-          file=sys.stderr)
-    return 1 if dead else 0
+    if rows:
+        shards = len({row["shard"] for row in rows})
+        print(f"# {shards} shards, {len(rows)} replicas, {dead} unreachable",
+              file=sys.stderr)
+    return 1 if dead or gateway_dead else 0
 
 
 def cmd_figures(args) -> int:
@@ -634,6 +731,22 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--conn-timeout", type=float, default=None,
                    help="per-connection read timeout in seconds for the "
                         "TCP front-end (default: none)")
+    p.add_argument("--http-port", type=int, default=None,
+                   help="serve the HTTP/WebSocket feed gateway (0 = "
+                        "ephemeral port, printed to stderr as `gateway "
+                        "listening on host:port`); implies a feeds "
+                        "section when the feed flags are absent")
+    p.add_argument("--feed-by", default=None, metavar="DIMS",
+                   help="comma-separated dimensions to segment the "
+                        "materialized feeds by (default: one global "
+                        "feed)")
+    p.add_argument("--feed-top-k", type=int, default=None,
+                   help="default top-k served per feed segment")
+    p.add_argument("--feed-tau", type=float, default=None,
+                   help="default prominence floor served per segment")
+    p.add_argument("--feed-cap", type=int, default=None,
+                   help="max materialized entries per segment "
+                        "(default: 1024)")
     p.add_argument("--json", action="store_true",
                    help="emit one JSON object per fact (NDJSON)")
     p.set_defaults(fn=cmd_serve)
@@ -673,6 +786,9 @@ def build_parser() -> argparse.ArgumentParser:
                    help="EngineSpec JSON carrying sharding.remote")
     p.add_argument("--timeout", type=float, default=2.0,
                    help="per-worker probe timeout in seconds")
+    p.add_argument("--gateway", default=None, metavar="HOST:PORT",
+                   help="also probe a feed gateway's GET /stats and "
+                        "print its subscriber/feed counters")
     p.add_argument("--json", action="store_true",
                    help="print the per-replica rows as JSON")
     p.set_defaults(fn=cmd_cluster_status)

@@ -150,6 +150,14 @@ class FactSet:
         columns directly)."""
         return zip(self._constraints, self._subspaces)
 
+    def columns(self):
+        """The raw parallel columns ``(constraints, subspaces,
+        context_sizes, skyline_sizes)`` in insertion order; the score
+        columns are ``None`` on unscored sets.  Read-only — the
+        per-arrival folds (feed maintenance) walk these directly
+        instead of materialising fact objects."""
+        return self._constraints, self._subspaces, self._context, self._skyline
+
     def set_scores(self, context_sizes, skyline_sizes) -> None:
         """Attach whole score columns (parallel to insertion order).
 

@@ -64,6 +64,22 @@ class ServiceStats:
     query_cache_misses: int = 0
     #: Query-result-cache entries evicted by the LRU.
     query_cache_evictions: int = 0
+    #: Live gateway subscribers (WebSocket connections).
+    gateway_subscribers: int = 0
+    #: WebSocket frames delivered to subscribers.
+    gateway_frames_sent: int = 0
+    #: Dirty-segment marks coalesced because the segment was already
+    #: pending on a (slow) connection — each is a frame never built.
+    gateway_frames_coalesced: int = 0
+    #: Pending updates dropped on overflowing connections (each drop
+    #: schedules a full resync snapshot instead).
+    gateway_frames_dropped: int = 0
+    #: HTTP requests answered by the gateway (REST reads).
+    gateway_http_requests: int = 0
+    #: Feed-store summary (segments/entries/lag/staleness — mirrors
+    #: :meth:`repro.service.feeds.FeedStore.stats`; empty without a
+    #: feeds spec).
+    feeds: Dict[str, object] = field(default_factory=dict)
 
     def note_enqueue(self, queue_depth: int) -> None:
         self.enqueued += 1
@@ -84,6 +100,9 @@ class ServiceStats:
         self, details: Sequence[Dict[str, object]]
     ) -> None:
         self.shard_details = [dict(entry) for entry in details]
+
+    def note_feeds(self, feed_stats: Dict[str, object]) -> None:
+        self.feeds = dict(feed_stats)
 
     @property
     def mean_batch_rows(self) -> Optional[float]:
@@ -117,7 +136,14 @@ class ServiceStats:
             "query_cache_hits": self.query_cache_hits,
             "query_cache_misses": self.query_cache_misses,
             "query_cache_evictions": self.query_cache_evictions,
+            "gateway_subscribers": self.gateway_subscribers,
+            "gateway_frames_sent": self.gateway_frames_sent,
+            "gateway_frames_coalesced": self.gateway_frames_coalesced,
+            "gateway_frames_dropped": self.gateway_frames_dropped,
+            "gateway_http_requests": self.gateway_http_requests,
         }
+        if self.feeds:
+            out["feeds"] = dict(self.feeds)
         if busy:
             total = sum(busy)
             out["shard_busy_seconds"] = [round(b, 4) for b in busy]

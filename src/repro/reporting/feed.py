@@ -7,20 +7,35 @@ narrated headlines.  This is the end-to-end pipeline a newsroom would
 run (paper §I motivation).  Engines are built through
 :func:`repro.api.open_engine`, so a feed can run over a sharded or
 windowed composition by passing ``engine=`` (or a full spec).
+
+Since the feed fan-out tier landed, :class:`NewsFeed` is a thin
+composition over :class:`~repro.service.feeds.FeedStore`: every push
+folds the arrival's full ``S_t`` into materialized per-segment
+standings (exactly the state the HTTP/WebSocket gateway serves), so
+:meth:`NewsFeed.feed` answers "current top-k for segment X" without
+touching the engine.  The old poll-and-rescan read path —
+re-deriving standings from the engine on every read — survives as the
+deprecated :meth:`NewsFeed.rescan`.
 """
 
 from __future__ import annotations
 
+import warnings
 from dataclasses import dataclass
 from typing import Iterable, List, Mapping, Optional
 
 from ..api.facade import open_engine
-from ..api.spec import EngineSpec
+from ..api.spec import EngineSpec, FeedSpec
 from ..core.config import DiscoveryConfig
 from ..core.engine_protocol import Engine
 from ..core.facts import SituationalFact
+from ..core.prominence import select_reportable
 from ..core.schema import TableSchema
+from ..service.feeds import FeedStore
 from .narrate import narrate
+
+#: One-shot guard for the poll-and-rescan deprecation warning.
+_RESCAN_WARNED = False
 
 
 @dataclass
@@ -33,7 +48,7 @@ class Headline:
 
 
 class NewsFeed:
-    """Prominence-thresholded streaming reporter.
+    """Prominence-thresholded streaming reporter over materialized feeds.
 
     Examples
     --------
@@ -51,6 +66,7 @@ class NewsFeed:
         max_bound_dims: Optional[int] = 3,
         max_measure_dims: Optional[int] = 3,
         engine: Optional[Engine] = None,
+        feeds: Optional[FeedSpec] = None,
     ) -> None:
         self.schema = schema
         if engine is None:
@@ -65,12 +81,22 @@ class NewsFeed:
             )
             engine = open_engine(spec)
         self.engine = engine
+        #: Materialized standings every push folds into; the same state
+        #: the service gateway reads.  Window evictions and aggregate
+        #: retractions are hooked via ``attach`` and repaired per push.
+        self.store = FeedStore.for_engine(engine, feeds)
+        self.store.attach(engine)
         self.headlines: List[Headline] = []
         self._index = 0
 
     def push(self, row: Mapping[str, object]) -> List[Headline]:
         """Feed one tuple; returns headlines it triggered (often none)."""
-        prominent = self.engine.observe(row)
+        factset = self.engine.facts_for(row)
+        prominent = select_reportable(factset, self.engine.config)
+        self.store.apply_event(factset.record, factset)
+        # Fold any retractions the arrival caused (window eviction,
+        # aggregate group update) so standings track the live engine.
+        self.store.repair(self.engine)
         schema = self.engine.discovery_schema
         emitted = [
             Headline(self._index, fact, narrate(fact, schema))
@@ -85,6 +111,58 @@ class NewsFeed:
         for row in rows:
             self.push(row)
         return self.headlines
+
+    # ------------------------------------------------------------------
+    # Materialized reads
+    # ------------------------------------------------------------------
+    def segments(self) -> List[dict]:
+        """Summary of the materialized segments (key, version, size)."""
+        return self.store.segments()
+
+    def feed(
+        self,
+        segment: Optional[str] = None,
+        top_k: Optional[int] = None,
+        tau: Optional[float] = None,
+    ) -> List[dict]:
+        """Current ranked standings of one segment (default: the global
+        ``"*"`` segment), straight from materialized state."""
+        if segment is None:
+            keys = self.store.segment_keys()
+            segment = keys[0] if keys else "*"
+        return [
+            entry.to_json_dict(self.store.schema)
+            for entry in self.store.entries_ranked(segment, top_k=top_k, tau=tau)
+        ]
+
+    def rescan(
+        self,
+        segment: Optional[str] = None,
+        top_k: Optional[int] = None,
+        tau: Optional[float] = None,
+    ) -> List[dict]:
+        """Deprecated poll-and-rescan read: recompute the standings from
+        the engine instead of trusting the materialized store.
+
+        .. deprecated::
+            Reads answered this way re-enumerate every candidate pair of
+            every live tuple on *each* call — the cost the feed tier
+            exists to amortize.  Use :meth:`feed` (same result, O(1)
+            engine work); ``rescan`` remains only as a migration aid and
+            warns once per process.
+        """
+        global _RESCAN_WARNED
+        if not _RESCAN_WARNED:
+            _RESCAN_WARNED = True
+            warnings.warn(
+                "NewsFeed.rescan() re-derives feed standings from the "
+                "engine on every read; use NewsFeed.feed(), which serves "
+                "the identical materialized state",
+                DeprecationWarning,
+                stacklevel=2,
+            )
+        self.store.rebuild(self.engine)
+        return self.feed(segment, top_k=top_k, tau=tau)
 
     def __len__(self) -> int:
         return len(self.headlines)

@@ -22,10 +22,18 @@ turns it into a *service*:
   promotion failover, deterministic re-observe on join) and the
   cost-fed :class:`PlacementModel` behind ``mode="remote"`` sharding;
 * :mod:`repro.service.faults` — the spec/env-driven fault-injection
-  registry the chaos tests (and the CI chaos job) drive.
+  registry the chaos tests (and the CI chaos job) drive;
+* :mod:`repro.service.feeds` — :class:`FeedStore`, materialized
+  per-segment top-k feeds maintained incrementally (and exactly) off the
+  fact stream, with cursor pagination and checkpoint sidecars;
+* :mod:`repro.service.gateway` — :class:`FeedGateway`, the hand-rolled
+  HTTP + WebSocket fan-out front-end over the feed store, with bounded
+  per-connection backpressure (coalesced snapshots for slow consumers).
 """
 
 from .cluster import PlacementModel, ReplicaSet, cluster_status
+from .feeds import FeedStore
+from .gateway import FeedClient, FeedGateway, fetch_json
 from .journal import JournalWriter, RecoveryReport, recover_engine
 from .remote import RemoteWorker, SocketWorkerServer, run_worker
 from .sharding import (
@@ -37,6 +45,9 @@ from .server import StreamServer
 from .supervisor import SupervisedWorker, SupervisorPolicy, WorkerCrashed, WorkerGaveUp
 
 __all__ = [
+    "FeedClient",
+    "FeedGateway",
+    "FeedStore",
     "JournalWriter",
     "PlacementModel",
     "RecoveryReport",
@@ -51,6 +62,7 @@ __all__ = [
     "WorkerGaveUp",
     "canonical_subspace_keys",
     "cluster_status",
+    "fetch_json",
     "partition_subspaces",
     "recover_engine",
     "run_worker",

@@ -42,20 +42,28 @@ import time
 from dataclasses import dataclass, field
 from typing import List, Mapping, Optional, Sequence
 
-from ..core.facts import SituationalFact
+from ..core.facts import FactSet, SituationalFact
 from ..core.prominence import select_reportable
 from ..core.record import Record
 from ..metrics.service import ServiceStats
+from .feeds import FeedStore, engine_version
 
 _STOP = object()
 
 
 @dataclass
 class FactEvent:
-    """One processed arrival, as delivered to subscribers."""
+    """One processed arrival, as delivered to subscribers.
+
+    ``facts`` is the *reportable* selection (the engine config's
+    ``τ``/top-k policy); ``factset`` is the arrival's full ``S_t``
+    when available (the feed tier folds that in — reporting filters
+    would starve it).
+    """
 
     record: Record
     facts: List[SituationalFact] = field(default_factory=list)
+    factset: Optional[FactSet] = None
 
     @property
     def tid(self) -> int:
@@ -169,6 +177,7 @@ class StreamServer:
         dead_letter_path: Optional[str] = None,
         conn_timeout: Optional[float] = None,
         stats: Optional[ServiceStats] = None,
+        feeds: Optional[FeedStore] = None,
     ) -> None:
         if queue_limit < 1:
             raise ValueError("queue_limit must be >= 1")
@@ -204,6 +213,21 @@ class StreamServer:
         self.journal_segment_bytes = journal_segment_bytes
         self.dead_letter_path = dead_letter_path
         self.conn_timeout = conn_timeout
+        # The read fan-out tier: explicit FeedStore, or auto-built when
+        # the engine spec carries a feeds section.
+        if feeds is None:
+            try:
+                feed_spec = engine.spec.feeds
+            except (AttributeError, NotImplementedError):
+                feed_spec = None
+            if feed_spec is not None:
+                feeds = FeedStore.for_engine(engine, feed_spec)
+        self.feeds = feeds
+        if self.feeds is not None:
+            # Window evictions / aggregate retractions reach the feed
+            # repair pass through the middleware retraction hooks.
+            self.feeds.attach(engine)
+        self._feed_listeners: List = []
         #: Live :class:`~repro.service.journal.JournalWriter` while
         #: running (``None`` without ``journal_dir``).
         self.journal = None
@@ -239,6 +263,18 @@ class StreamServer:
                 fsync=self.journal_fsync,
                 segment_max_bytes=self.journal_segment_bytes,
             )
+        if self.feeds is not None and len(self.engine) and not len(self.feeds):
+            # Recovered/pre-loaded engine with empty feeds: the sidecar
+            # restores them iff its stamp matches the live engine
+            # version; anything else (stale, missing, corrupt) rebuilds
+            # from the engine in one planner batch.
+            restored = False
+            if self.checkpoint_path:
+                restored = self.feeds.load_sidecar(
+                    self.checkpoint_path + ".feeds", self.engine
+                )
+            if not restored:
+                self.feeds.rebuild(self.engine)
         self._queue = asyncio.Queue(maxsize=self.queue_limit)
         self._engine_lock = asyncio.Lock()
         self._stopped.clear()
@@ -355,6 +391,17 @@ class StreamServer:
             self.stats.query_cache_hits = cache["hits"]
             self.stats.query_cache_misses = cache["misses"]
             self.stats.query_cache_evictions = cache["evictions"]
+        if self.feeds is not None:
+            feed_stats = self.feeds.stats()
+            # Feed lag behind engine arrivals: events discovered but
+            # not yet folded into feed state (0 when folding is
+            # synchronous with the batch, as here).
+            feed_stats["lag"] = max(
+                0,
+                getattr(self.engine, "arrivals", 0)
+                - feed_stats["applied_arrivals"],
+            )
+            self.stats.note_feeds(feed_stats)
         snap = self.stats.snapshot()
         snap["table_rows"] = len(self.engine.table)
         snap["queue_depth"] = self._queue.qsize() if self._queue else 0
@@ -440,6 +487,15 @@ class StreamServer:
                 outcomes = await self._salvage_batch(
                     loop, discover, rows, before
                 )
+            changed = None
+            if self.feeds is not None:
+                # Still under the engine lock (repair queries the
+                # engine), still off the event loop.
+                changed = await loop.run_in_executor(
+                    None, self._feeds_fold, outcomes
+                )
+        if changed:
+            self._publish_feed_changes(changed)
         emitted = 0
         accepted = 0
         for (_, row, future), outcome in zip(batch, outcomes):
@@ -470,7 +526,7 @@ class StreamServer:
                 event = FactEvent(result, [])
             else:
                 factset, facts = result
-                event = FactEvent(factset.record, facts)
+                event = FactEvent(factset.record, facts, factset)
                 emitted += len(facts)
             if future is not None and not future.done():
                 future.set_result(event)
@@ -552,11 +608,19 @@ class StreamServer:
     async def _apply_delete(self, item) -> None:
         _, tid, future = item
         loop = asyncio.get_running_loop()
+        changed = None
         try:
             async with self._engine_lock:
                 removed = await loop.run_in_executor(
                     None, self.engine.delete, tid
                 )
+                if self.feeds is not None:
+
+                    def fold():
+                        self.feeds.note_retracted(removed)
+                        return self.feeds.repair(self.engine)
+
+                    changed = await loop.run_in_executor(None, fold)
         except Exception as exc:
             if future is not None and not future.done():
                 future.set_exception(exc)
@@ -565,10 +629,45 @@ class StreamServer:
                 self.journal.append_delete(tid)
                 self.journal.commit()
             self.stats.deletes += 1
+            if changed:
+                self._publish_feed_changes(changed)
             if future is not None and not future.done():
                 future.set_result(removed)
         finally:
             self._queue.task_done()
+
+    # ------------------------------------------------------------------
+    # Feed tier
+    # ------------------------------------------------------------------
+    def _feeds_fold(self, outcomes) -> set:
+        """Fold one micro-batch into the feed store (runs in the engine
+        executor, under the engine lock): arrivals first — they are
+        pure event-data updates — then one repair pass for any window
+        evictions the batch triggered, priced against the post-batch
+        engine state (the refresh overwrites with exact values, so the
+        ordering cannot double-count)."""
+        feeds = self.feeds
+        changed = set()
+        for kind, result in outcomes:
+            if kind == "ok":
+                factset, _ = result
+                changed |= feeds.apply_event(factset.record, factset)
+            elif kind == "lost":
+                # Applied row whose S_t was lost mid-salvage: its
+                # candidate pairs are refreshed from the engine.
+                changed |= feeds.apply_event(result, None)
+        changed |= feeds.repair(self.engine)
+        return changed
+
+    def add_feed_listener(self, listener) -> None:
+        """Register ``listener(changed_segment_keys)``; called on the
+        event loop after each batch/delete that changed feed state
+        (the gateway's change signal)."""
+        self._feed_listeners.append(listener)
+
+    def _publish_feed_changes(self, changed: set) -> None:
+        for listener in list(self._feed_listeners):
+            listener(changed)
 
     # ------------------------------------------------------------------
     # Checkpointing
@@ -590,6 +689,12 @@ class StreamServer:
             # byte leaves the previous checkpoint untouched.
             seq = self.journal.last_seq if self.journal is not None else None
             save_engine(self.engine, path, journal_seq=seq)
+            if self.feeds is not None:
+                # Sidecar stamped with the engine version the feeds
+                # describe; a mismatch on restore triggers a rebuild.
+                self.feeds.save_sidecar(
+                    path + ".feeds", engine_version(self.engine)
+                )
             return seq
 
         try:
